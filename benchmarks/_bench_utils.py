@@ -1,0 +1,14 @@
+"""Formatting helpers for the figure benchmarks."""
+
+from __future__ import annotations
+
+
+def show(title: str, rows) -> None:
+    """Print a measured-vs-paper comparison table."""
+    print(f"\n=== {title} ===")
+    width = max(len(name) for name, _, _ in rows)
+    print(f"{'metric'.ljust(width)}  measured    paper")
+    for name, measured, paper in rows:
+        measured_text = f"{measured:8.3f}" if isinstance(measured, float) else f"{measured!s:>8}"
+        paper_text = f"{paper:8.3f}" if isinstance(paper, float) else f"{paper!s:>8}"
+        print(f"{name.ljust(width)}  {measured_text}  {paper_text}")

@@ -1,0 +1,102 @@
+"""Ablation — counting methodologies vs churn and IP rotation.
+
+DESIGN.md §5: sweep the IP-rotation rate of a synthetic non-cloud
+population and show that the G-IP cloud share is an artifact of rotation
+while A-N is invariant — the mechanism behind Figs. 3-4.
+"""
+
+import random
+
+from repro.core.counting import (
+    CountingMethod,
+    CrawlRow,
+    cloud_status_combine,
+    counts,
+    shares,
+)
+from repro.ids.peerid import PeerID
+
+from _bench_utils import show
+
+NUM_CRAWLS = 30
+NUM_CLOUD = 60
+NUM_RESID = 40
+
+
+def synth_rows(rotation_prob, seed=0):
+    """60 stable cloud peers, 40 non-cloud peers rotating IPs at the
+    given per-crawl probability."""
+    rng = random.Random(seed)
+    rows = []
+    cloud_peers = [PeerID.generate(rng) for _ in range(NUM_CLOUD)]
+    resid_peers = [PeerID.generate(rng) for _ in range(NUM_RESID)]
+    resid_ip = {peer: index for index, peer in enumerate(resid_peers)}
+    next_ip = len(resid_peers)
+    for crawl in range(NUM_CRAWLS):
+        for index, peer in enumerate(cloud_peers):
+            rows.append(CrawlRow(crawl, peer, f"cloud-{index}"))
+        for peer in resid_peers:
+            if rng.random() < rotation_prob:
+                resid_ip[peer] = next_ip
+                next_ip += 1
+            rows.append(CrawlRow(crawl, peer, f"resid-{resid_ip[peer]}"))
+    return rows
+
+
+def prop(ip):
+    return "cloud" if ip.startswith("cloud") else "non-cloud"
+
+
+def measure(rotation_prob):
+    rows = synth_rows(rotation_prob)
+    g_ip = shares(counts(rows, prop, CountingMethod.G_IP))
+    a_n = shares(
+        counts(rows, prop, CountingMethod.A_N, combine=cloud_status_combine)
+    )
+    return g_ip.get("cloud", 0.0), a_n.get("cloud", 0.0)
+
+
+def test_ablation_rotation_sweep(benchmark):
+    sweep = benchmark(lambda: {p: measure(p) for p in (0.0, 0.2, 0.5, 0.9)})
+    rows = []
+    for probability, (g_ip, a_n) in sorted(sweep.items()):
+        rows.append((f"G-IP cloud @ rotation {probability}", g_ip, float("nan")))
+        rows.append((f"A-N  cloud @ rotation {probability}", a_n, 0.6))
+    show("Ablation — IP rotation vs counting methodology", rows)
+    # Without rotation both methodologies agree on the true 60 % share.
+    assert abs(sweep[0.0][0] - 0.6) < 0.01
+    assert abs(sweep[0.0][1] - 0.6) < 0.01
+    # G-IP decays monotonically with rotation; A-N does not move.
+    gip_values = [sweep[p][0] for p in (0.0, 0.2, 0.5, 0.9)]
+    assert gip_values == sorted(gip_values, reverse=True)
+    assert gip_values[-1] < 0.2
+    for probability in (0.2, 0.5, 0.9):
+        assert abs(sweep[probability][1] - 0.6) < 0.01
+
+
+def test_ablation_churn_overcounting(benchmark):
+    """Churning peers (fresh peer IDs every session) inflate G-N/G-IP but
+    not A-N — the second overcounting source the paper names."""
+
+    def build():
+        rng = random.Random(5)
+        rows = []
+        stable = PeerID.generate(rng)
+        for crawl in range(NUM_CRAWLS):
+            rows.append(CrawlRow(crawl, stable, "cloud-0"))
+            # A different short-lived non-cloud peer every crawl.
+            rows.append(CrawlRow(crawl, PeerID.generate(rng), f"resid-{crawl}"))
+        g_n = counts(rows, prop, CountingMethod.G_N)
+        a_n = counts(rows, prop, CountingMethod.A_N)
+        return g_n, a_n
+
+    g_n, a_n = benchmark(build)
+    show(
+        "Ablation — churn (fresh IDs per session)",
+        [
+            ("G-N non-cloud count", g_n["non-cloud"], float("nan")),
+            ("A-N non-cloud count", a_n["non-cloud"], 1.0),
+        ],
+    )
+    assert g_n["non-cloud"] == NUM_CRAWLS  # every churner counted
+    assert a_n["non-cloud"] == 1.0         # one typical node per snapshot

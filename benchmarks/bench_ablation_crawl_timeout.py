@@ -1,0 +1,44 @@
+"""Ablation — crawl connection timeout vs completeness.
+
+§3 (citing Stutzbach & Rejaie): short crawls capture accurate snapshots,
+but long connection timeouts are needed for completeness.  Sweeping the
+timeout shows the completeness/duration trade-off.
+"""
+
+import random
+
+from repro.core.crawler import DHTCrawler
+
+from _bench_utils import show
+
+TIMEOUTS = (0.1, 1.0, 10.0, 180.0)
+
+
+def test_ablation_crawl_timeout(benchmark, campaign):
+    overlay = campaign.overlay
+
+    def sweep():
+        results = {}
+        for timeout in TIMEOUTS:
+            crawler = DHTCrawler(overlay, timeout=timeout, rng=random.Random(7))
+            snapshot = crawler.crawl(0)
+            results[timeout] = (
+                snapshot.num_crawlable / max(snapshot.num_discovered, 1),
+                snapshot.duration,
+            )
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for timeout in TIMEOUTS:
+        crawlable, duration = results[timeout]
+        rows.append((f"crawlable fraction @ {timeout:>5}s timeout", crawlable, 0.70))
+        rows.append((f"crawl duration     @ {timeout:>5}s timeout", duration, 300.0))
+    show("Ablation — crawl timeout vs completeness", rows)
+    fractions = [results[t][0] for t in TIMEOUTS]
+    durations = [results[t][1] for t in TIMEOUTS]
+    # Completeness grows monotonically with patience …
+    assert fractions == sorted(fractions)
+    assert fractions[-1] > fractions[0] + 0.1
+    # … and so does the wall-clock cost.
+    assert durations[-1] > durations[0]

@@ -1,0 +1,41 @@
+"""Extension — §9: randomizing the browser's default gateway.
+
+"Changing the default gateway to a random one supported by a dynamic,
+permissionless discovery system could maintain simplicity while avoiding
+reliance on cloud infrastructure."  Measures the traffic concentration
+each policy induces over the public gateway set.
+"""
+
+import random
+
+from repro.gateway.registry import PublicGatewayRegistry
+from repro.gateway.selection import GatewaySelector, SelectionPolicy
+
+from _bench_utils import show
+
+
+def test_ext_gateway_selection_policies(benchmark):
+    selector = GatewaySelector(PublicGatewayRegistry(), rng=random.Random(21))
+
+    def run():
+        return (
+            selector.concentration(SelectionPolicy.FIXED_DEFAULT, requests=20_000),
+            selector.concentration(SelectionPolicy.RANDOM_FUNCTIONAL, requests=20_000),
+        )
+
+    fixed, spread = benchmark(run)
+    show(
+        "Extension — gateway selection policy",
+        [
+            ("busiest gateway share (fixed default)", fixed["busiest_gateway_share"], 1.0),
+            ("busiest gateway share (random)", spread["busiest_gateway_share"], 1 / 22),
+            ("cloud share of requests (fixed default)", fixed["cloud_share"], 1.0),
+            ("cloud share of requests (random)", spread["cloud_share"], float("nan")),
+            ("Gini across gateways (fixed default)", fixed["gini"], float("nan")),
+            ("Gini across gateways (random)", spread["gini"], 0.0),
+        ],
+    )
+    assert fixed["busiest_gateway_share"] == 1.0
+    assert spread["busiest_gateway_share"] < 0.1
+    assert spread["gini"] < fixed["gini"] - 0.5
+    assert spread["cloud_share"] < fixed["cloud_share"]

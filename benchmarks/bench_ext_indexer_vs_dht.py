@@ -1,0 +1,88 @@
+"""Extension — §9: network indexers vs the DHT.
+
+"Cloud-based resolution is always faster than decentralised lookup …
+we strongly advise keeping the DHT as a fallback resolution mechanism."
+Quantifies both halves: the latency gap, and what indexer-side
+censorship does to availability with and without the DHT fallback.
+"""
+
+import random
+
+import pytest
+
+from repro.ids.cid import CID
+from repro.indexer.resolution import (
+    CombinedResolver,
+    ResolutionStrategy,
+    availability,
+    mean_latency,
+)
+from repro.indexer.service import IndexerService
+
+from _bench_utils import show
+
+
+@pytest.fixture(scope="module")
+def resolution_setup(campaign):
+    overlay = campaign.overlay
+    rng = random.Random(88)
+    cids = []
+    publishers = [n for n in overlay.online_servers() if n.reachable][:40]
+    for index in range(40):
+        cid = CID.generate(rng)
+        overlay.publish_provider_record(publishers[index % len(publishers)], cid)
+        cids.append(cid)
+    indexer = IndexerService(overlay, coverage=0.97, rng=random.Random(89))
+    resolver = CombinedResolver(overlay, indexer, random.Random(90))
+    return cids, indexer, resolver
+
+
+def test_ext_indexer_latency_advantage(benchmark, resolution_setup):
+    cids, indexer, resolver = resolution_setup
+
+    def run():
+        return (
+            resolver.batch(cids, ResolutionStrategy.INDEXER_ONLY),
+            resolver.batch(cids, ResolutionStrategy.DHT_ONLY),
+        )
+
+    via_indexer, via_dht = benchmark.pedantic(run, rounds=1, iterations=1)
+    show(
+        "Extension — resolution latency (modelled seconds)",
+        [
+            ("indexer mean latency", mean_latency(via_indexer), float("nan")),
+            ("DHT walk mean latency", mean_latency(via_dht), float("nan")),
+            ("speedup factor", mean_latency(via_dht) / max(mean_latency(via_indexer), 1e-9), float("nan")),
+            ("indexer availability", availability(via_indexer), float("nan")),
+            ("DHT availability", availability(via_dht), float("nan")),
+        ],
+    )
+    assert mean_latency(via_indexer) < mean_latency(via_dht) / 5
+    assert availability(via_dht) > 0.85
+
+
+def test_ext_censorship_needs_dht_fallback(benchmark, resolution_setup):
+    cids, indexer, resolver = resolution_setup
+    for cid in cids[: len(cids) // 2]:
+        indexer.block(cid)
+    try:
+        def run():
+            return (
+                resolver.batch(cids, ResolutionStrategy.INDEXER_ONLY),
+                resolver.batch(cids, ResolutionStrategy.INDEXER_WITH_DHT_FALLBACK),
+            )
+
+        censored, with_fallback = benchmark.pedantic(run, rounds=1, iterations=1)
+        show(
+            "Extension — censorship resistance",
+            [
+                ("availability, indexer only (50% blocked)", availability(censored), 0.5),
+                ("availability, indexer + DHT fallback", availability(with_fallback), 1.0),
+                ("extra latency paid on fallback", mean_latency(with_fallback) - mean_latency(censored), float("nan")),
+            ],
+        )
+        assert availability(censored) <= 0.6
+        assert availability(with_fallback) > 0.85
+    finally:
+        for cid in cids:
+            indexer.unblock(cid)

@@ -1,0 +1,53 @@
+"""Extension — §9: the IPv6 what-if.
+
+"In the long run, the wider deployment of IPv6, and thus the removal of
+IPv4 NAT, seems like a more sustainable solution."  Sweeping the
+adoption knob shows what the DHT server set and the relay dependence
+would look like as NAT disappears.
+"""
+
+import pytest
+
+from repro.world.population import NodeClass, build_world
+from repro.world.profiles import WorldProfile
+
+from _bench_utils import show
+
+ADOPTION_LEVELS = (0.0, 0.3, 0.7, 1.0)
+
+
+def _world_metrics(adoption):
+    world = build_world(WorldProfile(online_servers=400, seed=13, ipv6_adoption=adoption))
+    expected_online = sum(spec.behavior.uptime for spec in world.server_specs)
+    cloud_online = sum(
+        spec.behavior.uptime for spec in world.server_specs if spec.is_cloud_hosted
+    )
+    return {
+        "nat_clients": len(world.nat_specs),
+        "expected_online_servers": expected_online,
+        "cloud_share": cloud_online / expected_online,
+    }
+
+
+def test_ext_ipv6_adoption_sweep(benchmark):
+    sweep = benchmark.pedantic(
+        lambda: {level: _world_metrics(level) for level in ADOPTION_LEVELS},
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for level in ADOPTION_LEVELS:
+        metrics = sweep[level]
+        rows.append((f"NAT clients @ adoption {level}", float(metrics["nat_clients"]), float("nan")))
+        rows.append((f"cloud share of servers @ {level}", metrics["cloud_share"], float("nan")))
+    show("Extension — IPv6 adoption sweep", rows)
+    # NAT population shrinks monotonically to zero …
+    nat_counts = [sweep[level]["nat_clients"] for level in ADOPTION_LEVELS]
+    assert nat_counts == sorted(nat_counts, reverse=True)
+    assert nat_counts[-1] == 0
+    # … the DHT grows …
+    online = [sweep[level]["expected_online_servers"] for level in ADOPTION_LEVELS]
+    assert online == sorted(online)
+    # … and the cloud share of the server set falls substantially: the
+    # paper's argument that NAT is a centralization pressure.
+    assert sweep[1.0]["cloud_share"] < sweep[0.0]["cloud_share"] - 0.2

@@ -1,0 +1,44 @@
+"""F3 — Fig. 3: DHT participants by cloud status, both methodologies.
+
+A-N is horizon-independent and measured on the main campaign; the G-IP
+number depends on how many crawls are aggregated (that is the paper's
+point), so it is measured on the paper-horizon campaign (38 days /
+101 crawls, crawl-only).
+"""
+
+from repro.scenario import report as R
+
+from _bench_utils import show
+
+
+def test_fig03_cloud_status_a_n(benchmark, campaign, paper):
+    f3 = benchmark(R.fig3_report, campaign)
+    a_n = f3["A-N"]
+    show(
+        "Fig. 3 — cloud status (A-N, bench campaign)",
+        [
+            ("cloud", a_n.get("cloud", 0.0), paper.an_cloud_share),
+            ("non-cloud", a_n.get("non-cloud", 0.0), paper.an_noncloud_share),
+            ("both", a_n.get("both", 0.0), 1 - paper.an_cloud_share - paper.an_noncloud_share),
+        ],
+    )
+    assert a_n["cloud"] > a_n["non-cloud"]
+    assert abs(a_n["cloud"] - paper.an_cloud_share) < 0.08
+
+
+def test_fig03_cloud_status_g_ip(horizon_campaign, paper, benchmark):
+    f3 = benchmark(R.fig3_report, horizon_campaign)
+    g_ip = f3["G-IP"]
+    a_n = f3["A-N"]
+    show(
+        "Fig. 3 — cloud status (G-IP, paper-horizon campaign)",
+        [
+            ("G-IP cloud", g_ip.get("cloud", 0.0), paper.gip_cloud_share),
+            ("G-IP non-cloud", g_ip.get("non-cloud", 0.0), paper.gip_noncloud_share),
+            ("A-N cloud", a_n.get("cloud", 0.0), paper.an_cloud_share),
+        ],
+    )
+    # The headline divergence: G-IP inflates the non-cloud share far above
+    # its A-N value while the cloud majority flips toward parity.
+    assert g_ip["non-cloud"] > 2 * a_n.get("non-cloud", 0.0)
+    assert g_ip["cloud"] < a_n["cloud"] - 0.2

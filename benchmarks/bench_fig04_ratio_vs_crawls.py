@@ -1,0 +1,32 @@
+"""F4 — Fig. 4: cloud:non-cloud ratio vs number of aggregated crawls.
+
+Under G-IP the ratio decays as rotating-IP churners accumulate; under
+A-N it stays flat.  Measured on the paper-horizon campaign (101 crawls).
+"""
+
+from repro.scenario import report as R
+
+from _bench_utils import show
+
+
+def test_fig04_ratio_vs_cumulative_crawls(benchmark, horizon_campaign):
+    f4 = benchmark(R.fig4_report, horizon_campaign)
+    gip = [ratio for _, ratio in f4["G-IP"]]
+    an = [ratio for _, ratio in f4["A-N"]]
+    quarter = len(gip) // 4
+    show(
+        "Fig. 4 — ratio vs cumulative crawls",
+        [
+            ("G-IP @ 1 crawl", gip[0], float("nan")),
+            ("G-IP @ 25%", gip[quarter], float("nan")),
+            ("G-IP @ 101 crawls", gip[-1], 0.399 / 0.601),
+            ("A-N @ 1 crawl", an[0], float("nan")),
+            ("A-N @ 101 crawls", an[-1], 0.796 / 0.186),
+            ("A-N drift |last/first - 1|", abs(an[-1] / an[0] - 1), 0.0),
+        ],
+    )
+    # Shape assertions: monotone-ish G-IP decay, flat A-N.
+    assert gip[-1] < gip[quarter] < gip[0]
+    assert abs(an[-1] / an[0] - 1) < 0.35
+    # Decay is substantial: the final ratio is a fraction of the initial.
+    assert gip[-1] < 0.45 * gip[0]

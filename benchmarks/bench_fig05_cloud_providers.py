@@ -1,0 +1,33 @@
+"""F5 — Fig. 5: nodes of the DHT graph by cloud provider."""
+
+from repro.scenario import report as R
+
+from _bench_utils import show
+
+
+def test_fig05_cloud_providers(benchmark, campaign, paper):
+    f5 = benchmark(R.fig5_report, campaign)
+    show(
+        "Fig. 5 — cloud providers (A-N)",
+        [
+            ("choopa", f5["an_choopa"], paper.an_choopa_share),
+            ("top-3 share", f5["an_top3_share"], paper.an_top3_share),
+            ("choopa under G-IP", f5["gip_choopa"], paper.gip_choopa_share),
+        ],
+    )
+    cloud_only = {k: v for k, v in f5["A-N"].items() if k not in ("non-cloud", "both")}
+    ranking = sorted(cloud_only, key=cloud_only.get, reverse=True)
+    print("A-N provider ranking:", ranking[:6])
+    # choopa dominates, the top-3 carry about half the network.
+    assert ranking[0] == "choopa"
+    assert abs(f5["an_choopa"] - paper.an_choopa_share) < 0.06
+    assert abs(f5["an_top3_share"] - paper.an_top3_share) < 0.08
+    # Under G-IP choopa's share shrinks (the paper: 29.3 % → 13.8 %).
+    assert f5["gip_choopa"] < f5["an_choopa"]
+
+
+def test_fig05_vultr_contabo_follow(campaign, benchmark):
+    f5 = benchmark(R.fig5_report, campaign)
+    a_n = f5["A-N"]
+    assert a_n.get("vultr", 0) > a_n.get("digital-ocean", 0)
+    assert a_n.get("contabo", 0) > a_n.get("hetzner", 0)

@@ -1,0 +1,46 @@
+"""F6 — Fig. 6: nodes of the DHT graph by origin country."""
+
+from repro.scenario import report as R
+
+from _bench_utils import show
+
+
+def test_fig06_geolocation_a_n(benchmark, campaign, paper):
+    f6 = benchmark(R.fig6_report, campaign)
+    a_n = f6["A-N"]
+    show(
+        "Fig. 6 — geolocation (A-N)",
+        [
+            ("US", a_n.get("US", 0.0), paper.an_country_shares["US"]),
+            ("DE", a_n.get("DE", 0.0), paper.an_country_shares["DE"]),
+            ("KR", a_n.get("KR", 0.0), paper.an_country_shares["KR"]),
+            ("non-top-10", f6["an_non_top10"], paper.an_non_top10_share),
+        ],
+    )
+    ranked = sorted(a_n.items(), key=lambda kv: -kv[1])
+    assert ranked[0][0] == "US"
+    assert ranked[1][0] == "DE"
+    assert abs(a_n["US"] - paper.an_country_shares["US"]) < 0.05
+    assert abs(a_n["DE"] - paper.an_country_shares["DE"]) < 0.04
+    assert abs(f6["an_non_top10"] - paper.an_non_top10_share) < 0.05
+
+
+def test_fig06_geolocation_g_ip_shift(benchmark, horizon_campaign, paper):
+    """The G-IP view inflates churny countries (paper: CN enters 2nd)."""
+    f6 = benchmark(R.fig6_report, horizon_campaign)
+    g_ip = f6["G-IP"]
+    a_n = f6["A-N"]
+    show(
+        "Fig. 6 — geolocation (G-IP, paper horizon)",
+        [
+            ("US", g_ip.get("US", 0.0), paper.gip_country_shares["US"]),
+            ("CN", g_ip.get("CN", 0.0), paper.gip_country_shares["CN"]),
+            ("DE", g_ip.get("DE", 0.0), paper.gip_country_shares["DE"]),
+            ("non-top-10", f6["gip_non_top10"], paper.gip_non_top10_share),
+        ],
+    )
+    # CN's share inflates by multiples under unique-IP counting …
+    assert g_ip.get("CN", 0.0) > 1.5 * a_n.get("CN", 0.0)
+    # … the US share shrinks, and the long tail grows.
+    assert g_ip["US"] < a_n["US"]
+    assert f6["gip_non_top10"] > f6["an_non_top10"]

@@ -1,0 +1,61 @@
+"""F7 — Fig. 7: degree distribution of the DHT graph.
+
+Out-degree sits in a narrow, bucket-dictated band; in-degree is skewed
+with a heavy tail of highly connected nodes.  Absolute degrees scale
+with network size (the paper's graph has ≈17× more nodes), so the
+assertions target the *shape*: band width and tail ratios.
+"""
+
+from repro.core import topology
+from repro.scenario import report as R
+
+from _bench_utils import show
+
+
+def test_fig07_degree_distribution(benchmark, campaign, paper):
+    f7 = benchmark(R.fig7_report, campaign)
+    show(
+        "Fig. 7 — degree distribution (absolute values scale with n)",
+        [
+            ("out-degree mean", f7["out_mean"], 250.0),
+            ("out-degree p10", f7["out_p10"], float("nan")),
+            ("out-degree p90", f7["out_p90"], float("nan")),
+            ("in-degree median", f7["in_median"], float("nan")),
+            ("in-degree p90", f7["in_p90"], paper.in_degree_p90_max),
+            ("in-degree max", f7["in_max"], float("nan")),
+        ],
+    )
+    # Narrow out-degree band (bucket-bounded).
+    assert f7["out_p90"] < 1.25 * f7["out_p10"]
+    # Skewed in-degree: the tail dwarfs the typical node.
+    assert f7["in_max"] > 2.5 * f7["in_median"]
+    assert f7["in_p90"] > f7["in_median"]
+
+
+def test_fig07_high_indegree_nodes_are_infrastructure(campaign, benchmark):
+    """§4: the top in-degree nodes are Filebase's modified clients and
+    AWS-hosted nodes."""
+    snapshot = campaign.crawls.snapshots[-1]
+
+    def top_nodes():
+        in_degrees = topology.estimated_in_degrees(snapshot)
+        ranked = sorted(in_degrees.items(), key=lambda kv: -kv[1])[:10]
+        return [peer for peer, _ in ranked]
+
+    top = benchmark(top_nodes)
+    platform_or_aws = 0
+    cloud_hosted = 0
+    for peer in top:
+        node = campaign.overlay.online_by_peer.get(peer)
+        if node is None:
+            continue
+        if node.spec.platform is not None or node.spec.organisation == "amazon-aws":
+            platform_or_aws += 1
+        if node.spec.is_cloud_hosted:
+            cloud_hosted += 1
+    print(f"top-10 in-degree: {platform_or_aws} platform/AWS, {cloud_hosted} cloud-hosted")
+    # The paper's top-10 (2 Filebase + 8 AWS) is all infrastructure; at
+    # bench scale long-lived plain cloud nodes compete, so assert a
+    # visible platform/AWS presence and a cloud-hosted majority.
+    assert platform_or_aws >= 2
+    assert cloud_hosted >= 7

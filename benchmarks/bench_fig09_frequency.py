@@ -1,0 +1,53 @@
+"""F9 — Fig. 9: request frequency per identifier (days seen).
+
+The paper: the vast majority of CIDs are seen 1-3 days; IPs and peer IDs
+are mostly short-lived; the cloud share among IPs grows with longevity.
+Our observation window is the bench campaign's days (the paper's is ~9
+months), so the comparable structure is the *decay* of the histograms
+and the cloud-longevity gradient.
+"""
+
+from repro.scenario import report as R
+
+from _bench_utils import show
+
+
+def test_fig09_identifier_frequency(benchmark, campaign):
+    f9 = benchmark(R.fig9_report, campaign)
+    cid_days = f9["cid_days"]
+    ip_days = f9["ip_days"]
+    peer_days = f9["peerid_days"]
+    total_cids = sum(cid_days.values())
+    show(
+        "Fig. 9 — days seen (shares of identifiers)",
+        [
+            ("CIDs seen 1 day", cid_days.get(1, 0) / total_cids, float("nan")),
+            ("CIDs seen <=3 days",
+             sum(v for d, v in cid_days.items() if d <= 3) / total_cids, 0.9),
+            ("IPs seen 1 day", ip_days.get(1, 0) / sum(ip_days.values()), float("nan")),
+            ("peerIDs seen 1 day",
+             peer_days.get(1, 0) / sum(peer_days.values()), float("nan")),
+        ],
+    )
+    # Single-day identifiers form the largest CID bucket.
+    assert cid_days.get(1, 0) == max(cid_days.values())
+    # Short-lived IPs and peer IDs dominate their histograms too.
+    assert ip_days.get(1, 0) == max(ip_days.values())
+    assert peer_days.get(1, 0) == max(peer_days.values())
+
+
+def test_fig09_cloud_share_grows_with_ip_longevity(benchmark, campaign):
+    f9 = benchmark(R.fig9_report, campaign)
+    by_days = f9["ip_cloud_share_by_days"]
+    days = sorted(by_days)
+    short_lived = by_days[days[0]]
+    long_lived = by_days[days[-1]]
+    show(
+        "Fig. 9 — cloud share by IP longevity",
+        [
+            (f"cloud share @ {days[0]} day(s)", short_lived, float("nan")),
+            (f"cloud share @ {days[-1]} day(s)", long_lived, float("nan")),
+        ],
+    )
+    # IPs seen on many days skew cloud (paper's overlay finding).
+    assert long_lived > short_lived

@@ -1,0 +1,38 @@
+"""F10 — Fig. 10: DHT/Bitswap peer-ID simplified Pareto chart.
+
+The paper: the top 5 % of peer IDs generate ≈97 % of the traffic
+(our smaller identity universe yields a somewhat lower share; see
+EXPERIMENTS.md), and gateways contribute ≈1 % of DHT but ≈18 % of
+Bitswap traffic.
+"""
+
+from repro.scenario import report as R
+
+from _bench_utils import show
+
+
+def test_fig10_peerid_pareto(benchmark, campaign, paper):
+    f10 = benchmark(R.fig10_report, campaign)
+    show(
+        "Fig. 10 — peer-ID concentration",
+        [
+            ("DHT top-5% share", f10["dht_top5pct_share"], paper.top5pct_peerid_traffic_share),
+            ("Bitswap top-5% share", f10["bitswap_top5pct_share"], paper.top5pct_peerid_traffic_share),
+            ("gateway share of DHT", f10["dht_gateway_share"], paper.gateway_dht_traffic_share),
+            ("gateway share of Bitswap", f10["bitswap_gateway_share"], paper.gateway_bitswap_traffic_share),
+        ],
+    )
+    # Far beyond the 20/80 Pareto principle.
+    assert f10["dht_top5pct_share"] > 0.6
+    # Gateways: heavy on Bitswap, light on the DHT.
+    assert f10["bitswap_gateway_share"] > 5 * f10["dht_gateway_share"]
+    assert abs(f10["bitswap_gateway_share"] - paper.gateway_bitswap_traffic_share) < 0.12
+    assert f10["dht_gateway_share"] < 0.06
+
+
+def test_fig10_curve_is_valid_cdf(benchmark, campaign):
+    f10 = benchmark(R.fig10_report, campaign)
+    for key in ("dht_curve", "bitswap_curve"):
+        ys = [y for _, y in f10[key]]
+        assert ys == sorted(ys)
+        assert abs(ys[-1] - 1.0) < 1e-9

@@ -1,0 +1,30 @@
+"""F12 — Fig. 12: cloud per traffic type, by IP count and by volume."""
+
+from repro.scenario import report as R
+
+from _bench_utils import show
+
+
+def test_fig12_cloud_per_traffic_type(benchmark, campaign, paper):
+    f12 = benchmark(R.fig12_report, campaign)
+    show(
+        "Fig. 12 — cloud per traffic type",
+        [
+            ("cloud by IP count (all)", f12["overall_cloud_by_ip_count"], paper.cloud_ip_count_share),
+            ("cloud by IP count (download)", f12["download_cloud_by_ip_count"], paper.cloud_ip_count_download_share),
+            ("cloud by IP count (advert)", f12["advert_cloud_by_ip_count"], paper.cloud_ip_count_advertisement_share),
+            ("cloud by volume (all)", f12["overall_cloud_by_volume"], paper.cloud_traffic_weighted_share),
+            ("cloud by volume (download)", f12["download_cloud_by_volume"], paper.cloud_traffic_weighted_download_share),
+            ("AWS share of download volume", f12["aws_download_by_volume"], paper.aws_traffic_weighted_download_share),
+        ],
+    )
+    # Count-level: cloud is a ~third of IPs, more present in downloads
+    # than in advertisements (the paper's surprise).
+    assert abs(f12["overall_cloud_by_ip_count"] - paper.cloud_ip_count_share) < 0.10
+    assert f12["download_cloud_by_ip_count"] > f12["advert_cloud_by_ip_count"]
+    # Volume-level: cloud dominates outright, led by Amazon AWS.
+    assert f12["overall_cloud_by_volume"] > 0.6
+    assert f12["overall_cloud_by_volume"] > f12["overall_cloud_by_ip_count"] + 0.2
+    assert abs(f12["aws_download_by_volume"] - paper.aws_traffic_weighted_download_share) < 0.15
+    top = dict(f12["top_providers_by_volume"])
+    assert max(top, key=top.get) in ("amazon-aws", "non-cloud")

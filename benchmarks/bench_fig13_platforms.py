@@ -1,0 +1,45 @@
+"""F13 — Fig. 13: platforms generating traffic (reverse-DNS attribution).
+
+The paper: Hydra-boosters account for ≈35 % of DHT traffic and ≈50 % of
+downloads; web3.storage and nft.storage dominate advertisement traffic;
+ipfs-bank dominates the attributed share of Bitswap traffic.
+"""
+
+from repro.scenario import report as R
+
+from _bench_utils import show
+
+
+def test_fig13_platform_attribution(benchmark, campaign, paper):
+    f13 = benchmark(R.fig13_report, campaign)
+    dht_all = f13["dht_all"]
+    downloads = f13["dht_download"]
+    adverts = f13["dht_advertisement"]
+    show(
+        "Fig. 13 — platform traffic shares",
+        [
+            ("hydra share of all DHT", dht_all.get("hydra", 0.0), paper.hydra_dht_traffic_share),
+            ("hydra share of downloads", downloads.get("hydra", 0.0), paper.hydra_download_traffic_share),
+            ("web3.storage share of adverts", adverts.get("web3-storage", 0.0), float("nan")),
+            ("nft.storage share of adverts", adverts.get("nft-storage", 0.0), float("nan")),
+        ],
+    )
+    assert abs(dht_all.get("hydra", 0.0) - paper.hydra_dht_traffic_share) < 0.12
+    assert abs(downloads.get("hydra", 0.0) - paper.hydra_download_traffic_share) < 0.15
+    # Hydra is invisible in advertisement traffic (it only looks up).
+    assert adverts.get("hydra", 0.0) < 0.02
+    # web3.storage and nft.storage lead the advertisement panel.
+    named = {k: v for k, v in adverts.items() if k != "other"}
+    ranking = sorted(named, key=named.get, reverse=True)
+    assert ranking[:2] == ["web3-storage", "nft-storage"]
+
+
+def test_fig13_ipfs_bank_dominates_bitswap(benchmark, campaign):
+    f13 = benchmark(R.fig13_report, campaign)
+    bitswap = {k: v for k, v in f13["bitswap"].items() if k != "other"}
+    show(
+        "Fig. 13 — Bitswap platform shares (attributed)",
+        [(name, share, float("nan")) for name, share in sorted(bitswap.items(), key=lambda kv: -kv[1])[:4]],
+    )
+    assert max(bitswap, key=bitswap.get) in ("ipfs-bank", "amazon-aws-other")
+    assert bitswap.get("ipfs-bank", 0.0) > bitswap.get("web3-storage", 0.0)

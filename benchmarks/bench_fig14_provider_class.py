@@ -1,0 +1,28 @@
+"""F14 — Fig. 14: classification of content providers and their relays."""
+
+from repro.scenario import report as R
+
+from _bench_utils import show
+
+
+def test_fig14_provider_classification(benchmark, campaign, paper):
+    f14 = benchmark(R.fig14_report, campaign)
+    shares = f14["class_shares"]
+    show(
+        "Fig. 14 — provider classification (unique peers, reachable)",
+        [
+            ("NAT-ed", shares.get("nat-ed", 0.0), paper.provider_nat_share),
+            ("cloud", shares.get("cloud", 0.0), paper.provider_cloud_share),
+            ("non-cloud", shares.get("non-cloud", 0.0), paper.provider_noncloud_share),
+            ("hybrid", shares.get("hybrid", 0.0), paper.provider_hybrid_share),
+            ("relays in cloud", f14["relay_cloud_share"], paper.nat_relay_cloud_share),
+        ],
+    )
+    # Cloud peers are the largest class; NAT-ed a significant second.
+    assert shares.get("cloud", 0) == max(shares.values())
+    assert abs(shares.get("nat-ed", 0) - paper.provider_nat_share) < 0.12
+    assert abs(shares.get("cloud", 0) - paper.provider_cloud_share) < 0.12
+    assert shares.get("hybrid", 0) < 0.05
+    # The large majority of NAT-ed providers relay through cloud nodes.
+    assert f14["relay_cloud_share"] > 0.7
+    assert f14["total_providers"] > 100

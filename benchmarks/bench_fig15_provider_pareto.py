@@ -1,0 +1,46 @@
+"""F15 — Fig. 15: provider-popularity Pareto chart.
+
+The paper: ≈1 % of peers appear as a provider in ≈90 % of the records;
+cloud peers hold ≈70 % of record appearances, NAT-ed <8 %, non-cloud
+≈22 %.  The top-1 % share is strongly dependent on the size of the
+unique-provider universe (ours is hundreds, the paper's is far larger),
+so the benchmark also reports the top-10-peers share as a scale-robust
+concentration measure.
+"""
+
+from repro.core.pareto import top_share
+from repro.core.providers_analysis import _records_by_provider
+from repro.scenario import report as R
+
+from _bench_utils import show
+
+
+def test_fig15_provider_popularity(benchmark, campaign, paper):
+    f15 = benchmark(R.fig15_report, campaign)
+    by_provider = _records_by_provider(campaign.provider_observations)
+    appearances = {peer: float(len(records)) for peer, records in by_provider.items()}
+    top10_peers_share = (
+        sum(sorted(appearances.values(), reverse=True)[:10]) / sum(appearances.values())
+        if appearances
+        else 0.0
+    )
+    shares = f15["record_shares_by_class"]
+    show(
+        "Fig. 15 — provider popularity",
+        [
+            ("top-1% of peers' record share", f15["top1pct_record_share"], paper.top1pct_provider_record_share),
+            ("top-10 peers' record share", top10_peers_share, float("nan")),
+            ("records from cloud peers", shares.get("cloud", 0.0), paper.records_cloud_share),
+            ("records from NAT-ed peers", shares.get("nat-ed", 0.0), paper.records_nat_share),
+            ("records from non-cloud peers", shares.get("non-cloud", 0.0), paper.records_noncloud_share),
+        ],
+    )
+    # Concentration far above uniform (1% of peers would hold 1%).
+    assert f15["top1pct_record_share"] > 0.05
+    assert top10_peers_share > 0.1
+    # Cloud peers hold the clear majority of record appearances; NAT-ed
+    # peers appear in far fewer records than their unique-peer share.
+    assert shares.get("cloud", 0) > 0.5
+    assert shares.get("nat-ed", 0) < 0.45
+    ys = [y for _, y in f15["curve"]]
+    assert ys == sorted(ys)

@@ -1,0 +1,26 @@
+"""F17 — Fig. 17: DNSLink records pointing to IPFS content providers."""
+
+from repro.scenario import report as R
+
+from _bench_utils import show
+
+
+def test_fig17_dnslink(benchmark, campaign, paper):
+    f17 = benchmark(R.fig17_report, campaign)
+    show(
+        "Fig. 17 — DNSLink gateway/proxy IPs",
+        [
+            ("Cloudflare share", f17["cloudflare_share"], paper.dnslink_cloudflare_share),
+            ("non-cloud share", f17["noncloud_share"], paper.dnslink_noncloud_share),
+            ("overlap with public gateway IPs", f17["public_gateway_ip_share"], paper.dnslink_public_gateway_ip_share),
+        ],
+    )
+    providers = f17["provider_shares"]
+    # Cloudflare alone hosts about half of the DNSLink-serving IPs.
+    assert abs(f17["cloudflare_share"] - paper.dnslink_cloudflare_share) < 0.10
+    assert max(providers, key=providers.get) == "cloudflare"
+    # ≈20 % remain non-cloud, and only a minority of the IPs belong to the
+    # public gateways themselves.
+    assert abs(f17["noncloud_share"] - paper.dnslink_noncloud_share) < 0.08
+    assert 0.05 < f17["public_gateway_ip_share"] < 0.40
+    assert f17["num_records"] > 100

@@ -1,0 +1,44 @@
+"""F18 — Fig. 18: gateway frontend vs overlay IPs by cloud provider,
+plus the §3 gateway-identification counts."""
+
+from repro.scenario import report as R
+
+from _bench_utils import show
+
+
+def test_fig18_gateway_cloud_providers(benchmark, campaign, paper):
+    f18 = benchmark(R.fig18_19_report, campaign)
+    frontends = f18["frontend_provider_shares"]
+    overlay = f18["overlay_provider_shares"]
+    show(
+        "Fig. 18 — gateway IPs by cloud provider",
+        [
+            ("frontend: cloudflare", frontends.get("cloudflare", 0.0), float("nan")),
+            ("frontend: non-cloud", frontends.get("non-cloud", 0.0), float("nan")),
+            ("overlay: cloudflare", overlay.get("cloudflare", 0.0), float("nan")),
+            ("overlay: non-cloud", overlay.get("non-cloud", 0.0), float("nan")),
+        ],
+    )
+    # Cloudflare leads both sides (its overlay connections are reverse-
+    # proxied through its own address space, §7).
+    assert max(frontends, key=frontends.get) == "cloudflare"
+    assert max(overlay, key=overlay.get) == "cloudflare"
+    # A commendable non-cloud fringe exists on both sides.
+    assert frontends.get("non-cloud", 0.0) > 0.0
+    assert overlay.get("non-cloud", 0.0) > 0.0
+
+
+def test_sec3_gateway_counts(benchmark, campaign, paper):
+    f18 = benchmark(R.fig18_19_report, campaign)
+    show(
+        "§3 — gateway identification",
+        [
+            ("listed endpoints", float(f18["num_listed_endpoints"]), float(paper.gateway_endpoints_listed)),
+            ("functional endpoints", float(f18["num_functional_endpoints"]), float(paper.gateway_endpoints_functional)),
+            ("overlay IDs discovered", float(f18["num_overlay_ids"]), float(paper.gateway_overlay_ids)),
+        ],
+    )
+    assert f18["num_listed_endpoints"] == paper.gateway_endpoints_listed
+    assert f18["num_functional_endpoints"] == paper.gateway_endpoints_functional
+    # Repeated probes enumerate most (not necessarily all) pool nodes.
+    assert f18["num_overlay_ids"] >= 0.75 * paper.gateway_overlay_ids

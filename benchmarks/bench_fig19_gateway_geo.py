@@ -1,0 +1,28 @@
+"""F19 — Fig. 19: gateway frontend vs overlay IPs by geolocation."""
+
+from repro.scenario import report as R
+
+from _bench_utils import show
+
+
+def test_fig19_gateway_geolocation(benchmark, campaign):
+    f18 = benchmark(R.fig18_19_report, campaign)
+    frontends = f18["frontend_country_shares"]
+    overlay = f18["overlay_country_shares"]
+    show(
+        "Fig. 19 — gateway IPs by geolocation",
+        [
+            ("frontend: US", frontends.get("US", 0.0), float("nan")),
+            ("frontend: NL", frontends.get("NL", 0.0), float("nan")),
+            ("frontend: DE", frontends.get("DE", 0.0), float("nan")),
+            ("overlay: US", overlay.get("US", 0.0), float("nan")),
+            ("overlay: DE", overlay.get("DE", 0.0), float("nan")),
+        ],
+    )
+    # US and DE dominate, mirroring the overall DHT geography (§7) …
+    assert max(overlay, key=overlay.get) == "US"
+    assert overlay.get("US", 0) + overlay.get("DE", 0) > 0.6
+    # … while the frontend side shows the vantage-point NL bump the paper
+    # attributes to its German measurement location.
+    assert frontends.get("NL", 0.0) > 0.1
+    assert max(frontends, key=frontends.get) == "US"

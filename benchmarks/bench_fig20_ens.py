@@ -1,0 +1,39 @@
+"""F20 — Fig. 20: content-provider statistics for ENS-referenced CIDs."""
+
+from repro.scenario import report as R
+
+from _bench_utils import show
+
+
+def test_fig20_ens_providers(benchmark, campaign, paper):
+    f20 = benchmark(R.fig20_report, campaign)
+    show(
+        "Fig. 20 — ENS-referenced content providers (unique IPs)",
+        [
+            ("cloud share", f20["cloud_share"], paper.ens_cloud_share),
+            ("US+DE share", f20["us_de_share"], paper.ens_us_de_share),
+            ("records resolved / names",
+             f20["num_provider_records"] / max(f20["num_cids"], 1),
+             paper.ens_provider_records / paper.ens_records_with_contenthash),
+        ],
+    )
+    # Even blockchain-named content is mostly cloud-hosted …
+    assert abs(f20["cloud_share"] - paper.ens_cloud_share) < 0.12
+    # … and concentrated in the US and Germany.
+    assert f20["us_de_share"] > 0.45
+    top_providers = dict(f20["top_providers"])
+    assert any(p in top_providers for p in ("amazon-aws", "cloudflare", "choopa"))
+    assert f20["num_unique_ips"] > 0
+
+
+def test_fig20_resolution_rate(benchmark, campaign):
+    """The paper resolved 16.8 k of 20.6 k records (≈82 %); a fraction of
+    ENS content has rotted away."""
+
+    def rate():
+        resolved = sum(1 for o in campaign.ens_observations if o.reachable)
+        return resolved / max(len(campaign.ens_observations), 1)
+
+    resolution_rate = benchmark(rate)
+    show("Fig. 20 — ENS resolution rate", [("resolvable names", resolution_rate, 16.8 / 20.6)])
+    assert 0.4 < resolution_rate <= 1.0

@@ -1,0 +1,33 @@
+"""S3 — §3 crawl-dataset statistics.
+
+Absolute counts scale with the simulated network (bench scale vs the
+paper's 25.8 k servers); the comparable quantities are the ratios:
+crawlable fraction, addresses per peer, and the turnover factors
+(which also grow with observation length — the paper observed 38 days).
+"""
+
+from repro.scenario import report as R
+
+from _bench_utils import show
+
+
+def test_sec3_crawl_stats(benchmark, campaign, paper):
+    stats = benchmark(R.crawl_stats_report, campaign)
+    show(
+        "§3 crawl statistics",
+        [
+            ("crawls", stats["num_crawls"], float(paper.num_crawls)),
+            ("discovered/crawl", stats["avg_discovered"], paper.avg_peers_per_crawl),
+            ("crawlable fraction", stats["crawlable_fraction"],
+             paper.avg_crawlable_per_crawl / paper.avg_peers_per_crawl),
+            ("IPs per peer", stats["ips_per_peer"], paper.addrs_per_peer),
+            ("peer turnover (38d paper)", stats["peer_turnover"],
+             paper.unique_peer_ids / paper.avg_peers_per_crawl),
+            ("IP turnover (38d paper)", stats["ip_turnover"],
+             paper.unique_ips / paper.avg_peers_per_crawl),
+        ],
+    )
+    assert 0.55 < stats["crawlable_fraction"] < 0.85
+    assert 1.4 < stats["ips_per_peer"] < 2.2
+    assert stats["peer_turnover"] > 1.0
+    assert stats["ip_turnover"] > stats["peer_turnover"]

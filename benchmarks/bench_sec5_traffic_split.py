@@ -1,0 +1,23 @@
+"""S5 — §5 headline: message-class split and the Hydra capture rate."""
+
+from repro.scenario import report as R
+
+from _bench_utils import show
+
+
+def test_sec5_traffic_split(benchmark, campaign, paper):
+    s5 = benchmark(R.sec5_report, campaign)
+    show(
+        "§5 — traffic split (Hydra log)",
+        [
+            ("download share", s5["download_share"], paper.download_share),
+            ("advertisement share", s5["advertisement_share"], paper.advertisement_share),
+            ("other share", s5["other_share"], paper.other_share),
+            ("per-message capture × 50 contacts",
+             s5["capture_probability_per_message"] * 50, paper.hydra_capture_rate),
+        ],
+    )
+    assert abs(s5["download_share"] - paper.download_share) < 0.10
+    assert abs(s5["advertisement_share"] - paper.advertisement_share) < 0.10
+    assert s5["other_share"] < 0.10
+    assert s5["total_messages"] > 10_000

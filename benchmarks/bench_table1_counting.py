@@ -1,0 +1,46 @@
+"""T1 — Table 1: the counting-methodology worked example (paper §3).
+
+Reproduces the paper's toy dataset exactly: G-IP must yield DE=2, US=2
+and A-N must yield DE=0.5, US=1.
+"""
+
+from repro.core.counting import CrawlRow, a_n_counts, g_ip_counts
+from repro.ids.peerid import PeerID
+
+from _bench_utils import show
+
+
+def _table1_rows():
+    p1 = PeerID((1).to_bytes(32, "big"))
+    p2 = PeerID((2).to_bytes(32, "big"))
+    return [
+        CrawlRow(1, p1, "a1"),
+        CrawlRow(1, p1, "a2"),
+        CrawlRow(1, p2, "a3"),
+        CrawlRow(2, p2, "a2"),
+        CrawlRow(2, p2, "a3"),
+        CrawlRow(2, p2, "a4"),
+    ]
+
+
+GEO = {"a1": "DE", "a2": "DE", "a3": "US", "a4": "US"}
+
+
+def test_table1_counting_example(benchmark):
+    rows = _table1_rows()
+
+    def run():
+        return g_ip_counts(rows, GEO.get), a_n_counts(rows, GEO.get)
+
+    g_ip, a_n = benchmark(run)
+    show(
+        "Table 1 — counting example",
+        [
+            ("G-IP DE", g_ip["DE"], 2.0),
+            ("G-IP US", g_ip["US"], 2.0),
+            ("A-N  DE", a_n["DE"], 0.5),
+            ("A-N  US", a_n["US"], 1.0),
+        ],
+    )
+    assert g_ip == {"DE": 2.0, "US": 2.0}
+    assert a_n == {"DE": 0.5, "US": 1.0}

@@ -1,0 +1,48 @@
+"""Shared campaigns for the figure benchmarks.
+
+Two expensive artifacts are built once per session:
+
+* ``campaign`` — the full multi-modal campaign (traffic, crawls, provider
+  fetches, entry-point measurements) at bench scale,
+* ``horizon_campaign`` — a crawl-only campaign with the paper's temporal
+  design (38 days, 101 crawls) for the counting-methodology figures,
+  whose G-IP numbers are horizon-dependent.
+
+Every benchmark prints a measured-vs-paper table; the paper targets come
+from :data:`repro.world.profiles.PAPER`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenario.config import ScenarioConfig
+from repro.scenario.run import run_campaign
+from repro.world.profiles import PAPER, WorldProfile
+
+#: Network size for the main bench campaign.  Shares are approximately
+#: scale-invariant; raise this (e.g. via ScenarioConfig.paper_scale) for
+#: a closer but much slower reproduction.
+BENCH_SERVERS = 1500
+BENCH_DAYS = 6
+
+
+@pytest.fixture(scope="session")
+def campaign():
+    config = ScenarioConfig(
+        profile=WorldProfile(online_servers=BENCH_SERVERS),
+        days=BENCH_DAYS,
+        daily_cid_sample=300,
+        provider_fetch_days=5,
+    )
+    return run_campaign(config)
+
+
+@pytest.fixture(scope="session")
+def horizon_campaign():
+    return run_campaign(ScenarioConfig.paper_horizon(700))
+
+
+@pytest.fixture()
+def paper():
+    return PAPER

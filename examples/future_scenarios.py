@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""The paper's §9 what-ifs, made runnable.
+
+Three futures the discussion section sketches:
+
+1. **Network indexers** — centralized resolution is faster, but a
+   censoring operator controls availability unless the DHT stays as a
+   fallback.
+2. **IPv6 adoption** — removing IPv4 NAT lets the user fringe join the
+   DHT as servers and dilutes the cloud share of the network core.
+3. **Random default gateways** — replacing the browser's fixed
+   cloud-based default with a random functional gateway decentralizes
+   the gateway traffic without hurting simplicity.
+
+Run: python examples/future_scenarios.py
+"""
+
+import random
+
+from repro.gateway.registry import PublicGatewayRegistry
+from repro.gateway.selection import GatewaySelector, SelectionPolicy
+from repro.ids.cid import CID
+from repro.indexer.resolution import (
+    CombinedResolver,
+    ResolutionStrategy,
+    availability,
+    mean_latency,
+)
+from repro.indexer.service import IndexerService
+from repro.netsim.network import Overlay
+from repro.viz import bar_chart
+from repro.world.population import build_world
+from repro.world.profiles import WorldProfile
+
+
+def indexer_future() -> None:
+    print("== 1. network indexers vs the DHT ==")
+    world = build_world(WorldProfile(online_servers=400, seed=99))
+    overlay = Overlay(world)
+    overlay.bootstrap()
+    rng = random.Random(100)
+    publishers = [n for n in overlay.online_servers() if n.reachable][:30]
+    cids = []
+    for index in range(30):
+        cid = CID.generate(rng)
+        overlay.publish_provider_record(publishers[index % len(publishers)], cid)
+        cids.append(cid)
+
+    indexer = IndexerService(overlay, coverage=0.97)
+    resolver = CombinedResolver(overlay, indexer, random.Random(101))
+    dht = resolver.batch(cids, ResolutionStrategy.DHT_ONLY)
+    fast = resolver.batch(cids, ResolutionStrategy.INDEXER_ONLY)
+    print(
+        f"latency: indexer {mean_latency(fast)*1000:.0f} ms vs "
+        f"DHT walk {mean_latency(dht)*1000:.0f} ms "
+        f"({mean_latency(dht)/mean_latency(fast):.0f}x slower)"
+    )
+
+    # Now the operator starts censoring a third of the content.
+    for cid in cids[:10]:
+        indexer.block(cid)
+    censored = resolver.batch(cids, ResolutionStrategy.INDEXER_ONLY)
+    rescued = resolver.batch(cids, ResolutionStrategy.INDEXER_WITH_DHT_FALLBACK)
+    print(
+        f"under censorship of 10/30 CIDs: indexer-only availability "
+        f"{availability(censored):.0%}; with DHT fallback {availability(rescued):.0%}"
+    )
+    print("→ keep the DHT as a fallback resolution mechanism (§9).\n")
+
+
+def ipv6_future() -> None:
+    print("== 2. IPv6 adoption removes the NAT barrier ==")
+    shares = {}
+    for adoption in (0.0, 0.5, 1.0):
+        world = build_world(WorldProfile(online_servers=400, seed=7, ipv6_adoption=adoption))
+        online = sum(s.behavior.uptime for s in world.server_specs)
+        cloud = sum(s.behavior.uptime for s in world.server_specs if s.is_cloud_hosted)
+        shares[f"IPv6 adoption {adoption:.0%}"] = cloud / online
+        print(
+            f"adoption {adoption:4.0%}: {len(world.nat_specs):5d} NAT clients left, "
+            f"{online:6.0f} expected online servers, cloud share {cloud / online:.0%}"
+        )
+    print()
+    print(bar_chart(shares, "cloud share of the DHT server set:"))
+    print("→ the NAT-ed fringe joining the DHT dilutes the cloud core (§9).\n")
+
+
+def gateway_future() -> None:
+    print("== 3. randomizing the default gateway ==")
+    selector = GatewaySelector(PublicGatewayRegistry(), rng=random.Random(8))
+    fixed = selector.concentration(SelectionPolicy.FIXED_DEFAULT)
+    spread = selector.concentration(SelectionPolicy.RANDOM_FUNCTIONAL)
+    print(
+        f"fixed default:  busiest gateway {fixed['busiest_gateway_share']:.0%} of requests, "
+        f"cloud share {fixed['cloud_share']:.0%}, Gini {fixed['gini']:.2f}"
+    )
+    print(
+        f"random choice:  busiest gateway {spread['busiest_gateway_share']:.0%} of requests, "
+        f"cloud share {spread['cloud_share']:.0%}, Gini {spread['gini']:.2f}"
+    )
+    print("→ a permissionless random default keeps simplicity, drops the single point (§9).")
+
+
+if __name__ == "__main__":
+    indexer_future()
+    ipv6_future()
+    gateway_future()

@@ -1,0 +1,47 @@
+"""Run the full paper-scale campaign (≈25.8 k servers, 38 days, 101 crawls).
+
+This is the heavyweight reproduction: expect hours of CPU and multiple
+gigabytes of RAM.  The default bench scale (see benchmarks/conftest.py)
+reproduces every share-level result in minutes; run this only to verify
+absolute counts at the paper's dimensions.
+
+Usage: python scripts/run_paper_scale.py [output_dir]
+"""
+
+import sys
+import time
+from pathlib import Path
+
+from repro.core.datasets import export_campaign
+from repro.scenario.config import ScenarioConfig
+from repro.scenario.run import run_campaign
+from repro.scenario.report import full_report
+
+
+def main() -> None:
+    out_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("paper_scale_output")
+    config = ScenarioConfig.paper_scale()
+    print(
+        f"paper-scale campaign: {config.profile.online_servers} online servers, "
+        f"{config.days} days, {config.num_crawls} crawls, "
+        f"{config.daily_cid_sample} CIDs sampled per day"
+    )
+    started = time.time()
+    result = run_campaign(config)
+    print(f"campaign finished in {(time.time() - started) / 3600:.1f} h")
+
+    report = full_report(result, resilience_reps=10)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    import json
+
+    def default(value):
+        return str(value)
+
+    with open(out_dir / "full_report.json", "w") as handle:
+        json.dump(report, handle, default=default, indent=2)
+    counts = export_campaign(result, out_dir / "datasets")
+    print(f"report and datasets written to {out_dir}: {counts}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""repro — a reproduction of "The Cloud Strikes Back: Investigating the
+Decentralization of IPFS" (IMC '23).
+
+The package provides a faithful synthetic IPFS network (Kademlia DHT,
+Bitswap, NAT/relay, churn, a calibrated cloud/geo world model, HTTP
+gateways, DNS and ENS substrates) together with the paper's measurement
+toolchain: DHT crawler, Hydra-booster and Bitswap monitors, exhaustive
+provider-record collection, gateway probing, active/passive DNS scanning,
+ENS scraping, and the counting/attribution analyses behind every figure.
+
+Quick start::
+
+    from repro import ScenarioConfig, run_campaign
+    result = run_campaign(ScenarioConfig.smoke())
+    print(result.crawls.avg_discovered())
+
+See DESIGN.md for the architecture and EXPERIMENTS.md for the
+paper-versus-measured comparison of every table and figure.
+"""
+
+from repro.scenario.config import ScenarioConfig
+from repro.scenario.run import CampaignResult, MeasurementCampaign, run_campaign
+from repro.world.profiles import PAPER, PaperCalibration, WorldProfile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PAPER",
+    "CampaignResult",
+    "MeasurementCampaign",
+    "PaperCalibration",
+    "ScenarioConfig",
+    "WorldProfile",
+    "run_campaign",
+    "__version__",
+]

@@ -1,0 +1,13 @@
+"""Bitswap — the IPFS block-exchange protocol.
+
+Bitswap is a simple protocol used to exchange blocks of data; IPFS nodes
+maintain Bitswap connections to a few hundred random peers, and content
+discovery starts with a local 1-hop broadcast to all connected neighbours
+(paper §2).  This subpackage implements the protocol mechanics used by the
+examples, the gateway retrieval path and the Bitswap monitor.
+"""
+
+from repro.bitswap.messages import BitswapMessage, WantlistEntry, WantType
+from repro.bitswap.engine import BitswapEngine, BlockStore
+
+__all__ = ["BitswapEngine", "BitswapMessage", "BlockStore", "WantType", "WantlistEntry"]

@@ -1,0 +1,167 @@
+"""The Bitswap engine: block store, wantlists, 1-hop discovery, transfer.
+
+The engine is deliberately connection-graph-explicit: it is used at
+micro-scale (examples, unit tests, the gateway retrieval path), while the
+campaign-scale traffic capture uses the statistical connectivity model in
+:mod:`repro.monitors.bitswap_monitor` (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Set
+
+from repro.bitswap.messages import (
+    BitswapMessage,
+    BlockPresence,
+    Ledger,
+    WantType,
+    WantlistEntry,
+)
+from repro.ids.cid import CID
+from repro.ids.peerid import PeerID
+
+
+class BlockStore:
+    """Local block storage (the node's repo)."""
+
+    def __init__(self) -> None:
+        self._blocks: Dict[CID, bytes] = {}
+
+    def put(self, data: bytes) -> CID:
+        cid = CID.for_data(data)
+        self._blocks[cid] = data
+        return cid
+
+    def put_cid(self, cid: CID, data: bytes) -> None:
+        """Store a block under a caller-supplied CID (trusted transfer)."""
+        self._blocks[cid] = data
+
+    def get(self, cid: CID) -> Optional[bytes]:
+        return self._blocks.get(cid)
+
+    def has(self, cid: CID) -> bool:
+        return cid in self._blocks
+
+    def cids(self) -> List[CID]:
+        return list(self._blocks)
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+
+class BitswapEngine:
+    """One node's Bitswap state machine.
+
+    Engines are wired to each other directly (``connect``); message
+    delivery is synchronous, which matches the request/response use the
+    reproduction makes of it.
+    """
+
+    def __init__(self, peer: PeerID, store: Optional[BlockStore] = None) -> None:
+        self.peer = peer
+        self.store = store or BlockStore()
+        self.neighbors: Dict[PeerID, "BitswapEngine"] = {}
+        self.ledgers: Dict[PeerID, Ledger] = {}
+        self.wantlist: Set[CID] = set()
+        #: observers called with every incoming message (monitor hook).
+        self.taps: List[Callable[[BitswapMessage], None]] = []
+
+    # -- connectivity -------------------------------------------------------
+
+    def connect(self, other: "BitswapEngine") -> None:
+        """Create a bidirectional Bitswap connection."""
+        if other.peer == self.peer:
+            raise ValueError("cannot connect an engine to itself")
+        self.neighbors[other.peer] = other
+        other.neighbors[self.peer] = self
+
+    def disconnect(self, other: "BitswapEngine") -> None:
+        self.neighbors.pop(other.peer, None)
+        other.neighbors.pop(self.peer, None)
+
+    def _ledger(self, partner: PeerID) -> Ledger:
+        if partner not in self.ledgers:
+            self.ledgers[partner] = Ledger(partner)
+        return self.ledgers[partner]
+
+    # -- receiving ----------------------------------------------------------
+
+    def receive(self, message: BitswapMessage) -> BitswapMessage:
+        """Handle an incoming message and produce the response."""
+        for tap in self.taps:
+            tap(message)
+        presences: List[BlockPresence] = []
+        blocks: List = []
+        ledger = self._ledger(message.sender)
+        for entry in message.wantlist:
+            if entry.cancel:
+                continue
+            data = self.store.get(entry.cid)
+            if data is None:
+                if entry.send_dont_have:
+                    presences.append(BlockPresence(entry.cid, have=False))
+                continue
+            if entry.want_type is WantType.BLOCK:
+                blocks.append((entry.cid, data))
+                ledger.bytes_sent += len(data)
+                ledger.blocks_sent += 1
+            else:
+                presences.append(BlockPresence(entry.cid, have=True))
+        for cid, data in message.blocks:
+            self.store.put_cid(cid, data)
+            ledger.bytes_received += len(data)
+            ledger.blocks_received += 1
+        return BitswapMessage(
+            sender=self.peer, presences=tuple(presences), blocks=tuple(blocks)
+        )
+
+    # -- requesting ----------------------------------------------------------
+
+    def broadcast_want_have(self, cid: CID) -> List[PeerID]:
+        """The 1-hop discovery broadcast: ask every neighbour for ``cid``.
+
+        Returns the neighbours that have the block.  This is exactly the
+        traffic the Bitswap monitor captures (paper §3): broadcasts reach
+        it whenever the requester happens to be connected to it.
+        """
+        self.wantlist.add(cid)
+        message = BitswapMessage(
+            sender=self.peer,
+            wantlist=(WantlistEntry(cid, WantType.HAVE, send_dont_have=True),),
+        )
+        holders = []
+        for neighbor in list(self.neighbors.values()):
+            response = neighbor.receive(message)
+            for presence in response.presences:
+                if presence.cid == cid and presence.have:
+                    holders.append(neighbor.peer)
+        return holders
+
+    def fetch_block(self, cid: CID, from_peer: Optional[PeerID] = None) -> Optional[bytes]:
+        """Retrieve a block: locally, else from ``from_peer``, else from
+        whichever neighbour answers the broadcast."""
+        local = self.store.get(cid)
+        if local is not None:
+            return local
+        candidates: Iterable[PeerID]
+        if from_peer is not None:
+            candidates = [from_peer]
+        else:
+            candidates = self.broadcast_want_have(cid)
+        message = BitswapMessage(
+            sender=self.peer, wantlist=(WantlistEntry(cid, WantType.BLOCK),)
+        )
+        for peer in candidates:
+            neighbor = self.neighbors.get(peer)
+            if neighbor is None:
+                continue
+            response = neighbor.receive(message)
+            for got_cid, data in response.blocks:
+                if got_cid == cid:
+                    self.store.put_cid(cid, data)
+                    ledger = self._ledger(peer)
+                    ledger.bytes_received += len(data)
+                    ledger.blocks_received += 1
+                    self.wantlist.discard(cid)
+                    return data
+        return None

@@ -1,0 +1,72 @@
+"""Bitswap wire messages (modelled on the Bitswap 1.2 protobuf)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.ids.cid import CID
+from repro.ids.peerid import PeerID
+
+
+class WantType(enum.Enum):
+    """What the requester wants for a CID."""
+
+    HAVE = "want-have"    # "do you have this block?"
+    BLOCK = "want-block"  # "send me this block"
+
+
+@dataclass(frozen=True)
+class WantlistEntry:
+    """One entry of a Bitswap wantlist."""
+
+    cid: CID
+    want_type: WantType = WantType.HAVE
+    priority: int = 1
+    cancel: bool = False
+    send_dont_have: bool = False
+
+
+@dataclass(frozen=True)
+class BlockPresence:
+    """HAVE / DONT_HAVE response for a queried CID."""
+
+    cid: CID
+    have: bool
+
+
+@dataclass(frozen=True)
+class BitswapMessage:
+    """A Bitswap message: wantlist updates, blocks, and presences.
+
+    The Bitswap monitor (paper §3) logs the *incoming* wantlist broadcasts;
+    the requested CIDs in those wantlists are the basis of the daily
+    sampled-CIDs dataset.
+    """
+
+    sender: PeerID
+    wantlist: Tuple[WantlistEntry, ...] = ()
+    blocks: Tuple[Tuple[CID, bytes], ...] = ()
+    presences: Tuple[BlockPresence, ...] = ()
+    full_wantlist: bool = False
+
+    @property
+    def requested_cids(self) -> Tuple[CID, ...]:
+        return tuple(entry.cid for entry in self.wantlist if not entry.cancel)
+
+
+@dataclass
+class Ledger:
+    """Per-peer accounting of bytes exchanged (Bitswap's debt ledger)."""
+
+    partner: PeerID
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    blocks_sent: int = 0
+    blocks_received: int = 0
+
+    @property
+    def debt_ratio(self) -> float:
+        """Classic Bitswap debt ratio: sent / (received + 1)."""
+        return self.bytes_sent / (self.bytes_received + 1)

@@ -1,0 +1,201 @@
+"""Command-line interface.
+
+    python -m repro campaign --preset smoke --figures fig3 fig14
+    python -m repro campaign --servers 800 --days 4 --export out/
+    python -m repro crawl --servers 500 --crawls 3
+    python -m repro table1
+
+The CLI is a thin shell over :mod:`repro.scenario`; everything it prints
+comes from the same report functions the benchmarks use.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import __version__
+from repro.scenario import report as figure_reports
+from repro.scenario.config import ScenarioConfig
+from repro.scenario.run import run_campaign
+from repro.viz import bar_chart
+from repro.world.profiles import WorldProfile
+
+FIGURE_CHOICES = (
+    "crawl_stats", "fig3", "fig5", "fig6", "fig7", "sec5",
+    "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+    "fig17", "fig18_19", "fig20",
+)
+
+_REPORT_FUNCTIONS = {
+    "crawl_stats": figure_reports.crawl_stats_report,
+    "fig3": figure_reports.fig3_report,
+    "fig5": figure_reports.fig5_report,
+    "fig6": figure_reports.fig6_report,
+    "fig7": figure_reports.fig7_report,
+    "sec5": figure_reports.sec5_report,
+    "fig10": figure_reports.fig10_report,
+    "fig11": figure_reports.fig11_report,
+    "fig12": figure_reports.fig12_report,
+    "fig13": figure_reports.fig13_report,
+    "fig14": figure_reports.fig14_report,
+    "fig15": figure_reports.fig15_report,
+    "fig16": figure_reports.fig16_report,
+    "fig17": figure_reports.fig17_report,
+    "fig18_19": figure_reports.fig18_19_report,
+    "fig20": figure_reports.fig20_report,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'The Cloud Strikes Back' (IMC '23)",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    campaign = commands.add_parser(
+        "campaign", help="run a measurement campaign and print figure reports"
+    )
+    campaign.add_argument(
+        "--preset", choices=("smoke", "default", "paper-horizon"), default="smoke"
+    )
+    campaign.add_argument("--servers", type=int, help="online DHT servers (overrides preset)")
+    campaign.add_argument("--days", type=int, help="measurement days (overrides preset)")
+    campaign.add_argument("--seed", type=int, help="override the scenario seed")
+    campaign.add_argument(
+        "--figures", nargs="*", choices=FIGURE_CHOICES, default=["crawl_stats", "fig3"],
+        help="figure reports to print",
+    )
+    campaign.add_argument("--export", metavar="DIR", help="export datasets to a directory")
+    campaign.add_argument(
+        "--render", nargs="*", metavar="FIG", default=[],
+        help="render figures as terminal charts (fig3 … fig20)",
+    )
+
+    crawl = commands.add_parser("crawl", help="crawl a freshly bootstrapped overlay")
+    crawl.add_argument("--servers", type=int, default=500)
+    crawl.add_argument("--crawls", type=int, default=2)
+    crawl.add_argument("--timeout", type=float, default=180.0)
+    crawl.add_argument("--seed", type=int, default=2023)
+
+    commands.add_parser("table1", help="print the paper's Table 1 counting example")
+    return parser
+
+
+def _config_from_args(args) -> ScenarioConfig:
+    if args.preset == "smoke":
+        config = ScenarioConfig.smoke()
+    elif args.preset == "paper-horizon":
+        config = ScenarioConfig.paper_horizon()
+    else:
+        config = ScenarioConfig()
+    if args.servers:
+        config = config.scaled(args.servers)
+    if args.days:
+        import dataclasses
+
+        config = dataclasses.replace(config, days=args.days)
+    if args.seed is not None:
+        import dataclasses
+
+        config = dataclasses.replace(
+            config,
+            seed=args.seed,
+            profile=dataclasses.replace(config.profile, seed=args.seed),
+        )
+    return config
+
+
+def _print_report(name: str, payload) -> None:
+    print(f"\n## {name}")
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            if isinstance(value, dict) and value and all(
+                isinstance(v, (int, float)) for v in value.values()
+            ):
+                print(bar_chart(value, f"{key}:", limit=8))
+            elif isinstance(value, float):
+                print(f"  {key}: {value:.3f}")
+            elif isinstance(value, (int, str)):
+                print(f"  {key}: {value}")
+
+
+def _run_campaign_command(args) -> int:
+    config = _config_from_args(args)
+    print(
+        f"running campaign: {config.profile.online_servers} servers, "
+        f"{config.days} days, {config.num_crawls} crawls..."
+    )
+    result = run_campaign(config)
+    for figure in args.figures:
+        _print_report(figure, _REPORT_FUNCTIONS[figure](result))
+    if args.render:
+        from repro.scenario.figures import render
+
+        for figure in args.render:
+            print()
+            print(render(result, figure))
+    if args.export:
+        from repro.core.datasets import export_campaign
+
+        counts = export_campaign(result, args.export)
+        print(f"\nexported to {args.export}:")
+        for artifact, count in counts.items():
+            print(f"  {artifact}: {count}")
+    return 0
+
+
+def _run_crawl_command(args) -> int:
+    import random
+
+    from repro.core.crawler import DHTCrawler
+    from repro.netsim.network import Overlay
+    from repro.world.population import build_world
+
+    world = build_world(WorldProfile(online_servers=args.servers, seed=args.seed))
+    overlay = Overlay(world)
+    overlay.bootstrap()
+    crawler = DHTCrawler(overlay, timeout=args.timeout, rng=random.Random(args.seed))
+    for crawl_id in range(args.crawls):
+        snapshot = crawler.crawl(crawl_id)
+        print(
+            f"crawl {crawl_id}: discovered {snapshot.num_discovered}, "
+            f"crawlable {snapshot.num_crawlable}, "
+            f"duration {snapshot.duration:.0f}s, "
+            f"requests {snapshot.requests_sent}"
+        )
+    return 0
+
+
+def _run_table1_command() -> int:
+    from repro.core.counting import CrawlRow, a_n_counts, g_ip_counts
+    from repro.ids.peerid import PeerID
+
+    p1, p2 = PeerID((1).to_bytes(32, "big")), PeerID((2).to_bytes(32, "big"))
+    geo = {"a1": "DE", "a2": "DE", "a3": "US", "a4": "US"}
+    rows = [
+        CrawlRow(1, p1, "a1"), CrawlRow(1, p1, "a2"), CrawlRow(1, p2, "a3"),
+        CrawlRow(2, p2, "a2"), CrawlRow(2, p2, "a3"), CrawlRow(2, p2, "a4"),
+    ]
+    print("Table 1 example dataset (paper §3):")
+    print("  G-IP:", g_ip_counts(rows, geo.get), "(paper: DE=2, US=2)")
+    print("  A-N: ", a_n_counts(rows, geo.get), "(paper: DE=0.5, US=1)")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "campaign":
+        return _run_campaign_command(args)
+    if args.command == "crawl":
+        return _run_crawl_command(args)
+    if args.command == "table1":
+        return _run_table1_command()
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

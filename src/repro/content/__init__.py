@@ -1,0 +1,22 @@
+"""Content: blocks, catalogs, popularity and workload generation.
+
+* :mod:`repro.content.blocks` — chunking data into content-addressed
+  blocks with a flat DAG root,
+* :mod:`repro.content.catalog` — the population of content items, their
+  publishers, lifetimes and request popularity,
+* :mod:`repro.content.workload` — the calibrated traffic engine driving
+  downloads, advertisements and platform re-provides.
+"""
+
+from repro.content.blocks import chunk_data, DagObject
+from repro.content.catalog import ContentCatalog, ContentItem
+from repro.content.workload import TrafficEngine, WorkloadConfig
+
+__all__ = [
+    "ContentCatalog",
+    "ContentItem",
+    "DagObject",
+    "TrafficEngine",
+    "WorkloadConfig",
+    "chunk_data",
+]

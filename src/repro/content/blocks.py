@@ -1,0 +1,71 @@
+"""Chunking data into content-addressed blocks.
+
+IPFS splits files into blocks (256 KiB by default) and links them from a
+root object; the root's CID is the file's identifier.  We implement a
+flat, single-level DAG — enough to exercise multi-block Bitswap transfers
+in the examples without reproducing the full UnixFS format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.ids.cid import CID
+
+DEFAULT_CHUNK_SIZE = 256 * 1024
+
+
+@dataclass(frozen=True)
+class DagObject:
+    """A root object linking the chunks of one data item."""
+
+    root: CID
+    links: Tuple[CID, ...]
+    total_size: int
+
+    def __len__(self) -> int:
+        return len(self.links)
+
+
+def chunk_data(data: bytes, chunk_size: int = DEFAULT_CHUNK_SIZE) -> Tuple[DagObject, List[Tuple[CID, bytes]]]:
+    """Split ``data`` into blocks and build the root object.
+
+    Returns the DAG descriptor and the ``(cid, bytes)`` block list,
+    including the serialized root block itself (whose CID is the root).
+    Empty input yields a single empty block.
+    """
+    if chunk_size <= 0:
+        raise ValueError("chunk size must be positive")
+    chunks = [data[offset : offset + chunk_size] for offset in range(0, len(data), chunk_size)]
+    if not chunks:
+        chunks = [b""]
+    blocks: List[Tuple[CID, bytes]] = []
+    link_cids: List[CID] = []
+    for chunk in chunks:
+        cid = CID.for_data(chunk)
+        blocks.append((cid, chunk))
+        link_cids.append(cid)
+    if len(link_cids) == 1:
+        # Single-chunk items are addressed by the chunk itself, like IPFS.
+        root = link_cids[0]
+        return DagObject(root=root, links=tuple(link_cids), total_size=len(data)), blocks
+    root_payload = b"".join(cid.binary for cid in link_cids)
+    root = CID.for_data(root_payload)
+    blocks.append((root, root_payload))
+    return DagObject(root=root, links=tuple(link_cids), total_size=len(data)), blocks
+
+
+def reassemble(dag: DagObject, fetch) -> bytes:
+    """Reconstruct the original data by fetching every linked block.
+
+    :param fetch: callable ``CID -> bytes`` (e.g. a Bitswap engine's
+        ``fetch_block``). Raises :class:`KeyError` if a block is missing.
+    """
+    parts = []
+    for cid in dag.links:
+        data = fetch(cid)
+        if data is None:
+            raise KeyError(f"missing block {cid}")
+        parts.append(data)
+    return b"".join(parts)

@@ -1,0 +1,148 @@
+"""The population of content items and their request popularity.
+
+The paper finds that the vast majority of CIDs are downloaded or
+advertised for only 1-3 days, suggesting IPFS is mostly used for direct
+content transfer rather than persistent storage, while persistent content
+is held by cloud storage platforms (§5, Fig. 9).  The catalog models both
+populations: short-lived user content and long-lived platform sets.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.ids.cid import CID
+
+
+@dataclass
+class ContentItem:
+    """One published data item.
+
+    :ivar cid: the item's identifier.
+    :ivar publisher: opaque publisher tag (spec index or platform name).
+    :ivar created_day: simulation day the item appeared.
+    :ivar lifetime_days: days during which the item attracts requests.
+    :ivar weight: relative request popularity.
+    """
+
+    cid: CID
+    publisher: object
+    created_day: int
+    lifetime_days: int
+    weight: float = 1.0
+
+    def alive_on(self, day: int) -> bool:
+        return self.created_day <= day < self.created_day + self.lifetime_days
+
+
+def sample_user_lifetime(rng: random.Random) -> int:
+    """Lifetime of user-published content: heavily skewed to 1-3 days."""
+    roll = rng.random()
+    if roll < 0.55:
+        return 1
+    if roll < 0.75:
+        return 2
+    if roll < 0.86:
+        return 3
+    # Exponential tail for the minority of longer-lived items.
+    return 4 + int(rng.expovariate(0.35))
+
+
+def sample_popularity_weight(rng: random.Random, alpha: float = 1.1) -> float:
+    """Pareto-distributed popularity — a few items draw most requests."""
+    return rng.paretovariate(alpha)
+
+
+class ContentCatalog:
+    """All content items, with per-day weighted request sampling."""
+
+    def __init__(self, rng: Optional[random.Random] = None) -> None:
+        self.rng = rng or random.Random(7)
+        self.items: List[ContentItem] = []
+        self.by_cid: Dict[CID, ContentItem] = {}
+        self._index_day: Optional[int] = None
+        self._alive: List[ContentItem] = []
+        self._cumulative: List[float] = []
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def add(self, item: ContentItem) -> ContentItem:
+        self.items.append(item)
+        self.by_cid[item.cid] = item
+        if self._index_day is not None and item.alive_on(self._index_day):
+            # Keep the day index usable without a full rebuild.
+            self._alive.append(item)
+            last = self._cumulative[-1] if self._cumulative else 0.0
+            self._cumulative.append(last + item.weight)
+        return item
+
+    def mint_user_item(self, day: int, publisher: object) -> ContentItem:
+        """Create a fresh user-published item with skewed lifetime/popularity."""
+        item = ContentItem(
+            cid=CID.generate(self.rng),
+            publisher=publisher,
+            created_day=day,
+            lifetime_days=sample_user_lifetime(self.rng),
+            weight=sample_popularity_weight(self.rng),
+        )
+        return self.add(item)
+
+    def mint_platform_set(
+        self, platform: str, size: int, weight_scale: float = 1.0, horizon_days: int = 4000
+    ) -> List[ContentItem]:
+        """A persistent content set pinned by a storage platform."""
+        items = []
+        for _ in range(size):
+            items.append(
+                self.add(
+                    ContentItem(
+                        cid=CID.generate(self.rng),
+                        publisher=platform,
+                        created_day=0,
+                        lifetime_days=horizon_days,
+                        weight=sample_popularity_weight(self.rng) * weight_scale,
+                    )
+                )
+            )
+        return items
+
+    def build_day_index(self, day: int) -> None:
+        """Prepare O(log n) weighted sampling among items alive on ``day``."""
+        self._index_day = day
+        self._alive = [item for item in self.items if item.alive_on(day)]
+        cumulative = []
+        total = 0.0
+        for item in self._alive:
+            if isinstance(item.publisher, str):
+                # Platform-pinned content stays popular (persistent sets).
+                total += item.weight
+            else:
+                # User content decays: older items attract fewer requests.
+                age = day - item.created_day
+                total += item.weight / (1.0 + 0.8 * age)
+            cumulative.append(total)
+        self._cumulative = cumulative
+
+    def alive_items(self, day: int) -> List[ContentItem]:
+        return [item for item in self.items if item.alive_on(day)]
+
+    def sample_request(self, rng: random.Random) -> Optional[ContentItem]:
+        """Draw an item proportionally to its (recency-decayed) weight.
+
+        Requires :meth:`build_day_index` to have been called for the
+        current day; returns ``None`` when nothing is alive.
+        """
+        if not self._cumulative:
+            return None
+        total = self._cumulative[-1]
+        index = bisect.bisect_left(self._cumulative, rng.random() * total)
+        index = min(index, len(self._alive) - 1)
+        return self._alive[index]
+
+    def platform_items(self, platform: str) -> List[ContentItem]:
+        return [item for item in self.items if item.publisher == platform]

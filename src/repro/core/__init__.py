@@ -1,0 +1,29 @@
+"""The paper's measurement and analysis toolchain.
+
+* :mod:`repro.core.crawler` — the DHT crawler and crawl datasets (§3),
+* :mod:`repro.core.counting` — the counting methodologies: G-IP, G-N and
+  the paper's A-N proposal (§3, Table 1),
+* :mod:`repro.core.cloud` / :mod:`repro.core.geo` — cloud-provider and
+  country attribution under each methodology (§4, Figs. 3-6),
+* :mod:`repro.core.topology` — overlay graph and degree analysis (Fig. 7),
+* :mod:`repro.core.resilience` — node-removal experiments (Fig. 8),
+* :mod:`repro.core.pareto` — concentration curves shared by the traffic
+  and provider analyses,
+* :mod:`repro.core.traffic` — traffic classification, centralization and
+  platform attribution (§5, Figs. 9-13),
+* :mod:`repro.core.providers_analysis` — provider classification and
+  content-level cloud reliance (§6, Figs. 14-16),
+* :mod:`repro.core.entrypoints` — DNSLink, gateway and ENS entry-point
+  analyses (§7, Figs. 17-20).
+"""
+
+from repro.core.counting import CountingMethod, CrawlRow
+from repro.core.crawler import CrawlDataset, CrawlSnapshot, DHTCrawler
+
+__all__ = [
+    "CountingMethod",
+    "CrawlDataset",
+    "CrawlRow",
+    "CrawlSnapshot",
+    "DHTCrawler",
+]

@@ -1,0 +1,148 @@
+"""Passive churn analysis from crawl snapshots.
+
+The paper's §4 explanation of the counting divergence — "non-cloud IPFS
+nodes tend to be short-lived and frequently change their IP addresses" —
+is itself measurable from the crawl dataset, the way Daniel & Tschorsch
+(ICDCSW '22, cited as [13]) measure IPFS churn passively.  This module
+estimates per-peer uptime, session structure and inter-crawl IP
+stability, split by any peer-level label (cloud status in practice).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.crawler import CrawlDataset
+from repro.ids.peerid import PeerID
+
+
+@dataclass
+class PeerPresence:
+    """One peer's appearances across a crawl campaign."""
+
+    peer: PeerID
+    crawls_seen: List[int] = field(default_factory=list)
+    ips_per_crawl: Dict[int, Tuple[str, ...]] = field(default_factory=dict)
+
+    @property
+    def appearances(self) -> int:
+        return len(self.crawls_seen)
+
+    def uptime(self, total_crawls: int) -> float:
+        """Fraction of snapshots the peer was present in."""
+        if total_crawls <= 0:
+            return 0.0
+        return self.appearances / total_crawls
+
+    def sessions(self) -> List[Tuple[int, int]]:
+        """Maximal runs of consecutive crawls the peer was present in,
+        as (first_crawl, last_crawl) pairs."""
+        if not self.crawls_seen:
+            return []
+        ordered = sorted(self.crawls_seen)
+        sessions: List[Tuple[int, int]] = []
+        start = previous = ordered[0]
+        for crawl in ordered[1:]:
+            if crawl == previous + 1:
+                previous = crawl
+                continue
+            sessions.append((start, previous))
+            start = previous = crawl
+        sessions.append((start, previous))
+        return sessions
+
+    def ip_changes(self) -> int:
+        """How many times the announced IP set changed between
+        consecutive appearances."""
+        ordered = sorted(self.crawls_seen)
+        changes = 0
+        for earlier, later in zip(ordered, ordered[1:]):
+            if set(self.ips_per_crawl[earlier]) != set(self.ips_per_crawl[later]):
+                changes += 1
+        return changes
+
+
+def peer_presences(dataset: CrawlDataset) -> Dict[PeerID, PeerPresence]:
+    """Index every peer's appearances across the campaign."""
+    presences: Dict[PeerID, PeerPresence] = {}
+    for snapshot in dataset.snapshots:
+        for obs in snapshot.observations.values():
+            presence = presences.get(obs.peer)
+            if presence is None:
+                presence = presences[obs.peer] = PeerPresence(obs.peer)
+            presence.crawls_seen.append(snapshot.crawl_id)
+            presence.ips_per_crawl[snapshot.crawl_id] = obs.ips
+    return presences
+
+
+@dataclass
+class ChurnReport:
+    """Aggregate churn statistics for one peer group."""
+
+    peers: int
+    mean_uptime: float
+    median_session_crawls: float
+    single_appearance_share: float
+    ip_change_rate: float  # IP changes per consecutive-appearance pair
+
+    @staticmethod
+    def empty() -> "ChurnReport":
+        return ChurnReport(0, 0.0, 0.0, 0.0, 0.0)
+
+
+def churn_report(
+    dataset: CrawlDataset,
+    include: Optional[Callable[[PeerPresence], bool]] = None,
+) -> ChurnReport:
+    """Churn statistics over (a filtered subset of) the crawl dataset."""
+    total_crawls = len(dataset)
+    presences = [
+        presence
+        for presence in peer_presences(dataset).values()
+        if include is None or include(presence)
+    ]
+    if not presences or total_crawls == 0:
+        return ChurnReport.empty()
+    uptimes = [presence.uptime(total_crawls) for presence in presences]
+    session_lengths: List[int] = []
+    for presence in presences:
+        for start, end in presence.sessions():
+            session_lengths.append(end - start + 1)
+    session_lengths.sort()
+    median_session = float(session_lengths[len(session_lengths) // 2])
+    singles = sum(1 for presence in presences if presence.appearances == 1)
+    pairs = sum(max(0, presence.appearances - 1) for presence in presences)
+    changes = sum(presence.ip_changes() for presence in presences)
+    return ChurnReport(
+        peers=len(presences),
+        mean_uptime=sum(uptimes) / len(uptimes),
+        median_session_crawls=median_session,
+        single_appearance_share=singles / len(presences),
+        ip_change_rate=changes / pairs if pairs else 0.0,
+    )
+
+
+def churn_by_label(
+    dataset: CrawlDataset,
+    label_of_ip: Callable[[str], str],
+) -> Dict[str, ChurnReport]:
+    """Churn reports split by a peer-level (majority-vote) label —
+    cloud vs non-cloud in the paper's usage."""
+    presences = peer_presences(dataset)
+    labels: Dict[PeerID, str] = {}
+    for peer, presence in presences.items():
+        votes: Dict[str, int] = defaultdict(int)
+        for ips in presence.ips_per_crawl.values():
+            for ip in ips:
+                votes[label_of_ip(ip)] += 1
+        if votes:
+            top = max(votes.values())
+            labels[peer] = min(label for label, count in votes.items() if count == top)
+    reports: Dict[str, ChurnReport] = {}
+    for label in sorted(set(labels.values())):
+        reports[label] = churn_report(
+            dataset, include=lambda presence, want=label: labels.get(presence.peer) == want
+        )
+    return reports

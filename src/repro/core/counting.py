@@ -1,0 +1,186 @@
+"""Counting methodologies (paper §3, Table 1).
+
+Nodes announce multiple IP addresses which may differ in the derived
+property (cloud provider, country).  The paper contrasts:
+
+* **G-IP** (*Global, Unique IP*): count unique IPs and their mappings
+  over the entire dataset — the methodology of Trautwein et al.  It
+  overcounts peers with multiple or rotating IPs and includes churners.
+* **G-N** (*Global, Unique Nodes*): assign each *peer* a single value by
+  majority vote and count peers over all crawls — still overcounts
+  peer-ID regenerators and churners.
+* **A-N** (*Average over Crawls, Unique Nodes*): assign each peer a value
+  per crawl and average the per-crawl counts over all crawls — the
+  paper's proposal, which estimates a *typical* snapshot.
+
+For the paper's Table 1 example (two crawls, peers ``p1``/``p2``), G-IP
+yields ``DE=2, US=2`` while A-N yields ``DE=0.5, US=1``.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.ids.peerid import PeerID
+
+
+@dataclass(frozen=True)
+class CrawlRow:
+    """One (crawl, peer, ip) observation — the dataset shape of Table 1."""
+
+    crawl_id: int
+    peer: PeerID
+    ip: str
+
+
+class CountingMethod(enum.Enum):
+    G_IP = "G-IP"
+    G_N = "G-N"
+    A_N = "A-N"
+
+
+PropertyFn = Callable[[str], str]
+CombineFn = Callable[[Sequence[str]], str]
+
+
+def majority_vote(labels: Sequence[str]) -> str:
+    """The most frequent label; ties break lexicographically (stable)."""
+    if not labels:
+        raise ValueError("cannot vote over an empty label sequence")
+    tallies = Counter(labels)
+    top_count = max(tallies.values())
+    # Deterministic tie-break: highest count, then smallest label.
+    return min(label for label, count in tallies.items() if count == top_count)
+
+
+def make_rows(observations: Iterable[Tuple[int, PeerID, str]]) -> List[CrawlRow]:
+    return [CrawlRow(crawl_id, peer, ip) for crawl_id, peer, ip in observations]
+
+
+# ---------------------------------------------------------------------------
+# The three methodologies
+# ---------------------------------------------------------------------------
+
+
+def g_ip_counts(rows: Sequence[CrawlRow], property_of_ip: PropertyFn) -> Dict[str, float]:
+    """Unique IPs over the whole dataset, attributed individually."""
+    seen_ips: Dict[str, str] = {}
+    for row in rows:
+        if row.ip not in seen_ips:
+            seen_ips[row.ip] = property_of_ip(row.ip)
+    counts: Counter = Counter(seen_ips.values())
+    return {label: float(count) for label, count in counts.items()}
+
+
+def g_n_counts(
+    rows: Sequence[CrawlRow],
+    property_of_ip: PropertyFn,
+    combine: CombineFn = majority_vote,
+) -> Dict[str, float]:
+    """Unique peers over the whole dataset, one label each."""
+    labels_by_peer: Dict[PeerID, List[str]] = defaultdict(list)
+    seen: set = set()
+    for row in rows:
+        key = (row.peer, row.ip)
+        if key in seen:
+            continue
+        seen.add(key)
+        labels_by_peer[row.peer].append(property_of_ip(row.ip))
+    counts: Counter = Counter(combine(labels) for labels in labels_by_peer.values())
+    return {label: float(count) for label, count in counts.items()}
+
+
+def a_n_counts(
+    rows: Sequence[CrawlRow],
+    property_of_ip: PropertyFn,
+    combine: CombineFn = majority_vote,
+    num_crawls: Optional[int] = None,
+) -> Dict[str, float]:
+    """Per-crawl peer labels, averaged over all crawls (the paper's A-N).
+
+    ``num_crawls`` defaults to the number of distinct crawl IDs present;
+    pass it explicitly when some crawls contain no rows.
+    """
+    by_crawl: Dict[int, Dict[PeerID, List[str]]] = defaultdict(lambda: defaultdict(list))
+    for row in rows:
+        by_crawl[row.crawl_id][row.peer].append(property_of_ip(row.ip))
+    crawls = num_crawls if num_crawls is not None else len(by_crawl)
+    if crawls == 0:
+        return {}
+    totals: Counter = Counter()
+    for peers in by_crawl.values():
+        totals.update(combine(labels) for labels in peers.values())
+    return {label: count / crawls for label, count in totals.items()}
+
+
+def counts(
+    rows: Sequence[CrawlRow],
+    property_of_ip: PropertyFn,
+    method: CountingMethod,
+    combine: CombineFn = majority_vote,
+    num_crawls: Optional[int] = None,
+) -> Dict[str, float]:
+    """Dispatch to the chosen methodology."""
+    if method is CountingMethod.G_IP:
+        return g_ip_counts(rows, property_of_ip)
+    if method is CountingMethod.G_N:
+        return g_n_counts(rows, property_of_ip, combine)
+    return a_n_counts(rows, property_of_ip, combine, num_crawls)
+
+
+def shares(count_map: Dict[str, float]) -> Dict[str, float]:
+    """Normalize counts to shares (empty map stays empty)."""
+    total = sum(count_map.values())
+    if total <= 0:
+        return {}
+    return {label: value / total for label, value in count_map.items()}
+
+
+# ---------------------------------------------------------------------------
+# Cloud-status combiner (the BOTH label of Fig. 3)
+# ---------------------------------------------------------------------------
+
+CLOUD = "cloud"
+NON_CLOUD = "non-cloud"
+BOTH = "both"
+
+
+def cloud_status_combine(labels: Sequence[str]) -> str:
+    """Peer-level cloud status: any mix of cloud and non-cloud → BOTH."""
+    has_cloud = any(label == CLOUD for label in labels)
+    has_non_cloud = any(label == NON_CLOUD for label in labels)
+    if has_cloud and has_non_cloud:
+        return BOTH
+    return CLOUD if has_cloud else NON_CLOUD
+
+
+# ---------------------------------------------------------------------------
+# Fig. 4: ratio as a function of cumulative crawls
+# ---------------------------------------------------------------------------
+
+
+def cumulative_ratio_series(
+    rows: Sequence[CrawlRow],
+    property_of_ip: PropertyFn,
+    method: CountingMethod,
+    numerator_label: str = CLOUD,
+    denominator_label: str = NON_CLOUD,
+    combine: CombineFn = majority_vote,
+) -> List[Tuple[int, float]]:
+    """``(k, ratio)`` using only the first ``k`` crawls, for each ``k``.
+
+    Under G-IP the ratio drifts as rotating-IP churners accumulate; under
+    A-N it stays flat (paper Fig. 4).
+    """
+    crawl_ids = sorted({row.crawl_id for row in rows})
+    series: List[Tuple[int, float]] = []
+    for index, last_crawl in enumerate(crawl_ids, start=1):
+        subset = [row for row in rows if row.crawl_id <= last_crawl]
+        result = counts(subset, property_of_ip, method, combine, num_crawls=index)
+        denominator = result.get(denominator_label, 0.0)
+        numerator = result.get(numerator_label, 0.0)
+        series.append((index, numerator / denominator if denominator else float("inf")))
+    return series

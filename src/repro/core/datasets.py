@@ -1,0 +1,286 @@
+"""Dataset export and import.
+
+The paper publishes its processing code and datasets; this module gives
+the reproduction the same property.  Crawl datasets, monitor logs and
+provider observations serialize to line-oriented formats (CSV for the
+tabular crawl rows — the Table 1 shape — and JSONL for the richer
+records) and round-trip back into the analysis-facing types.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+from repro.core.counting import CrawlRow
+from repro.core.crawler import CrawlDataset, CrawlObservation, CrawlSnapshot
+from repro.ids.cid import CID
+from repro.ids.multiaddr import Multiaddr
+from repro.ids.peerid import PeerID
+from repro.kademlia.messages import MessageEnvelope, MessageType
+from repro.kademlia.providers import ProviderRecord
+from repro.monitors.bitswap_monitor import BitswapLogEntry
+from repro.monitors.provider_fetcher import ProviderObservation
+
+# ---------------------------------------------------------------------------
+# Crawl datasets (CSV rows + JSONL edges)
+# ---------------------------------------------------------------------------
+
+CRAWL_CSV_HEADER = ("crawl_id", "peer", "ip", "crawlable")
+
+
+def write_crawl_csv(dataset: CrawlDataset, path) -> int:
+    """Write the (crawl, peer, ip) rows; returns rows written."""
+    count = 0
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(CRAWL_CSV_HEADER)
+        for snapshot in dataset.snapshots:
+            for obs in snapshot.observations.values():
+                for ip in obs.ips:
+                    writer.writerow(
+                        (snapshot.crawl_id, obs.peer.to_base58(), ip, int(obs.crawlable))
+                    )
+                    count += 1
+    return count
+
+
+def read_crawl_rows(path) -> List[CrawlRow]:
+    """Read rows back in the shape the counting methodologies consume."""
+    rows: List[CrawlRow] = []
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        for record in reader:
+            rows.append(
+                CrawlRow(
+                    crawl_id=int(record["crawl_id"]),
+                    peer=PeerID.from_base58(record["peer"]),
+                    ip=record["ip"],
+                )
+            )
+    return rows
+
+
+def write_crawl_jsonl(dataset: CrawlDataset, path) -> int:
+    """Full snapshots (observations + edges) as one JSON object per crawl."""
+    with open(path, "w") as handle:
+        for snapshot in dataset.snapshots:
+            payload = {
+                "crawl_id": snapshot.crawl_id,
+                "started_at": snapshot.started_at,
+                "duration": snapshot.duration,
+                "requests_sent": snapshot.requests_sent,
+                "observations": [
+                    {
+                        "peer": obs.peer.to_base58(),
+                        "ips": list(obs.ips),
+                        "crawlable": obs.crawlable,
+                    }
+                    for obs in snapshot.observations.values()
+                ],
+                "edges": {
+                    peer.to_base58(): [n.to_base58() for n in neighbors]
+                    for peer, neighbors in snapshot.edges.items()
+                },
+            }
+            handle.write(json.dumps(payload) + "\n")
+    return len(dataset.snapshots)
+
+
+def read_crawl_jsonl(path) -> CrawlDataset:
+    dataset = CrawlDataset()
+    with open(path) as handle:
+        for line in handle:
+            payload = json.loads(line)
+            snapshot = CrawlSnapshot(
+                crawl_id=payload["crawl_id"],
+                started_at=payload["started_at"],
+                duration=payload["duration"],
+                requests_sent=payload["requests_sent"],
+            )
+            for obs in payload["observations"]:
+                peer = PeerID.from_base58(obs["peer"])
+                snapshot.observations[peer] = CrawlObservation(
+                    peer=peer, ips=tuple(obs["ips"]), crawlable=obs["crawlable"]
+                )
+            for peer_text, neighbors in payload["edges"].items():
+                snapshot.edges[PeerID.from_base58(peer_text)] = tuple(
+                    PeerID.from_base58(n) for n in neighbors
+                )
+            dataset.add(snapshot)
+    return dataset
+
+
+# ---------------------------------------------------------------------------
+# Monitor logs (JSONL)
+# ---------------------------------------------------------------------------
+
+
+def write_hydra_jsonl(log: Iterable[MessageEnvelope], path) -> int:
+    count = 0
+    with open(path, "w") as handle:
+        for entry in log:
+            handle.write(
+                json.dumps(
+                    {
+                        "ts": entry.timestamp,
+                        "sender": entry.sender.to_base58(),
+                        "ip": entry.sender_ip,
+                        "type": entry.message_type.value,
+                        "cid": entry.target_cid.to_base32() if entry.target_cid else None,
+                        "via_relay": entry.via_relay.to_base58() if entry.via_relay else None,
+                    }
+                )
+                + "\n"
+            )
+            count += 1
+    return count
+
+
+def read_hydra_jsonl(path) -> List[MessageEnvelope]:
+    entries: List[MessageEnvelope] = []
+    with open(path) as handle:
+        for line in handle:
+            payload = json.loads(line)
+            entries.append(
+                MessageEnvelope(
+                    timestamp=payload["ts"],
+                    sender=PeerID.from_base58(payload["sender"]),
+                    sender_ip=payload["ip"],
+                    message_type=MessageType(payload["type"]),
+                    target_cid=CID.from_base32(payload["cid"]) if payload["cid"] else None,
+                    via_relay=(
+                        PeerID.from_base58(payload["via_relay"])
+                        if payload["via_relay"]
+                        else None
+                    ),
+                )
+            )
+    return entries
+
+
+def write_bitswap_jsonl(log: Iterable[BitswapLogEntry], path) -> int:
+    count = 0
+    with open(path, "w") as handle:
+        for entry in log:
+            handle.write(
+                json.dumps(
+                    {
+                        "ts": entry.timestamp,
+                        "sender": entry.sender.to_base58(),
+                        "ip": entry.sender_ip,
+                        "cid": entry.cid.to_base32(),
+                    }
+                )
+                + "\n"
+            )
+            count += 1
+    return count
+
+
+def read_bitswap_jsonl(path) -> List[BitswapLogEntry]:
+    entries: List[BitswapLogEntry] = []
+    with open(path) as handle:
+        for line in handle:
+            payload = json.loads(line)
+            entries.append(
+                BitswapLogEntry(
+                    timestamp=payload["ts"],
+                    sender=PeerID.from_base58(payload["sender"]),
+                    sender_ip=payload["ip"],
+                    cid=CID.from_base32(payload["cid"]),
+                )
+            )
+    return entries
+
+
+# ---------------------------------------------------------------------------
+# Provider observations (JSONL)
+# ---------------------------------------------------------------------------
+
+
+def _record_to_json(record: ProviderRecord) -> Dict:
+    return {
+        "provider": record.provider.to_base58(),
+        "addrs": [str(addr) for addr in record.addrs],
+        "published_at": record.published_at,
+    }
+
+
+def _record_from_json(cid: CID, payload: Dict) -> ProviderRecord:
+    return ProviderRecord(
+        cid=cid,
+        provider=PeerID.from_base58(payload["provider"]),
+        addrs=tuple(Multiaddr.parse(text) for text in payload["addrs"]),
+        published_at=payload["published_at"],
+    )
+
+
+def write_provider_observations_jsonl(
+    observations: Iterable[ProviderObservation], path
+) -> int:
+    count = 0
+    with open(path, "w") as handle:
+        for observation in observations:
+            reachable = {record.provider.to_base58() for record in observation.reachable}
+            handle.write(
+                json.dumps(
+                    {
+                        "cid": observation.cid.to_base32(),
+                        "collected_at": observation.collected_at,
+                        "resolvers_queried": observation.resolvers_queried,
+                        "walk_messages": observation.walk_messages,
+                        "records": [_record_to_json(r) for r in observation.records],
+                        "reachable": sorted(reachable),
+                    }
+                )
+                + "\n"
+            )
+            count += 1
+    return count
+
+
+def read_provider_observations_jsonl(path) -> List[ProviderObservation]:
+    observations: List[ProviderObservation] = []
+    with open(path) as handle:
+        for line in handle:
+            payload = json.loads(line)
+            cid = CID.from_base32(payload["cid"])
+            records = tuple(_record_from_json(cid, r) for r in payload["records"])
+            reachable_set = set(payload["reachable"])
+            observations.append(
+                ProviderObservation(
+                    cid=cid,
+                    collected_at=payload["collected_at"],
+                    records=records,
+                    reachable=tuple(
+                        r for r in records if r.provider.to_base58() in reachable_set
+                    ),
+                    resolvers_queried=payload["resolvers_queried"],
+                    walk_messages=payload["walk_messages"],
+                )
+            )
+    return observations
+
+
+def export_campaign(result, directory) -> Dict[str, int]:
+    """Export every campaign dataset into ``directory``.
+
+    Returns counts per artifact, mirroring the paper's published-dataset
+    structure (crawls, Hydra log, Bitswap log, provider records).
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    return {
+        "crawl_rows": write_crawl_csv(result.crawls, directory / "crawls.csv"),
+        "crawl_snapshots": write_crawl_jsonl(result.crawls, directory / "crawls.jsonl"),
+        "hydra_messages": write_hydra_jsonl(result.hydra.log, directory / "hydra.jsonl"),
+        "bitswap_messages": write_bitswap_jsonl(
+            result.bitswap_monitor.log, directory / "bitswap.jsonl"
+        ),
+        "provider_observations": write_provider_observations_jsonl(
+            result.provider_observations, directory / "providers.jsonl"
+        ),
+    }

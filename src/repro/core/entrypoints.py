@@ -1,0 +1,161 @@
+"""Entry-point analyses (paper §7, Figs. 17-20).
+
+* DNSLink: cloud-provider distribution of the A-record IPs behind
+  DNSLink domains, and their overlap with public-gateway IPs (Fig. 17),
+* Gateways: cloud and geo distributions of HTTP-frontend IPs (from
+  passive DNS) versus overlay-node IPs (from the probing campaign)
+  (Figs. 18-19),
+* ENS: cloud and geo distributions of the unique provider IPs behind
+  ENS-referenced CIDs (Fig. 20).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.providers_analysis import ProviderClass, classify_addrs
+from repro.monitors.gateway_probe import GatewayProbeReport
+from repro.monitors.provider_fetcher import ProviderObservation
+from repro.world.clouddb import CloudIPDatabase
+from repro.world.geodb import GeoIPDatabase
+
+NON_CLOUD = "non-cloud"
+
+
+def _provider_distribution(ips: Iterable[str], cloud_db: CloudIPDatabase) -> Dict[str, float]:
+    tallies: Counter = Counter(cloud_db.lookup(ip) or NON_CLOUD for ip in set(ips))
+    total = sum(tallies.values())
+    return {label: count / total for label, count in tallies.items()} if total else {}
+
+
+def _country_distribution(ips: Iterable[str], geo_db: GeoIPDatabase) -> Dict[str, float]:
+    tallies: Counter = Counter(geo_db.lookup(ip) or "??" for ip in set(ips))
+    total = sum(tallies.values())
+    return {label: count / total for label, count in tallies.items()} if total else {}
+
+
+# ---------------------------------------------------------------------------
+# Fig. 17: DNSLink
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DNSLinkReport:
+    num_records: int
+    num_unique_ips: int
+    provider_shares: Dict[str, float]
+    noncloud_share: float
+    #: share of DNSLink IPs that are also public-gateway frontend IPs.
+    public_gateway_ip_share: float
+
+
+def dnslink_report(
+    scan_result,
+    cloud_db: CloudIPDatabase,
+    public_gateway_ips: Set[str],
+) -> DNSLinkReport:
+    """Fig. 17 from an :class:`~repro.dns.scanner.DNSLinkScanResult`."""
+    ips = set(scan_result.all_ips)
+    providers = _provider_distribution(ips, cloud_db)
+    overlap = len(ips & public_gateway_ips) / len(ips) if ips else 0.0
+    return DNSLinkReport(
+        num_records=len(scan_result.dnslink_records),
+        num_unique_ips=len(ips),
+        provider_shares=providers,
+        noncloud_share=providers.get(NON_CLOUD, 0.0),
+        public_gateway_ip_share=overlap,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figs. 18-19: gateway frontends vs overlay nodes
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class GatewaySidesReport:
+    frontend_provider_shares: Dict[str, float]
+    overlay_provider_shares: Dict[str, float]
+    frontend_country_shares: Dict[str, float]
+    overlay_country_shares: Dict[str, float]
+    num_frontend_ips: int
+    num_overlay_ips: int
+    num_functional_endpoints: int
+    num_overlay_ids: int
+
+
+def gateway_sides_report(
+    probe_reports: Dict[str, GatewayProbeReport],
+    frontend_ips: Set[str],
+    cloud_db: CloudIPDatabase,
+    geo_db: GeoIPDatabase,
+) -> GatewaySidesReport:
+    """Figs. 18-19 plus the §3 gateway counts."""
+    overlay_ips: Set[str] = set()
+    overlay_ids = set()
+    functional = 0
+    for report in probe_reports.values():
+        if report.functional:
+            functional += 1
+        overlay_ips.update(report.overlay_ips)
+        overlay_ids.update(report.overlay_ids)
+    return GatewaySidesReport(
+        frontend_provider_shares=_provider_distribution(frontend_ips, cloud_db),
+        overlay_provider_shares=_provider_distribution(overlay_ips, cloud_db),
+        frontend_country_shares=_country_distribution(frontend_ips, geo_db),
+        overlay_country_shares=_country_distribution(overlay_ips, geo_db),
+        num_frontend_ips=len(frontend_ips),
+        num_overlay_ips=len(overlay_ips),
+        num_functional_endpoints=functional,
+        num_overlay_ids=len(overlay_ids),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 20: ENS-referenced content
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ENSProvidersReport:
+    num_cids: int
+    num_provider_records: int
+    num_unique_ips: int
+    provider_shares: Dict[str, float]
+    country_shares: Dict[str, float]
+    cloud_share: float
+    us_de_share: float
+
+
+def ens_providers_report(
+    observations: Sequence[ProviderObservation],
+    cloud_db: CloudIPDatabase,
+    geo_db: GeoIPDatabase,
+    reachable_only: bool = True,
+) -> ENSProvidersReport:
+    """Fig. 20: attribute the unique provider IPs behind ENS CIDs.
+
+    Circuit (relayed) addresses attribute to the relay's IP, matching
+    what an address-level observer sees.
+    """
+    ips: Set[str] = set()
+    record_count = 0
+    for observation in observations:
+        records = observation.reachable if reachable_only else observation.records
+        record_count += len(records)
+        for record in records:
+            for addr in record.addrs:
+                ips.add(addr.ip)
+    providers = _provider_distribution(ips, cloud_db)
+    countries = _country_distribution(ips, geo_db)
+    return ENSProvidersReport(
+        num_cids=len(observations),
+        num_provider_records=record_count,
+        num_unique_ips=len(ips),
+        provider_shares=providers,
+        country_shares=countries,
+        cloud_share=1.0 - providers.get(NON_CLOUD, 0.0),
+        us_de_share=countries.get("US", 0.0) + countries.get("DE", 0.0),
+    )

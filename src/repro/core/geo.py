@@ -1,0 +1,47 @@
+"""Geolocation of crawl datasets (paper §4, Fig. 6).
+
+Countries are attributed per IP with the MaxMind-like database; node-level
+labels use the majority country.  The comparison of methodologies shows
+the paper's point: short-lived rotating IPs in under-represented countries
+inflate their share under G-IP counting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core import counting
+from repro.core.counting import CountingMethod, CrawlRow
+from repro.world.geodb import GeoIPDatabase
+
+UNKNOWN_COUNTRY = "??"
+
+
+def country_property(geo_db: GeoIPDatabase):
+    def prop(ip: str) -> str:
+        return geo_db.lookup(ip) or UNKNOWN_COUNTRY
+
+    return prop
+
+
+def country_shares(
+    rows: Sequence[CrawlRow],
+    geo_db: GeoIPDatabase,
+    method: CountingMethod,
+    num_crawls=None,
+) -> Dict[str, float]:
+    """Fig. 6: share of nodes (or IPs) per country."""
+    return counting.shares(
+        counting.counts(rows, country_property(geo_db), method, num_crawls=num_crawls)
+    )
+
+
+def top_countries(
+    share_map: Dict[str, float], top_n: int = 10
+) -> Tuple[List[Tuple[str, float]], float]:
+    """Ranked top countries plus the share falling outside the top-N
+    (the paper: 13.3 % outside the top 10 under A-N, 22.9 % under G-IP)."""
+    ranked = sorted(share_map.items(), key=lambda item: item[1], reverse=True)
+    top = ranked[:top_n]
+    outside = sum(share for _, share in ranked[top_n:])
+    return top, outside

@@ -1,0 +1,64 @@
+"""Concentration (simplified Pareto) curves.
+
+The paper's Figs. 10, 11 and 15 plot "simplified Pareto charts": actors
+sorted by activity, x = top fraction of actors, y = cumulative share of
+activity they account for.  Shared by the traffic and provider analyses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+
+def pareto_curve(volumes: Dict[Hashable, float], points: int = 100) -> List[Tuple[float, float]]:
+    """``(top fraction of actors, cumulative share of volume)`` samples.
+
+    Actors are ranked by descending volume; the curve is sampled at
+    ``points`` evenly spaced actor fractions (plus the exact end point).
+    """
+    if not volumes:
+        return []
+    ordered = sorted(volumes.values(), reverse=True)
+    total = sum(ordered)
+    if total <= 0:
+        return [(1.0, 0.0)]
+    cumulative = []
+    running = 0.0
+    for value in ordered:
+        running += value
+        cumulative.append(running / total)
+    count = len(ordered)
+    curve: List[Tuple[float, float]] = []
+    for step in range(1, points + 1):
+        index = max(1, round(step / points * count))
+        curve.append((index / count, cumulative[index - 1]))
+    if curve[-1][0] != 1.0:
+        curve.append((1.0, 1.0))
+    return curve
+
+
+def top_share(volumes: Dict[Hashable, float], fraction: float) -> float:
+    """Share of total volume contributed by the top ``fraction`` actors
+    (e.g. the paper's "top 5 % of peer IDs generate 97 % of traffic")."""
+    if not volumes:
+        return 0.0
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    ordered = sorted(volumes.values(), reverse=True)
+    total = sum(ordered)
+    if total <= 0:
+        return 0.0
+    top_count = max(1, round(fraction * len(ordered)))
+    return sum(ordered[:top_count]) / total
+
+
+def gini_coefficient(volumes: Dict[Hashable, float]) -> float:
+    """Gini coefficient of the volume distribution (0 = equal, →1 =
+    fully concentrated); a scalar summary for the ablation benches."""
+    values = sorted(value for value in volumes.values() if value >= 0)
+    count = len(values)
+    total = sum(values)
+    if count == 0 or total == 0:
+        return 0.0
+    weighted = sum(rank * value for rank, value in enumerate(values, start=1))
+    return (2.0 * weighted) / (count * total) - (count + 1.0) / count

@@ -1,0 +1,214 @@
+"""Content-provider analyses (paper §6, Figs. 14-16).
+
+Operates on the exhaustive provider-record observations: provider
+classification (NAT-ed / cloud / non-cloud / hybrid), relay usage of
+NAT-ed providers, provider popularity concentration, and per-CID cloud
+reliance.  Following the paper, unreachable providers are ignored.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.pareto import pareto_curve, top_share
+from repro.ids.peerid import PeerID
+from repro.kademlia.providers import ProviderRecord
+from repro.monitors.provider_fetcher import ProviderObservation
+from repro.world.clouddb import CloudIPDatabase
+
+
+class ProviderClass(enum.Enum):
+    """Fig. 14 peer categories."""
+
+    NAT_ED = "nat-ed"
+    CLOUD = "cloud"
+    NON_CLOUD = "non-cloud"
+    HYBRID = "hybrid"
+
+
+def classify_addrs(records: Iterable[ProviderRecord], cloud_db: CloudIPDatabase) -> ProviderClass:
+    """Classify one provider from all its observed records.
+
+    A provider advertising only circuit addresses is NAT-ed; public-IP
+    providers are cloud / non-cloud / hybrid by their address mix.
+    """
+    saw_direct_cloud = False
+    saw_direct_noncloud = False
+    saw_circuit = False
+    for record in records:
+        for addr in record.addrs:
+            if addr.is_circuit:
+                saw_circuit = True
+            elif cloud_db.is_cloud(addr.ip):
+                saw_direct_cloud = True
+            else:
+                saw_direct_noncloud = True
+    if not (saw_direct_cloud or saw_direct_noncloud):
+        return ProviderClass.NAT_ED
+    if saw_direct_cloud and saw_direct_noncloud:
+        return ProviderClass.HYBRID
+    return ProviderClass.CLOUD if saw_direct_cloud else ProviderClass.NON_CLOUD
+
+
+def _records_by_provider(
+    observations: Sequence[ProviderObservation], reachable_only: bool = True
+) -> Dict[PeerID, List[ProviderRecord]]:
+    by_provider: Dict[PeerID, List[ProviderRecord]] = defaultdict(list)
+    for observation in observations:
+        records = observation.reachable if reachable_only else observation.records
+        for record in records:
+            by_provider[record.provider].append(record)
+    return by_provider
+
+
+# ---------------------------------------------------------------------------
+# Fig. 14: provider classification + relay distribution
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ProviderClassification:
+    class_shares: Dict[str, float]
+    #: share of NAT-ed providers whose relay sits in the cloud (bottom
+    #: panel of Fig. 14).
+    relay_cloud_share: float
+    relay_provider_shares: Dict[str, float] = field(default_factory=dict)
+    total_providers: int = 0
+
+
+def classify_providers(
+    observations: Sequence[ProviderObservation],
+    cloud_db: CloudIPDatabase,
+    reachable_only: bool = True,
+) -> ProviderClassification:
+    by_provider = _records_by_provider(observations, reachable_only)
+    classes: Dict[PeerID, ProviderClass] = {
+        provider: classify_addrs(records, cloud_db)
+        for provider, records in by_provider.items()
+    }
+    total = len(classes)
+    tallies = Counter(cls.value for cls in classes.values())
+    # Relays of NAT-ed providers: the transport IP of a circuit address is
+    # the relay's address.
+    relay_total = 0
+    relay_cloud = 0
+    relay_providers: Counter = Counter()
+    for provider, records in by_provider.items():
+        if classes[provider] is not ProviderClass.NAT_ED:
+            continue
+        relay_ips = {
+            addr.ip for record in records for addr in record.addrs if addr.is_circuit
+        }
+        for ip in relay_ips:
+            relay_total += 1
+            slug = cloud_db.lookup(ip)
+            relay_providers[slug or "non-cloud"] += 1
+            if slug is not None:
+                relay_cloud += 1
+    return ProviderClassification(
+        class_shares={label: count / total for label, count in tallies.items()} if total else {},
+        relay_cloud_share=relay_cloud / relay_total if relay_total else 0.0,
+        relay_provider_shares={
+            label: count / relay_total for label, count in relay_providers.items()
+        }
+        if relay_total
+        else {},
+        total_providers=total,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 15: provider popularity
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ProviderPopularity:
+    curve: List[Tuple[float, float]]
+    top1pct_record_share: float
+    #: share of all (cid, provider) record appearances by provider class.
+    record_shares_by_class: Dict[str, float] = field(default_factory=dict)
+
+
+def provider_popularity(
+    observations: Sequence[ProviderObservation],
+    cloud_db: CloudIPDatabase,
+    reachable_only: bool = True,
+) -> ProviderPopularity:
+    """How often each provider appears across the collected records."""
+    by_provider = _records_by_provider(observations, reachable_only)
+    appearances: Dict[PeerID, float] = {
+        provider: float(len(records)) for provider, records in by_provider.items()
+    }
+    total_appearances = sum(appearances.values())
+    shares_by_class: Counter = Counter()
+    for provider, records in by_provider.items():
+        cls = classify_addrs(records, cloud_db)
+        shares_by_class[cls.value] += len(records)
+    return ProviderPopularity(
+        curve=pareto_curve(appearances),
+        top1pct_record_share=top_share(appearances, 0.01),
+        record_shares_by_class={
+            label: count / total_appearances for label, count in shares_by_class.items()
+        }
+        if total_appearances
+        else {},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 16: per-CID cloud reliance
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CidCloudReliance:
+    """Fig. 16 aggregates; NAT-ed providers count as non-cloud."""
+
+    at_least_one_cloud: float
+    majority_cloud: float
+    cloud_only: float
+    at_least_one_noncloud: float
+    #: CDF points: (cloud-provider share threshold, fraction of CIDs with
+    #: cloud share >= threshold).
+    cloud_share_distribution: List[Tuple[float, float]] = field(default_factory=list)
+    total_cids: int = 0
+
+
+def cid_cloud_reliance(
+    observations: Sequence[ProviderObservation],
+    cloud_db: CloudIPDatabase,
+    reachable_only: bool = True,
+) -> CidCloudReliance:
+    per_cid_cloud_share: List[float] = []
+    for observation in observations:
+        records = observation.reachable if reachable_only else observation.records
+        if not records:
+            continue
+        cloud = 0
+        for record in records:
+            cls = classify_addrs([record], cloud_db)
+            if cls is ProviderClass.CLOUD or cls is ProviderClass.HYBRID:
+                cloud += 1
+        per_cid_cloud_share.append(cloud / len(records))
+    total = len(per_cid_cloud_share)
+    if total == 0:
+        return CidCloudReliance(0.0, 0.0, 0.0, 0.0, [], 0)
+    at_least_one = sum(1 for share in per_cid_cloud_share if share > 0) / total
+    majority = sum(1 for share in per_cid_cloud_share if share >= 0.5) / total
+    cloud_only = sum(1 for share in per_cid_cloud_share if share == 1.0) / total
+    distribution = [
+        (threshold / 10.0, sum(1 for s in per_cid_cloud_share if s >= threshold / 10.0) / total)
+        for threshold in range(0, 11)
+    ]
+    return CidCloudReliance(
+        at_least_one_cloud=at_least_one,
+        majority_cloud=majority,
+        cloud_only=cloud_only,
+        at_least_one_noncloud=1.0 - cloud_only,
+        cloud_share_distribution=distribution,
+        total_cids=total,
+    )

@@ -1,0 +1,134 @@
+"""Node-removal resilience experiments (paper §4, Fig. 8).
+
+Two removal strategies over the undirected snapshot graph: *random*
+(uniform node) and *targeted* (highest current degree).  After each
+removal the share of remaining nodes inside the largest connected
+component is recorded.  Random removal barely dents the network (scale-
+free robustness); targeted removal fully partitions it after ≈60 % of
+nodes are gone.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+
+@dataclass
+class RemovalTrace:
+    """LCC share after each removal step.
+
+    :ivar removed_fraction: x-axis, fraction of original nodes removed.
+    :ivar lcc_share: fraction of *remaining* nodes in the largest
+        component (the paper's y-axis).
+    """
+
+    removed_fraction: List[float] = field(default_factory=list)
+    lcc_share: List[float] = field(default_factory=list)
+
+    def share_at(self, fraction: float) -> float:
+        """LCC share at the removal fraction closest below ``fraction``."""
+        best = 1.0
+        for x, y in zip(self.removed_fraction, self.lcc_share):
+            if x <= fraction:
+                best = y
+            else:
+                break
+        return best
+
+    def partition_point(self, threshold: float = 0.05) -> float:
+        """First removal fraction at which the LCC share drops below
+        ``threshold`` (≈ complete partitioning); 1.0 if never."""
+        for x, y in zip(self.removed_fraction, self.lcc_share):
+            if y < threshold:
+                return x
+        return 1.0
+
+
+def _lcc_share(graph: nx.Graph) -> float:
+    remaining = graph.number_of_nodes()
+    if remaining == 0:
+        return 0.0
+    largest = max((len(c) for c in nx.connected_components(graph)), default=0)
+    return largest / remaining
+
+
+def _run_removal(
+    graph: nx.Graph, order_fn, record_every: int
+) -> RemovalTrace:
+    total = graph.number_of_nodes()
+    trace = RemovalTrace()
+    removed = 0
+    trace.removed_fraction.append(0.0)
+    trace.lcc_share.append(_lcc_share(graph))
+    while graph.number_of_nodes() > 1:
+        victim = order_fn(graph)
+        if victim is None:
+            break
+        graph.remove_node(victim)
+        removed += 1
+        if removed % record_every == 0 or graph.number_of_nodes() <= 1:
+            trace.removed_fraction.append(removed / total)
+            trace.lcc_share.append(_lcc_share(graph))
+    return trace
+
+
+def random_removal(
+    graph: nx.Graph, rng: Optional[random.Random] = None, record_every: Optional[int] = None
+) -> RemovalTrace:
+    """Remove uniformly random nodes until the graph is exhausted."""
+    rng = rng or random.Random(0)
+    work = graph.copy()
+    step = record_every or max(1, work.number_of_nodes() // 100)
+
+    def pick(current: nx.Graph):
+        nodes = list(current.nodes)
+        return rng.choice(nodes) if nodes else None
+
+    return _run_removal(work, pick, step)
+
+
+def targeted_removal(graph: nx.Graph, record_every: Optional[int] = None) -> RemovalTrace:
+    """Repeatedly remove the node with the highest current degree."""
+    work = graph.copy()
+    step = record_every or max(1, work.number_of_nodes() // 100)
+
+    def pick(current: nx.Graph):
+        if current.number_of_nodes() == 0:
+            return None
+        return max(current.degree, key=lambda item: item[1])[0]
+
+    return _run_removal(work, pick, step)
+
+
+def random_removal_with_ci(
+    graph: nx.Graph,
+    repetitions: int = 10,
+    rng: Optional[random.Random] = None,
+    record_every: Optional[int] = None,
+) -> Tuple[List[float], List[float], List[float]]:
+    """The paper's protocol: repeat random removal 10 times and report a
+    95 % confidence interval around the mean LCC share.
+
+    Returns ``(fractions, mean_share, halfwidth_95)`` aligned per step.
+    """
+    rng = rng or random.Random(0)
+    traces = [
+        random_removal(graph, random.Random(rng.randrange(2**32)), record_every)
+        for _ in range(repetitions)
+    ]
+    length = min(len(trace.lcc_share) for trace in traces)
+    fractions = traces[0].removed_fraction[:length]
+    means: List[float] = []
+    halfwidths: List[float] = []
+    for index in range(length):
+        values = [trace.lcc_share[index] for trace in traces]
+        mean = sum(values) / len(values)
+        variance = sum((v - mean) ** 2 for v in values) / max(1, len(values) - 1)
+        std_error = (variance / len(values)) ** 0.5
+        means.append(mean)
+        halfwidths.append(1.96 * std_error)
+    return fractions, means, halfwidths

@@ -1,0 +1,254 @@
+"""Traffic analyses (paper §5, Figs. 9-13).
+
+Operates on the Hydra-booster DHT log and the Bitswap monitor log:
+traffic classification, identifier lifetimes, centralization Pareto
+charts, cloud shares by count and by volume, and platform attribution
+through reverse DNS.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.pareto import pareto_curve, top_share
+from repro.ids.peerid import PeerID
+from repro.kademlia.messages import MessageEnvelope, TrafficClass
+from repro.monitors.bitswap_monitor import BitswapLogEntry
+from repro.netsim.clock import SECONDS_PER_DAY
+from repro.world.clouddb import CloudIPDatabase
+from repro.world.rdns import ReverseDNS
+
+# ---------------------------------------------------------------------------
+# §5 headline: message-class split
+# ---------------------------------------------------------------------------
+
+
+def traffic_class_shares(log: Sequence[MessageEnvelope]) -> Dict[str, float]:
+    """Download / advertisement / other shares of the DHT log."""
+    if not log:
+        return {}
+    tallies = Counter(entry.traffic_class.value for entry in log)
+    total = sum(tallies.values())
+    return {label: count / total for label, count in tallies.items()}
+
+
+# ---------------------------------------------------------------------------
+# Figs. 10-11: centralization Pareto charts
+# ---------------------------------------------------------------------------
+
+
+def peerid_volumes(log: Sequence[MessageEnvelope]) -> Dict[PeerID, float]:
+    volumes: Counter = Counter(entry.sender for entry in log)
+    return dict(volumes)
+
+
+def ip_volumes(log: Sequence[MessageEnvelope]) -> Dict[str, float]:
+    volumes: Counter = Counter(entry.sender_ip for entry in log)
+    return dict(volumes)
+
+
+def bitswap_peerid_volumes(log: Sequence[BitswapLogEntry]) -> Dict[PeerID, float]:
+    return dict(Counter(entry.sender for entry in log))
+
+
+def bitswap_ip_volumes(log: Sequence[BitswapLogEntry]) -> Dict[str, float]:
+    return dict(Counter(entry.sender_ip for entry in log))
+
+
+@dataclass
+class ParetoReport:
+    """One curve of Fig. 10/11 plus its headline aggregates."""
+
+    curve: List[Tuple[float, float]]
+    top5_share: float
+    #: share of total volume from the highlighted subgroup (gateways in
+    #: Fig. 10, cloud IPs in Fig. 11).
+    subgroup_share: float
+
+
+def peerid_pareto(
+    volumes: Dict[PeerID, float], gateway_peers: Set[PeerID]
+) -> ParetoReport:
+    total = sum(volumes.values())
+    gateway_volume = sum(v for peer, v in volumes.items() if peer in gateway_peers)
+    return ParetoReport(
+        curve=pareto_curve(volumes),
+        top5_share=top_share(volumes, 0.05),
+        subgroup_share=gateway_volume / total if total else 0.0,
+    )
+
+
+def ip_pareto(volumes: Dict[str, float], cloud_db: CloudIPDatabase) -> ParetoReport:
+    total = sum(volumes.values())
+    cloud_volume = sum(v for ip, v in volumes.items() if cloud_db.is_cloud(ip))
+    return ParetoReport(
+        curve=pareto_curve(volumes),
+        top5_share=top_share(volumes, 0.05),
+        subgroup_share=cloud_volume / total if total else 0.0,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 9: identifier lifetimes (days seen)
+# ---------------------------------------------------------------------------
+
+
+def _day_of(timestamp: float) -> int:
+    return int(timestamp // SECONDS_PER_DAY)
+
+
+def days_seen_histogram(
+    log: Sequence[MessageEnvelope], identifier: str
+) -> Dict[int, int]:
+    """days-seen → number of identifiers (x-axis of Fig. 9).
+
+    ``identifier`` is one of ``"cid"``, ``"ip"``, ``"peerid"``.
+    """
+    days_by_id: Dict[object, Set[int]] = defaultdict(set)
+    for entry in log:
+        if identifier == "cid":
+            if entry.target_cid is None:
+                continue
+            key = entry.target_cid
+        elif identifier == "ip":
+            key = entry.sender_ip
+        elif identifier == "peerid":
+            key = entry.sender
+        else:
+            raise ValueError(f"unknown identifier kind: {identifier}")
+        days_by_id[key].add(_day_of(entry.timestamp))
+    histogram: Counter = Counter(len(days) for days in days_by_id.values())
+    return dict(histogram)
+
+
+def ip_days_seen_cloud_share(
+    log: Sequence[MessageEnvelope], cloud_db: CloudIPDatabase
+) -> Dict[int, float]:
+    """Cloud share among IPs seen exactly N days — the Fig. 9 overlay
+    showing that long-lived IPs skew cloud."""
+    days_by_ip: Dict[str, Set[int]] = defaultdict(set)
+    for entry in log:
+        days_by_ip[entry.sender_ip].add(_day_of(entry.timestamp))
+    totals: Counter = Counter()
+    cloud: Counter = Counter()
+    for ip, days in days_by_ip.items():
+        bucket = len(days)
+        totals[bucket] += 1
+        if cloud_db.is_cloud(ip):
+            cloud[bucket] += 1
+    return {bucket: cloud[bucket] / totals[bucket] for bucket in totals}
+
+
+# ---------------------------------------------------------------------------
+# Fig. 12: cloud per traffic type, by IP count and by volume
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CloudTrafficReport:
+    """The two panels of Fig. 12 for one traffic subset."""
+
+    cloud_share_by_ip_count: float
+    cloud_share_by_volume: float
+    provider_shares_by_ip_count: Dict[str, float] = field(default_factory=dict)
+    provider_shares_by_volume: Dict[str, float] = field(default_factory=dict)
+
+
+def cloud_traffic_report(
+    log: Sequence[MessageEnvelope],
+    cloud_db: CloudIPDatabase,
+    traffic_class: Optional[TrafficClass] = None,
+) -> CloudTrafficReport:
+    """Cloud and per-provider shares of the (optionally filtered) log."""
+    entries = [e for e in log if traffic_class is None or e.traffic_class is traffic_class]
+    provider_by_ip: Dict[str, str] = {}
+    volume_by_ip: Counter = Counter()
+    for entry in entries:
+        volume_by_ip[entry.sender_ip] += 1
+        if entry.sender_ip not in provider_by_ip:
+            provider_by_ip[entry.sender_ip] = cloud_db.lookup(entry.sender_ip) or "non-cloud"
+    total_ips = len(provider_by_ip)
+    total_volume = sum(volume_by_ip.values())
+    if total_ips == 0:
+        return CloudTrafficReport(0.0, 0.0)
+    by_count: Counter = Counter(provider_by_ip.values())
+    by_volume: Counter = Counter()
+    for ip, volume in volume_by_ip.items():
+        by_volume[provider_by_ip[ip]] += volume
+    return CloudTrafficReport(
+        cloud_share_by_ip_count=1.0 - by_count["non-cloud"] / total_ips,
+        cloud_share_by_volume=1.0 - by_volume["non-cloud"] / total_volume,
+        provider_shares_by_ip_count={
+            provider: count / total_ips for provider, count in by_count.items()
+        },
+        provider_shares_by_volume={
+            provider: volume / total_volume for provider, volume in by_volume.items()
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 13: platform attribution via reverse DNS
+# ---------------------------------------------------------------------------
+
+#: rDNS suffix → platform label, in match order.
+PLATFORM_SUFFIXES: Tuple[Tuple[str, str], ...] = (
+    ("web3.storage", "web3-storage"),
+    ("nft.storage", "nft-storage"),
+    ("pinata.cloud", "pinata"),
+    ("filebase.com", "filebase"),
+    ("ipfs-bank.io", "ipfs-bank"),
+    ("amazonaws.com", "amazon-aws-other"),
+)
+
+
+def attribute_platform(
+    ip: str,
+    sender: Optional[PeerID],
+    rdns: ReverseDNS,
+    hydra_peers: Set[PeerID],
+) -> str:
+    """The paper's §5 attribution: Hydra peer IDs first, then reverse DNS."""
+    if sender is not None and sender in hydra_peers:
+        return "hydra"
+    hostname = rdns.lookup(ip)
+    if hostname is None:
+        return "other"
+    for suffix, label in PLATFORM_SUFFIXES:
+        if hostname.endswith(suffix):
+            return label
+    return "other"
+
+
+def platform_traffic_shares(
+    log: Sequence[MessageEnvelope],
+    rdns: ReverseDNS,
+    hydra_peers: Set[PeerID],
+    traffic_class: Optional[TrafficClass] = None,
+) -> Dict[str, float]:
+    """Share of (class-filtered) DHT traffic per platform."""
+    entries = [e for e in log if traffic_class is None or e.traffic_class is traffic_class]
+    if not entries:
+        return {}
+    tallies: Counter = Counter(
+        attribute_platform(entry.sender_ip, entry.sender, rdns, hydra_peers)
+        for entry in entries
+    )
+    total = sum(tallies.values())
+    return {label: count / total for label, count in tallies.items()}
+
+
+def bitswap_platform_shares(
+    log: Sequence[BitswapLogEntry], rdns: ReverseDNS, hydra_peers: Set[PeerID]
+) -> Dict[str, float]:
+    """Platform shares of the Bitswap monitor traffic."""
+    if not log:
+        return {}
+    tallies: Counter = Counter(
+        attribute_platform(entry.sender_ip, entry.sender, rdns, hydra_peers)
+        for entry in log
+    )
+    total = sum(tallies.values())
+    return {label: count / total for label, count in tallies.items()}

@@ -1,0 +1,32 @@
+"""The DNS substrate and the paper's active/passive DNS measurements.
+
+DNSLink associates domain names with IPFS content via ``_dnslink`` TXT
+records; the domain's A/CNAME/ALIAS records must point at a gateway or
+proxy for the content to be web-reachable (paper §2).  The paper scans
+286 M root domains for DNSLink entries and complements the view with
+passive DNS data (§3).
+
+* :mod:`repro.dns.records` — resource records and zones,
+* :mod:`repro.dns.resolver` — recursive resolution (CNAME/ALIAS chains),
+* :mod:`repro.dns.scanner` — the zdns-like active scanning pipeline,
+* :mod:`repro.dns.passive` — the SIE-like passive DNS feed,
+* :mod:`repro.dns.seeding` — populating the synthetic namespace with
+  DNSLink adopters.
+"""
+
+from repro.dns.records import DNSLINK_PREFIX, RRType, ResourceRecord, Zone, ZoneRegistry
+from repro.dns.resolver import Resolver
+from repro.dns.scanner import ActiveScanner, DNSLinkScanResult
+from repro.dns.passive import PassiveDNSFeed
+
+__all__ = [
+    "ActiveScanner",
+    "DNSLINK_PREFIX",
+    "DNSLinkScanResult",
+    "PassiveDNSFeed",
+    "RRType",
+    "Resolver",
+    "ResourceRecord",
+    "Zone",
+    "ZoneRegistry",
+]

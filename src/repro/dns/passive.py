@@ -1,0 +1,61 @@
+"""A passive DNS feed (SIE-Europe stand-in).
+
+Active A-record scans see one answer per vantage point, but gateway
+operators serve geo-dependent answers; passive DNS aggregates resolutions
+observed across many sensors over time (paper §3 uses one month of SIE
+data to enumerate all IPs behind the public gateway domains).
+
+The feed accumulates (name, type, value) observations with counts; the
+simulation seeds it from gateway usage with a configurable European
+sensor bias (the paper notes its Germany vantage inflates NL frontends).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.dns.records import RRType
+
+
+@dataclass(frozen=True)
+class PassiveObservation:
+    name: str
+    rrtype: RRType
+    value: str
+
+
+class PassiveDNSFeed:
+    """Aggregated observations from the sensor network."""
+
+    def __init__(self) -> None:
+        self._counts: Counter = Counter()
+
+    def observe(self, name: str, rrtype: RRType, value: str, count: int = 1) -> None:
+        self._counts[PassiveObservation(name.lower().rstrip("."), rrtype, value)] += count
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def observations(self) -> List[Tuple[PassiveObservation, int]]:
+        return list(self._counts.items())
+
+    def values_for(self, name: str, rrtype: RRType) -> Set[str]:
+        """All distinct values observed for one (name, type)."""
+        name = name.lower().rstrip(".")
+        return {
+            observation.value
+            for observation, _ in self._counts.items()
+            if observation.name == name and observation.rrtype == rrtype
+        }
+
+    def ips_for_domains(self, domains: Iterable[str]) -> Set[str]:
+        """Every IP observed for any of ``domains`` — the paper's method
+        of enumerating gateway frontend addresses."""
+        wanted = {domain.lower().rstrip(".") for domain in domains}
+        return {
+            observation.value
+            for observation, _ in self._counts.items()
+            if observation.rrtype is RRType.A and observation.name in wanted
+        }

@@ -1,0 +1,116 @@
+"""DNS resource records and zone storage.
+
+Supports the record types the paper's DNSLink measurements touch: SOA
+(registered-domain detection), TXT (``dnslink=`` entries per RFC 1464),
+A (gateway/proxy addresses), CNAME and ALIAS (pointing domains at public
+gateways).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: The dedicated label DNSLink records live under.
+DNSLINK_PREFIX = "_dnslink"
+
+
+class RRType(enum.Enum):
+    SOA = "SOA"
+    A = "A"
+    CNAME = "CNAME"
+    ALIAS = "ALIAS"
+    TXT = "TXT"
+
+
+@dataclass(frozen=True)
+class ResourceRecord:
+    """One DNS resource record."""
+
+    name: str
+    rrtype: RRType
+    value: str
+    ttl: int = 3600
+
+
+def make_dnslink_txt(name: str, target: str, kind: str = "ipfs") -> ResourceRecord:
+    """A well-formed DNSLink TXT record.
+
+    ``kind`` is ``"ipfs"`` (immutable CID) or ``"ipns"`` (key hash):
+    ``dnslink=/ipfs/<CID>`` or ``dnslink=/ipns/<hash>`` (paper §2).
+    """
+    if kind not in ("ipfs", "ipns"):
+        raise ValueError("DNSLink kind must be 'ipfs' or 'ipns'")
+    return ResourceRecord(
+        name=f"{DNSLINK_PREFIX}.{name}", rrtype=RRType.TXT, value=f"dnslink=/{kind}/{target}"
+    )
+
+
+def parse_dnslink_txt(value: str) -> Optional[tuple]:
+    """Parse a TXT value; returns ``(kind, target)`` or ``None`` when the
+    record is not a properly formatted DNSLink entry."""
+    if not value.startswith("dnslink="):
+        return None
+    path = value[len("dnslink=") :]
+    parts = path.split("/")
+    if len(parts) != 3 or parts[0] != "" or parts[1] not in ("ipfs", "ipns") or not parts[2]:
+        return None
+    return parts[1], parts[2]
+
+
+class Zone:
+    """All records under one registered domain."""
+
+    def __init__(self, domain: str) -> None:
+        self.domain = domain
+        self._records: Dict[tuple, List[ResourceRecord]] = {}
+        # Every registered domain answers SOA (that is how the scanner
+        # distinguishes registered names from NXDOMAIN).
+        self.add(ResourceRecord(domain, RRType.SOA, f"ns1.{domain}. hostmaster.{domain}."))
+
+    def add(self, record: ResourceRecord) -> None:
+        if not (record.name == self.domain or record.name.endswith("." + self.domain)):
+            raise ValueError(f"record {record.name} does not belong to zone {self.domain}")
+        self._records.setdefault((record.name, record.rrtype), []).append(record)
+
+    def lookup(self, name: str, rrtype: RRType) -> List[ResourceRecord]:
+        return list(self._records.get((name, rrtype), []))
+
+    def names(self) -> List[str]:
+        return sorted({name for name, _ in self._records})
+
+
+class ZoneRegistry:
+    """The registry of every zone in the synthetic namespace."""
+
+    def __init__(self) -> None:
+        self._zones: Dict[str, Zone] = {}
+
+    def __len__(self) -> int:
+        return len(self._zones)
+
+    def create_zone(self, domain: str) -> Zone:
+        if domain in self._zones:
+            return self._zones[domain]
+        zone = Zone(domain)
+        self._zones[domain] = zone
+        return zone
+
+    def zone_for(self, name: str) -> Optional[Zone]:
+        """The zone owning ``name`` (longest registered suffix match)."""
+        labels = name.split(".")
+        for start in range(len(labels)):
+            candidate = ".".join(labels[start:])
+            if candidate in self._zones:
+                return self._zones[candidate]
+        return None
+
+    def lookup(self, name: str, rrtype: RRType) -> List[ResourceRecord]:
+        zone = self.zone_for(name)
+        if zone is None:
+            return []
+        return zone.lookup(name, rrtype)
+
+    def domains(self) -> List[str]:
+        return sorted(self._zones)

@@ -1,0 +1,60 @@
+"""Recursive DNS resolution over the zone registry.
+
+Follows CNAME and ALIAS chains to terminal values, the way the paper's
+pipeline resolves a DNSLink domain down to the IP address of the gateway
+or proxy serving it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.dns.records import RRType, ResourceRecord, ZoneRegistry
+
+MAX_CHAIN = 8
+
+
+class ResolutionError(Exception):
+    """A CNAME/ALIAS loop or over-long chain."""
+
+
+class Resolver:
+    """A caching-free recursive resolver (Cloudflare-Public-DNS stand-in)."""
+
+    def __init__(self, registry: ZoneRegistry) -> None:
+        self.registry = registry
+
+    def query(self, name: str, rrtype: RRType) -> List[ResourceRecord]:
+        """Direct lookup without chain following."""
+        return self.registry.lookup(name, rrtype)
+
+    def resolve_a(self, name: str) -> List[str]:
+        """All IPv4 addresses ``name`` ultimately resolves to.
+
+        Follows CNAME and ALIAS indirection; raises
+        :class:`ResolutionError` on loops.
+        """
+        current = name
+        seen: Set[str] = set()
+        for _ in range(MAX_CHAIN):
+            if current in seen:
+                raise ResolutionError(f"CNAME/ALIAS loop at {current}")
+            seen.add(current)
+            a_records = self.registry.lookup(current, RRType.A)
+            if a_records:
+                return [record.value for record in a_records]
+            pointers = self.registry.lookup(current, RRType.CNAME) + self.registry.lookup(
+                current, RRType.ALIAS
+            )
+            if not pointers:
+                return []
+            current = pointers[0].value.rstrip(".")
+        raise ResolutionError(f"chain too long starting at {name}")
+
+    def soa_exists(self, domain: str) -> bool:
+        """Registered-domain check (non-NXDOMAIN SOA), as in the paper's
+        zdns pre-filter."""
+        return bool(self.registry.lookup(domain, RRType.SOA))
+
+    def txt(self, name: str) -> List[str]:
+        return [record.value for record in self.registry.lookup(name, RRType.TXT)]

@@ -1,0 +1,212 @@
+"""Populating the synthetic DNS namespace.
+
+Creates the background population of registered domains, the gateway
+operators' own zones (A records on their frontend IPs), and the DNSLink
+adopters.  Adopter wiring follows the paper's Fig. 17 structure:
+
+* some point their domain at a *public gateway* (ALIAS/CNAME to e.g.
+  ``cloudflare-ipfs.com``) — their IPs coincide with gateway frontends,
+* many sit behind Cloudflare's reverse proxy with their own origin,
+* others run their own proxy VM at a cloud provider,
+* a minority self-host a proxy on non-cloud addresses.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dns.passive import PassiveDNSFeed
+from repro.dns.records import RRType, ResourceRecord, ZoneRegistry, make_dnslink_txt
+from repro.dns.resolver import Resolver
+from repro.gateway.operators import GatewayOperator, default_operators, frontend_ips
+from repro.ids.cid import CID
+from repro.world.ipspace import format_ip
+from repro.world.population import World
+
+_TLDS = ("com", "org", "net", "io", "xyz", "dev", "app", "se", "ch", "de", "info")
+
+_WORDS = (
+    "alpha", "nova", "pixel", "lumen", "terra", "vega", "orbit", "quanta",
+    "mistral", "zephyr", "atlas", "ember", "fjord", "glade", "harbor",
+    "iris", "juno", "krypton", "lyra", "meadow", "nimbus", "onyx",
+)
+
+
+@dataclass
+class DNSLinkSeedConfig:
+    """Adopter mix (shares sum to 1) and campaign sizes."""
+
+    background_domains: int = 8000
+    dnslink_domains: int = 400
+    ipns_share: float = 0.2
+    share_public_gateway: float = 0.17
+    share_cloudflare_proxied: float = 0.37
+    share_cloud_proxy: float = 0.26
+    share_noncloud: float = 0.20
+    cloud_proxy_providers: Tuple[Tuple[str, float], ...] = (
+        ("amazon-aws", 0.30),
+        ("digital-ocean", 0.22),
+        ("hetzner", 0.18),
+        ("vultr", 0.16),
+        ("google-cloud", 0.14),
+    )
+    noncloud_countries: Tuple[Tuple[str, float], ...] = (
+        ("US", 0.3), ("DE", 0.25), ("FR", 0.15), ("GB", 0.1),
+        ("SE", 0.08), ("NL", 0.07), ("PL", 0.05),
+    )
+
+
+@dataclass
+class DNSWorld:
+    """Everything the DNS measurements run against."""
+
+    registry: ZoneRegistry
+    resolver: Resolver
+    passive: PassiveDNSFeed
+    operators: List[GatewayOperator]
+    frontend_ips_by_operator: Dict[str, List[str]]
+    dnslink_domains: List[str]
+    scan_input: List[str]
+
+    def gateway_domains(self) -> List[str]:
+        return [operator.domain for operator in self.operators]
+
+    def all_frontend_ips(self) -> List[str]:
+        ips: List[str] = []
+        for addresses in self.frontend_ips_by_operator.values():
+            ips.extend(addresses)
+        return ips
+
+
+def _domain_name(rng: random.Random, used: set) -> str:
+    while True:
+        name = (
+            f"{rng.choice(_WORDS)}-{rng.choice(_WORDS)}{rng.randrange(1000)}."
+            f"{rng.choice(_TLDS)}"
+        )
+        if name not in used:
+            used.add(name)
+            return name
+
+
+def seed_dns_world(
+    world: World,
+    operators: Optional[List[GatewayOperator]] = None,
+    config: Optional[DNSLinkSeedConfig] = None,
+    rng: Optional[random.Random] = None,
+) -> DNSWorld:
+    """Build the namespace, gateway zones, adopters and passive feed."""
+    operators = operators if operators is not None else default_operators()
+    config = config or DNSLinkSeedConfig()
+    rng = rng or random.Random(world.profile.seed + 8)
+    registry = ZoneRegistry()
+    passive = PassiveDNSFeed()
+    used: set = set()
+
+    # Gateway operators' own zones and frontend addresses.
+    frontends: Dict[str, List[str]] = {}
+    for operator in operators:
+        zone = registry.create_zone(operator.domain)
+        addresses = [format_ip(ip) for ip in frontend_ips(world, operator, rng)]
+        frontends[operator.name] = addresses
+        for address in addresses:
+            zone.add(ResourceRecord(operator.domain, RRType.A, address))
+            # Passive sensors across Europe observe every frontend over a
+            # month of traffic (multiplicity irrelevant to the IP sets).
+            passive.observe(operator.domain, RRType.A, address, count=rng.randrange(5, 200))
+
+    # Background population of registered, DNSLink-free domains.
+    scan_input: List[str] = []
+    for _ in range(config.background_domains):
+        domain = _domain_name(rng, used)
+        registry.create_zone(domain)
+        scan_input.append(domain)
+
+    # DNSLink adopters.
+    shares = (
+        ("public_gateway", config.share_public_gateway),
+        ("cloudflare_proxied", config.share_cloudflare_proxied),
+        ("cloud_proxy", config.share_cloud_proxy),
+        ("noncloud", config.share_noncloud),
+    )
+    kinds = [kind for kind, _ in shares]
+    weights = [weight for _, weight in shares]
+    cloudflare_ops = [op for op in operators if op.provider == "cloudflare"]
+    dnslink_domains: List[str] = []
+    for _ in range(config.dnslink_domains):
+        domain = _domain_name(rng, used)
+        zone = registry.create_zone(domain)
+        dnslink_domains.append(domain)
+        scan_input.append(domain)
+        kind = "ipns" if rng.random() < config.ipns_share else "ipfs"
+        target = CID.generate(rng).to_base32() if kind == "ipfs" else f"k51{rng.randrange(10**12)}"
+        zone.add(make_dnslink_txt(domain, target, kind))
+        wiring = rng.choices(kinds, weights=weights, k=1)[0]
+        if wiring == "public_gateway":
+            operator = rng.choice(operators)
+            record_type = RRType.ALIAS if rng.random() < 0.5 else RRType.CNAME
+            zone.add(ResourceRecord(domain, record_type, operator.domain + "."))
+        elif wiring == "cloudflare_proxied":
+            operator = rng.choice(cloudflare_ops)
+            block = world.blocks_by_org_country.get(("gateway:" + operator.name, "US"))
+            if block is None:
+                from repro.gateway.operators import _gateway_block
+
+                block = _gateway_block(world, operator, "US")
+            address = format_ip(world.allocator.next_address(block))
+            zone.add(ResourceRecord(domain, RRType.A, address))
+        elif wiring == "cloud_proxy":
+            providers = [provider for provider, _ in config.cloud_proxy_providers]
+            provider_weights = [weight for _, weight in config.cloud_proxy_providers]
+            provider = rng.choices(providers, weights=provider_weights, k=1)[0]
+            block = _provider_block(world, provider, rng)
+            address = format_ip(world.allocator.next_address(block))
+            zone.add(ResourceRecord(domain, RRType.A, address))
+        else:  # noncloud self-hosted proxy
+            countries = [country for country, _ in config.noncloud_countries]
+            country_weights = [weight for _, weight in config.noncloud_countries]
+            country = rng.choices(countries, weights=country_weights, k=1)[0]
+            key = (f"isp-{country.lower()}", country)
+            if key not in world.blocks_by_org_country:
+                world.blocks_by_org_country[key] = world.allocator.allocate_block(
+                    key[0], country, is_cloud=False, prefix_len=14
+                )
+            address = format_ip(world.allocator.next_address(world.blocks_by_org_country[key]))
+            zone.add(ResourceRecord(domain, RRType.A, address))
+
+    # Noise: some subdomain names in the scan input exercise root-domain
+    # reduction, mirroring the paper's CT-log-derived candidates.
+    for domain in rng.sample(scan_input, min(500, len(scan_input))):
+        scan_input.append(f"www.{domain}")
+
+    from repro.gateway.operators import _rebuild_databases
+
+    _rebuild_databases(world)
+    return DNSWorld(
+        registry=registry,
+        resolver=Resolver(registry),
+        passive=passive,
+        operators=operators,
+        frontend_ips_by_operator=frontends,
+        dnslink_domains=dnslink_domains,
+        scan_input=scan_input,
+    )
+
+
+def _provider_block(world: World, provider: str, rng: random.Random):
+    """Any block of a cloud provider (allocate a generic US one if none)."""
+    candidates = [
+        block
+        for (org, _), block in world.blocks_by_org_country.items()
+        if org == provider or (org.startswith(("gateway:", "platform:")) and block.organisation == provider)
+    ]
+    candidates.extend(
+        block for block in world.allocator.blocks if block.organisation == provider
+    )
+    if candidates:
+        return rng.choice(candidates)
+    block = world.allocator.allocate_block(provider, "US", is_cloud=True, prefix_len=18)
+    world.blocks_by_org_country[(provider, "US")] = block
+    return block

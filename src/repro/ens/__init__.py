@@ -1,0 +1,28 @@
+"""The Ethereum Name Service substrate and its measurement.
+
+ENS maps human-readable names to values (such as IPFS CIDs) via smart
+contracts on Ethereum (paper §2).  The paper compiles 16 resolver
+contracts, traverses their full event logs through the Etherscan API,
+filters ``setContenthash`` calls (EIP-1577), keeps ``ipfs-ns`` records
+and resolves each CID's providers (§3, Fig. 20).
+
+* :mod:`repro.ens.chain` — an event-log blockchain model,
+* :mod:`repro.ens.contracts` — registry, registrar and resolver
+  contracts emitting the events,
+* :mod:`repro.ens.scraper` — the Etherscan-style extraction pipeline,
+* :mod:`repro.ens.seeding` — populating the name space.
+"""
+
+from repro.ens.chain import Chain, LogEvent
+from repro.ens.contracts import ENSRegistry, EthRegistrar, PublicResolver, namehash
+from repro.ens.scraper import ENSContenthashScraper
+
+__all__ = [
+    "Chain",
+    "ENSContenthashScraper",
+    "ENSRegistry",
+    "EthRegistrar",
+    "LogEvent",
+    "PublicResolver",
+    "namehash",
+]

@@ -1,0 +1,101 @@
+"""A minimal event-log blockchain.
+
+Contracts append :class:`LogEvent` records; consumers read them back
+through a paginated, Etherscan-like query API.  Consensus, gas and state
+proofs are irrelevant to the paper's measurement (it only walks event
+logs), so the chain is a strictly ordered append-only log with block
+numbering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class LogEvent:
+    """One emitted contract event."""
+
+    address: str                 # emitting contract
+    event: str                   # event name (topic0 stand-in)
+    topics: Tuple[str, ...]      # indexed arguments
+    data: Dict[str, object]      # non-indexed arguments
+    block_number: int
+    log_index: int
+
+
+class Chain:
+    """Append-only ordered event log with block numbering."""
+
+    BLOCK_TIME = 12.0  # seconds per block, for timestamp mapping
+
+    def __init__(self, genesis_block: int = 16_000_000) -> None:
+        self.genesis_block = genesis_block
+        self._events: List[LogEvent] = []
+        self._current_block = genesis_block
+        self._logs_in_block = 0
+
+    @property
+    def current_block(self) -> int:
+        return self._current_block
+
+    def mine(self, blocks: int = 1) -> int:
+        """Advance the chain by ``blocks`` empty blocks."""
+        if blocks < 0:
+            raise ValueError("cannot mine a negative number of blocks")
+        self._current_block += blocks
+        self._logs_in_block = 0
+        return self._current_block
+
+    def emit(self, address: str, event: str, topics: Tuple[str, ...], data: Dict[str, object]) -> LogEvent:
+        log = LogEvent(
+            address=address,
+            event=event,
+            topics=topics,
+            data=dict(data),
+            block_number=self._current_block,
+            log_index=self._logs_in_block,
+        )
+        self._events.append(log)
+        self._logs_in_block += 1
+        return log
+
+    # -- the Etherscan-like read API ------------------------------------------
+
+    def get_logs(
+        self,
+        address: Optional[str] = None,
+        event: Optional[str] = None,
+        from_block: int = 0,
+        to_block: Optional[int] = None,
+        page: int = 1,
+        page_size: int = 1000,
+    ) -> List[LogEvent]:
+        """Paginated event-log query, newest pages last."""
+        if page < 1:
+            raise ValueError("pages are 1-indexed")
+        to_block = to_block if to_block is not None else self._current_block
+        matches = [
+            log
+            for log in self._events
+            if (address is None or log.address == address)
+            and (event is None or log.event == event)
+            and from_block <= log.block_number <= to_block
+        ]
+        start = (page - 1) * page_size
+        return matches[start : start + page_size]
+
+    def iter_all_logs(self, address: str, event: Optional[str] = None, page_size: int = 1000):
+        """Traverse the *full* history of a contract's logs, page by page —
+        the paper's extraction loop."""
+        page = 1
+        while True:
+            batch = self.get_logs(address=address, event=event, page=page, page_size=page_size)
+            if not batch:
+                return
+            yield from batch
+            page += 1
+
+    def __len__(self) -> int:
+        return len(self._events)

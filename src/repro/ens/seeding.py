@@ -1,0 +1,122 @@
+"""Populating ENS with names and ipfs-ns contenthash records.
+
+The referenced CIDs are drawn from the content the simulated network
+actually hosts — mostly platform-pinned content plus some user-published
+items — so the Fig. 20 pipeline (scrape → resolve providers → attribute)
+measures real provider records.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.content.catalog import ContentCatalog, ContentItem
+from repro.ens.chain import Chain
+from repro.ens.contracts import Contenthash, ENSRegistry, EthRegistrar, PublicResolver
+from repro.ids.cid import CID
+
+_LABEL_WORDS = (
+    "vitalik", "degen", "wagmi", "mirror", "zora", "punk", "loot",
+    "meta", "dao", "defi", "mint", "vault", "oracle", "stark",
+)
+
+
+@dataclass
+class ENSSeedConfig:
+    """How many names to register and where their content lives."""
+
+    num_names: int = 600
+    num_resolvers: int = 16
+    #: Shares of contenthash targets by hosting category.  Persistent user
+    #: content (websites kept alive by their publishers' daily re-provides)
+    #: is supplied by the caller; ephemeral user content mostly rots away
+    #: before resolution, as do dead CIDs.
+    share_platform_content: float = 0.42
+    share_persistent_user: float = 0.38
+    share_ephemeral_user: float = 0.10
+    share_dead_cids: float = 0.10
+    #: Some owners update their contenthash several times; only the last
+    #: value counts (the scraper keeps the latest per node).
+    update_prob: float = 0.25
+
+
+@dataclass
+class ENSWorld:
+    chain: Chain
+    registry: ENSRegistry
+    registrar: EthRegistrar
+    resolvers: List[PublicResolver]
+    names: List[Tuple[str, str]]  # (label, node)
+
+
+def seed_ens_world(
+    catalog: ContentCatalog,
+    config: Optional[ENSSeedConfig] = None,
+    rng: Optional[random.Random] = None,
+    persistent_items: Optional[List[ContentItem]] = None,
+) -> ENSWorld:
+    """Build the chain, contracts and name records.
+
+    :param persistent_items: long-lived user-published content (ENS
+        websites); supplied by the campaign, which also keeps the items
+        provided on the overlay.
+    """
+    config = config or ENSSeedConfig()
+    rng = rng or random.Random(0xE45)
+    chain = Chain()
+    registry = ENSRegistry(chain)
+    registrar = EthRegistrar(registry, chain)
+    resolvers = [
+        PublicResolver(chain, registry, address=f"0xresolver{index:02d}")
+        for index in range(config.num_resolvers)
+    ]
+
+    platform_items = [item for item in catalog.items if isinstance(item.publisher, str)]
+    user_items = [item for item in catalog.items if not isinstance(item.publisher, str)]
+    persistent_items = persistent_items or []
+
+    def pick_target() -> str:
+        roll = rng.random()
+        if roll < config.share_platform_content and platform_items:
+            return rng.choice(platform_items).cid.to_base32()
+        roll -= config.share_platform_content
+        if roll < config.share_persistent_user and persistent_items:
+            return rng.choice(persistent_items).cid.to_base32()
+        roll -= config.share_persistent_user
+        if roll < config.share_ephemeral_user and user_items:
+            return rng.choice(user_items).cid.to_base32()
+        # Dead content: a CID nobody provides (stale website, rotted NFT).
+        return CID.generate(rng).to_base32()
+
+    names: List[Tuple[str, str]] = []
+    used_labels: set = set()
+    for index in range(config.num_names):
+        label = f"{rng.choice(_LABEL_WORDS)}{index}"
+        if label in used_labels:
+            continue
+        used_labels.add(label)
+        owner = f"0x{rng.getrandbits(160):040x}"
+        node = registrar.register(label, owner)
+        resolver = rng.choice(resolvers)
+        registry.set_resolver(node, resolver.address, caller=owner)
+        chain.mine(rng.randrange(1, 50))
+        resolver.set_contenthash(node, Contenthash("ipfs-ns", pick_target()), caller=owner)
+        while rng.random() < config.update_prob:
+            chain.mine(rng.randrange(1, 500))
+            resolver.set_contenthash(node, Contenthash("ipfs-ns", pick_target()), caller=owner)
+        names.append((label, node))
+    # A sprinkle of non-IPFS contenthashes the scraper must filter out.
+    for index in range(config.num_names // 20):
+        label = f"swarmsite{index}"
+        owner = f"0x{rng.getrandbits(160):040x}"
+        node = registrar.register(label, owner)
+        resolver = rng.choice(resolvers)
+        registry.set_resolver(node, resolver.address, caller=owner)
+        resolver.set_contenthash(
+            node, Contenthash("swarm-ns", f"{rng.getrandbits(256):064x}"), caller=owner
+        )
+    return ENSWorld(
+        chain=chain, registry=registry, registrar=registrar, resolvers=resolvers, names=names
+    )

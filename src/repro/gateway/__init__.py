@@ -1,0 +1,32 @@
+"""HTTP gateways — the bridge between the web and IPFS.
+
+Gateways translate HTTP GET requests into IPFS content retrievals
+(paper §2).  Large operators (most prominently Cloudflare) run pools of
+IPFS nodes behind reverse-proxied HTTP frontends; the paper identifies
+22 functional gateways out of 83 listed endpoints, with 119 distinct
+overlay IDs behind them (§3).
+
+* :mod:`repro.gateway.operators` — gateway operators, their hosting and
+  their frontend/overlay footprint,
+* :mod:`repro.gateway.registry` — the public gateway list + checker,
+* :mod:`repro.gateway.service` — the HTTP-side behaviour (cache, fetch,
+  re-provide) used by the gateway prober and the examples.
+"""
+
+from repro.gateway.operators import GatewayOperator, default_operators, install_gateway_specs
+from repro.gateway.registry import PublicGatewayRegistry
+from repro.gateway.selection import GatewaySelector, SelectionPolicy
+from repro.gateway.service import GatewayService
+from repro.gateway.web import WebClient, WebFetchResult
+
+__all__ = [
+    "GatewayOperator",
+    "GatewaySelector",
+    "GatewayService",
+    "PublicGatewayRegistry",
+    "SelectionPolicy",
+    "WebClient",
+    "WebFetchResult",
+    "default_operators",
+    "install_gateway_specs",
+]

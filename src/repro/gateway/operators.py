@@ -1,0 +1,265 @@
+"""Gateway operators and their footprint in the synthetic world.
+
+Each operator contributes:
+
+* HTTP *frontend* IPs — what the gateway domains' A records resolve to
+  (Cloudflare fronts dominate, §7/Fig. 18),
+* *overlay* nodes — the IPFS nodes issuing requests into the network
+  (Cloudflare reverse-proxies even these through its own address space),
+* a public domain, listed (functional or not) in the public gateway list.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.world.ipspace import IPBlock
+from repro.world.population import NodeClass, NodeSpec, World
+
+
+@dataclass(frozen=True)
+class GatewayOperator:
+    """One gateway operator.
+
+    :ivar name: operator slug (doubles as the platform tag of its nodes).
+    :ivar domain: public HTTP endpoint.
+    :ivar provider: hosting organisation; ``None`` means self-hosted
+        non-cloud (the commendable fringe the paper notes in §7).
+    :ivar frontend_countries: weighted countries of the HTTP frontends.
+    :ivar overlay_countries: weighted countries of the overlay nodes.
+    :ivar num_frontend_ips: distinct A-record IPs observed.
+    :ivar num_overlay_nodes: IPFS nodes serving the gateway.
+    """
+
+    name: str
+    domain: str
+    provider: Optional[str]
+    frontend_countries: Tuple[Tuple[str, float], ...]
+    overlay_countries: Tuple[Tuple[str, float], ...]
+    num_frontend_ips: int
+    num_overlay_nodes: int
+
+
+def default_operators() -> List[GatewayOperator]:
+    """The 22 functional operators (paper §3): Cloudflare and Protocol
+    Labs dominate; a tail of small cloud-hosted and self-hosted ones."""
+    us_de = (("US", 0.6), ("DE", 0.4))
+    operators = [
+        GatewayOperator(
+            "cloudflare", "cloudflare-ipfs.com", "cloudflare",
+            frontend_countries=(("US", 0.45), ("NL", 0.35), ("DE", 0.2)),
+            overlay_countries=(("US", 0.7), ("DE", 0.3)),
+            num_frontend_ips=24, num_overlay_nodes=48,
+        ),
+        GatewayOperator(
+            "cf-ipfs", "cf-ipfs.com", "cloudflare",
+            frontend_countries=(("US", 0.4), ("NL", 0.4), ("DE", 0.2)),
+            overlay_countries=(("US", 0.7), ("DE", 0.3)),
+            num_frontend_ips=8, num_overlay_nodes=10,
+        ),
+        GatewayOperator(
+            "protocol-labs", "ipfs.io", "amazon-aws",
+            frontend_countries=(("US", 0.7), ("DE", 0.3)),
+            overlay_countries=us_de,
+            num_frontend_ips=6, num_overlay_nodes=14,
+        ),
+        GatewayOperator(
+            "dweb-link", "dweb.link", "amazon-aws",
+            frontend_countries=(("US", 0.7), ("DE", 0.3)),
+            overlay_countries=us_de,
+            num_frontend_ips=4, num_overlay_nodes=8,
+        ),
+        GatewayOperator(
+            "pinata", "gateway.pinata.cloud", "amazon-aws",
+            frontend_countries=(("US", 1.0),),
+            overlay_countries=(("US", 1.0),),
+            num_frontend_ips=3, num_overlay_nodes=4,
+        ),
+        GatewayOperator(
+            "ipfs-bank", "gw.ipfs-bank.io", "packet-host",
+            frontend_countries=(("US", 1.0),),
+            overlay_countries=(("US", 1.0),),
+            num_frontend_ips=2, num_overlay_nodes=6,
+        ),
+        GatewayOperator(
+            "nftstorage-link", "nftstorage.link", "cloudflare",
+            frontend_countries=(("US", 0.5), ("NL", 0.5)),
+            overlay_countries=(("US", 1.0),),
+            num_frontend_ips=4, num_overlay_nodes=4,
+        ),
+        GatewayOperator(
+            "w3s-link", "w3s.link", "cloudflare",
+            frontend_countries=(("US", 0.5), ("NL", 0.5)),
+            overlay_countries=(("US", 1.0),),
+            num_frontend_ips=3, num_overlay_nodes=3,
+        ),
+        GatewayOperator(
+            "4everland", "4everland.io", "amazon-aws",
+            frontend_countries=(("US", 0.6), ("SG", 0.4)),
+            overlay_countries=(("US", 0.6), ("SG", 0.4)),
+            num_frontend_ips=3, num_overlay_nodes=4,
+        ),
+        GatewayOperator(
+            "infura", "ipfs.infura.io", "amazon-aws",
+            frontend_countries=(("US", 1.0),),
+            overlay_countries=(("US", 1.0),),
+            num_frontend_ips=2, num_overlay_nodes=3,
+        ),
+        GatewayOperator(
+            "hardbin", "hardbin.com", "digital-ocean",
+            frontend_countries=(("GB", 1.0),),
+            overlay_countries=(("GB", 1.0),),
+            num_frontend_ips=1, num_overlay_nodes=1,
+        ),
+        GatewayOperator(
+            "eth-aragon", "ipfs.eth.aragon.network", "hetzner",
+            frontend_countries=(("DE", 1.0),),
+            overlay_countries=(("DE", 1.0),),
+            num_frontend_ips=1, num_overlay_nodes=2,
+        ),
+        GatewayOperator(
+            "best-practice", "ipfs.best-practice.se", None,
+            frontend_countries=(("SE", 1.0),),
+            overlay_countries=(("SE", 1.0),),
+            num_frontend_ips=1, num_overlay_nodes=1,
+        ),
+        GatewayOperator(
+            "jorropo", "jorropo.net", None,
+            frontend_countries=(("FR", 1.0),),
+            overlay_countries=(("FR", 1.0),),
+            num_frontend_ips=1, num_overlay_nodes=1,
+        ),
+        GatewayOperator(
+            "ipfs-fleek", "ipfs.fleek.co", "amazon-aws",
+            frontend_countries=(("US", 1.0),),
+            overlay_countries=(("US", 1.0),),
+            num_frontend_ips=2, num_overlay_nodes=2,
+        ),
+        GatewayOperator(
+            "crustwebsites", "crustwebsites.net", "google-cloud",
+            frontend_countries=(("US", 0.5), ("SG", 0.5)),
+            overlay_countries=(("SG", 1.0),),
+            num_frontend_ips=1, num_overlay_nodes=2,
+        ),
+        GatewayOperator(
+            "ipfs-telos", "ipfs.telos.miami", None,
+            frontend_countries=(("US", 1.0),),
+            overlay_countries=(("US", 1.0),),
+            num_frontend_ips=1, num_overlay_nodes=1,
+        ),
+        GatewayOperator(
+            "gateway-home", "gateway.ipfs.homecloud.dev", None,
+            frontend_countries=(("DE", 1.0),),
+            overlay_countries=(("DE", 1.0),),
+            num_frontend_ips=1, num_overlay_nodes=1,
+        ),
+        GatewayOperator(
+            "storry", "storry.tv", "ovh",
+            frontend_countries=(("FR", 1.0),),
+            overlay_countries=(("FR", 1.0),),
+            num_frontend_ips=1, num_overlay_nodes=1,
+        ),
+        GatewayOperator(
+            "ipfs-litnet", "ipfs.litnet.work", None,
+            frontend_countries=(("PL", 1.0),),
+            overlay_countries=(("PL", 1.0),),
+            num_frontend_ips=1, num_overlay_nodes=1,
+        ),
+        GatewayOperator(
+            "jpu-io", "jpu.jp", None,
+            frontend_countries=(("JP", 1.0),),
+            overlay_countries=(("JP", 1.0),),
+            num_frontend_ips=1, num_overlay_nodes=1,
+        ),
+        GatewayOperator(
+            "ninetailed", "ninetailed.ninja", "linode",
+            frontend_countries=(("US", 1.0),),
+            overlay_countries=(("US", 1.0),),
+            num_frontend_ips=1, num_overlay_nodes=1,
+        ),
+    ]
+    total_overlay = sum(op.num_overlay_nodes for op in operators)
+    assert total_overlay == 119, f"overlay node budget drifted: {total_overlay}"
+    return operators
+
+
+def install_gateway_specs(
+    world: World, operators: Optional[List[GatewayOperator]] = None, rng: Optional[random.Random] = None
+) -> Dict[str, List[NodeSpec]]:
+    """Append overlay-node specs for every operator to the world.
+
+    Must run before the :class:`~repro.netsim.network.Overlay` is built.
+    Returns operator name -> its specs.
+    """
+    operators = operators if operators is not None else default_operators()
+    rng = rng or random.Random(world.profile.seed + 5)
+    behavior = world.profile.behaviors["platform"]
+    specs_by_operator: Dict[str, List[NodeSpec]] = {}
+    next_index = max((spec.index for spec in world.specs), default=-1) + 1
+    for operator in operators:
+        specs: List[NodeSpec] = []
+        countries = [country for country, _ in operator.overlay_countries]
+        weights = [weight for _, weight in operator.overlay_countries]
+        for _ in range(operator.num_overlay_nodes):
+            country = rng.choices(countries, weights=weights, k=1)[0]
+            block = _gateway_block(world, operator, country)
+            spec = NodeSpec(
+                index=next_index,
+                node_class=NodeClass.GATEWAY,
+                organisation=operator.provider or f"isp-{country.lower()}",
+                country=country,
+                blocks=(block,),
+                behavior=behavior,
+                platform=operator.name,
+                activity_weight=1.0,
+                num_addrs=1,
+            )
+            world.specs.append(spec)
+            specs.append(spec)
+            next_index += 1
+        specs_by_operator[operator.name] = specs
+    # The databases must learn any block allocated here.
+    _rebuild_databases(world)
+    return specs_by_operator
+
+
+def _gateway_block(world: World, operator: GatewayOperator, country: str) -> IPBlock:
+    """Allocate (or reuse) the address block backing an operator's nodes."""
+    is_cloud = operator.provider is not None
+    organisation = operator.provider or f"isp-{country.lower()}"
+    key = (f"gateway:{operator.name}", country) if is_cloud else (organisation, country)
+    if key not in world.blocks_by_org_country:
+        prefix_len = 20 if is_cloud else 14
+        block = world.allocator.allocate_block(organisation, country, is_cloud, prefix_len)
+        world.blocks_by_org_country[key] = block
+        world.rdns.register_block(block, "gw-{ip}." + operator.domain)
+    return world.blocks_by_org_country[key]
+
+
+def frontend_ips(
+    world: World, operator: GatewayOperator, rng: random.Random
+) -> List[int]:
+    """Mint the operator's HTTP-frontend IPs (A-record targets)."""
+    ips: List[int] = []
+    countries = [country for country, _ in operator.frontend_countries]
+    weights = [weight for _, weight in operator.frontend_countries]
+    for _ in range(operator.num_frontend_ips):
+        country = rng.choices(countries, weights=weights, k=1)[0]
+        block = _gateway_block(world, operator, country)
+        try:
+            ips.append(world.allocator.next_address(block))
+        except RuntimeError:
+            ips.append(world.allocator.random_address(block, rng))
+    _rebuild_databases(world)
+    return ips
+
+
+def _rebuild_databases(world: World) -> None:
+    from repro.world.clouddb import CloudIPDatabase
+    from repro.world.geodb import GeoIPDatabase
+
+    blocks = world.allocator.blocks
+    world.cloud_db = CloudIPDatabase(blocks)
+    world.geo_db = GeoIPDatabase(blocks)

@@ -1,0 +1,78 @@
+"""The public gateway list and checker.
+
+Protocol Labs maintains a list of public gateways; of the 83 HTTP
+endpoints listed, the paper finds 22 that functioned at least once (§3).
+The registry models the full list — functional operators plus dead
+entries — and the checker tool that probes them.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.gateway.operators import GatewayOperator, default_operators
+
+
+@dataclass(frozen=True)
+class GatewayListEntry:
+    """One row of the public gateway list."""
+
+    domain: str
+    operator: Optional[str]  # None for dead/unattributed endpoints
+    functional: bool
+
+
+_DEAD_DOMAIN_STEMS = (
+    "ipfs.work", "ipfs.overpi.com", "gateway.blocto.app", "ipfs.yt",
+    "ipfs.anonymize.com", "ipfs.scalaproject.io", "ipfs.tubby.cloud",
+    "ipfs.kavin.rocks", "ipfs.czip.it", "ipfs.itargo.io",
+)
+
+
+class PublicGatewayRegistry:
+    """The 83-entry public list: 22 functional, the rest defunct."""
+
+    def __init__(
+        self,
+        operators: Optional[List[GatewayOperator]] = None,
+        total_entries: int = 83,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.operators = operators if operators is not None else default_operators()
+        self.rng = rng or random.Random(0x6A7E)
+        if total_entries < len(self.operators):
+            raise ValueError("total entries cannot be below the functional count")
+        self.entries: List[GatewayListEntry] = [
+            GatewayListEntry(op.domain, op.name, functional=True) for op in self.operators
+        ]
+        dead_needed = total_entries - len(self.entries)
+        for number in range(dead_needed):
+            stem = _DEAD_DOMAIN_STEMS[number % len(_DEAD_DOMAIN_STEMS)]
+            domain = stem if number < len(_DEAD_DOMAIN_STEMS) else f"gw{number}.{stem}"
+            self.entries.append(GatewayListEntry(domain, None, functional=False))
+        self._by_domain: Dict[str, GatewayListEntry] = {
+            entry.domain: entry for entry in self.entries
+        }
+        self._operator_by_name = {op.name: op for op in self.operators}
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def domains(self) -> List[str]:
+        return [entry.domain for entry in self.entries]
+
+    def functional_entries(self) -> List[GatewayListEntry]:
+        return [entry for entry in self.entries if entry.functional]
+
+    def operator_for(self, domain: str) -> Optional[GatewayOperator]:
+        entry = self._by_domain.get(domain)
+        if entry is None or entry.operator is None:
+            return None
+        return self._operator_by_name[entry.operator]
+
+    def check(self, domain: str) -> bool:
+        """The public gateway checker: does this endpoint answer?"""
+        entry = self._by_domain.get(domain)
+        return bool(entry and entry.functional)

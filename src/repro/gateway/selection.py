@@ -1,0 +1,83 @@
+"""Gateway selection policies (the §9 Brave discussion).
+
+"Brave users can currently choose between a self-hosted IPFS node and a
+default, cloud-based gateway.  Changing the default gateway to a random
+one supported by a dynamic, permissionless discovery system could
+maintain simplicity while avoiding reliance on cloud infrastructure."
+
+This module implements both policies over the public gateway registry
+and measures the traffic concentration each induces.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from collections import Counter
+from typing import Dict, Optional
+
+from repro.core.pareto import gini_coefficient
+from repro.gateway.registry import PublicGatewayRegistry
+
+
+class SelectionPolicy(enum.Enum):
+    #: Everyone uses the browser's shipped default (the status quo).
+    FIXED_DEFAULT = "fixed-default"
+    #: Every request picks a uniformly random *functional* gateway from a
+    #: permissionless discovery system (the paper's proposal).
+    RANDOM_FUNCTIONAL = "random-functional"
+
+
+DEFAULT_GATEWAY_DOMAIN = "cloudflare-ipfs.com"
+
+
+class GatewaySelector:
+    """Distributes user requests across gateways under a policy."""
+
+    def __init__(
+        self,
+        registry: PublicGatewayRegistry,
+        default_domain: str = DEFAULT_GATEWAY_DOMAIN,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if not registry.check(default_domain):
+            raise ValueError(f"default gateway {default_domain!r} is not functional")
+        self.registry = registry
+        self.default_domain = default_domain
+        self.rng = rng or random.Random(0x5E1)
+        self._functional = [entry.domain for entry in registry.functional_entries()]
+
+    def select(self, policy: SelectionPolicy) -> str:
+        """The gateway domain one request is sent to."""
+        if policy is SelectionPolicy.FIXED_DEFAULT:
+            return self.default_domain
+        return self.rng.choice(self._functional)
+
+    def simulate(self, policy: SelectionPolicy, requests: int) -> Dict[str, int]:
+        """Request counts per gateway domain after ``requests`` requests."""
+        tallies: Counter = Counter()
+        for _ in range(requests):
+            tallies[self.select(policy)] += 1
+        return dict(tallies)
+
+    def concentration(self, policy: SelectionPolicy, requests: int = 10_000) -> Dict[str, float]:
+        """Concentration metrics of the induced traffic distribution.
+
+        Returns the share of the busiest operator, the share handled by
+        cloud-hosted gateways, and the Gini coefficient across the
+        functional gateway set (unused gateways count as zero).
+        """
+        tallies = self.simulate(policy, requests)
+        volumes = {domain: float(tallies.get(domain, 0)) for domain in self._functional}
+        total = sum(volumes.values())
+        busiest = max(volumes.values()) / total if total else 0.0
+        cloud_requests = 0.0
+        for domain, volume in volumes.items():
+            operator = self.registry.operator_for(domain)
+            if operator is not None and operator.provider is not None:
+                cloud_requests += volume
+        return {
+            "busiest_gateway_share": busiest,
+            "cloud_share": cloud_requests / total if total else 0.0,
+            "gini": gini_coefficient(volumes),
+        }

@@ -1,0 +1,84 @@
+"""The HTTP-side behaviour of a gateway.
+
+When a gateway receives an HTTP GET for a CID it (1) checks its local
+cache, (2) finds and downloads the content using IPFS, and (3) returns the
+content over HTTP (paper §2).  The retrieval starts with the backend
+node's 1-hop Bitswap broadcast — which is exactly the signal the gateway
+prober exploits to learn the backend's overlay identity.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.gateway.operators import GatewayOperator
+from repro.ids.cid import CID
+from repro.monitors.bitswap_monitor import BitswapMonitor
+from repro.netsim.network import Overlay
+from repro.netsim.node import Node
+
+
+@dataclass
+class HTTPResponse:
+    """Outcome of an HTTP GET /ipfs/<cid>."""
+
+    status: int
+    cid: CID
+    served_by: Optional[Node] = None
+    from_cache: bool = False
+
+
+class GatewayService:
+    """One operator's gateway: frontend, cache, backend node pool."""
+
+    def __init__(
+        self,
+        operator: GatewayOperator,
+        backend_nodes: List[Node],
+        overlay: Overlay,
+        bitswap_monitor: Optional[BitswapMonitor] = None,
+        cache_ttl: float = 6 * 3600.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if not backend_nodes:
+            raise ValueError("a gateway needs at least one backend node")
+        self.operator = operator
+        self.backend_nodes = backend_nodes
+        self.overlay = overlay
+        self.monitor = bitswap_monitor
+        self.cache_ttl = cache_ttl
+        self.rng = rng or random.Random(0x6477)
+        self._cache: Dict[CID, float] = {}
+        self.requests_served = 0
+
+    def _pick_backend(self) -> Optional[Node]:
+        online = [node for node in self.backend_nodes if node.online]
+        if not online:
+            return None
+        return self.rng.choice(online)
+
+    def http_get(self, cid: CID) -> HTTPResponse:
+        """Serve ``GET /ipfs/<cid>`` through the gateway."""
+        self.requests_served += 1
+        now = self.overlay.now
+        cached_at = self._cache.get(cid)
+        if cached_at is not None and now - cached_at < self.cache_ttl:
+            return HTTPResponse(status=200, cid=cid, from_cache=True)
+        backend = self._pick_backend()
+        if backend is None:
+            return HTTPResponse(status=502, cid=cid)
+        # (2) find and download using IPFS: 1-hop broadcast first...
+        if self.monitor is not None:
+            self.monitor.observe_broadcast(now, backend, cid)
+        # ...then resolve providers (Bitswap neighbours or the DHT).
+        records = self.overlay.providers.get(cid, now)
+        reachable = [rec for rec in records if self.overlay.is_provider_reachable(rec)]
+        if not reachable:
+            return HTTPResponse(status=404, cid=cid, served_by=backend)
+        self._cache[cid] = now
+        # Downloaded content is re-provided by the backend (§2 auto-scaling
+        # default) — one of the mechanisms pulling content into the cloud.
+        self.overlay.publish_provider_record(backend, cid)
+        return HTTPResponse(status=200, cid=cid, served_by=backend)

@@ -1,0 +1,119 @@
+"""The Figure-1 end-to-end path: browser → DNSLink → gateway → IPFS.
+
+The paper's Fig. 1 illustrates a web user fetching IPFS content through
+the classical web: the browser resolves the domain's ``_dnslink`` TXT
+record, follows the domain's A/CNAME/ALIAS records to a gateway or
+proxy, and the gateway retrieves the content from the overlay.  This
+module wires those pieces — the DNS resolver, the IPNS resolver for
+``/ipns/`` targets, and the gateway services — into one client call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.dns.records import DNSLINK_PREFIX, RRType, parse_dnslink_txt
+from repro.dns.resolver import ResolutionError, Resolver
+from repro.gateway.service import GatewayService, HTTPResponse
+from repro.ids.cid import CID
+from repro.ipns.resolver import IPNSResolver
+
+
+@dataclass
+class WebFetchResult:
+    """Outcome of fetching ``http://<domain>/`` DNSLink-style."""
+
+    domain: str
+    status: int
+    cid: Optional[CID] = None
+    dnslink_kind: Optional[str] = None   # "ipfs" | "ipns"
+    gateway_domain: Optional[str] = None
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == 200
+
+
+class WebClient:
+    """An IPFS-agnostic browser fetching DNSLink sites over HTTP."""
+
+    def __init__(
+        self,
+        dns_resolver: Resolver,
+        services_by_ip: Dict[str, GatewayService],
+        services_by_domain: Dict[str, GatewayService],
+        ipns: Optional[IPNSResolver] = None,
+    ) -> None:
+        self.dns = dns_resolver
+        #: gateway services reachable by frontend IP (A-record targets).
+        self.services_by_ip = services_by_ip
+        self.services_by_domain = services_by_domain
+        self.ipns = ipns
+
+    def _dnslink_target(self, domain: str):
+        for value in self.dns.txt(f"{DNSLINK_PREFIX}.{domain}"):
+            parsed = parse_dnslink_txt(value)
+            if parsed is not None:
+                return parsed
+        return None
+
+    def _resolve_cid(self, kind: str, target: str) -> Optional[CID]:
+        if kind == "ipfs":
+            try:
+                return CID.from_base32(target)
+            except ValueError:
+                return None
+        if kind == "ipns" and self.ipns is not None:
+            return self.ipns.resolve_path(f"/ipns/{target}")
+        return None
+
+    def _service_for(self, domain: str) -> Optional[GatewayService]:
+        """The gateway behind the domain's A records (following CNAME
+        and ALIAS indirection, like a browser's connection would)."""
+        try:
+            addresses = self.dns.resolve_a(domain)
+        except ResolutionError:
+            return None
+        for address in addresses:
+            service = self.services_by_ip.get(address)
+            if service is not None:
+                return service
+        # CNAME/ALIAS targets pointing straight at a public gateway domain.
+        chain = self.dns.query(domain, RRType.CNAME)
+        chain += self.dns.query(domain, RRType.ALIAS)
+        for record in chain:
+            service = self.services_by_domain.get(record.value.rstrip("."))
+            if service is not None:
+                return service
+        return None
+
+    def fetch(self, domain: str) -> WebFetchResult:
+        """``GET http://<domain>/`` — the complete Fig. 1 interaction."""
+        if not self.dns.soa_exists(domain):
+            return WebFetchResult(domain, status=523, detail="NXDOMAIN")
+        target = self._dnslink_target(domain)
+        if target is None:
+            return WebFetchResult(domain, status=404, detail="no DNSLink record")
+        kind, value = target
+        cid = self._resolve_cid(kind, value)
+        if cid is None:
+            return WebFetchResult(
+                domain, status=404, dnslink_kind=kind, detail="unresolvable DNSLink target"
+            )
+        service = self._service_for(domain)
+        if service is None:
+            return WebFetchResult(
+                domain, status=502, cid=cid, dnslink_kind=kind,
+                detail="no gateway behind the domain",
+            )
+        response: HTTPResponse = service.http_get(cid)
+        return WebFetchResult(
+            domain,
+            status=response.status,
+            cid=cid,
+            dnslink_kind=kind,
+            gateway_domain=service.operator.domain,
+            detail="cache" if response.from_cache else "fetched",
+        )

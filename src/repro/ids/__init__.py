@@ -1,0 +1,35 @@
+"""Identifiers used throughout the IPFS reproduction.
+
+This subpackage implements the identifier formats of the libp2p/IPFS
+ecosystem that the paper's measurements revolve around:
+
+* 256-bit keyspace with the Kademlia XOR metric (:mod:`repro.ids.keys`),
+* peer IDs derived from key pairs (:mod:`repro.ids.peerid`),
+* content identifiers / CIDs (:mod:`repro.ids.cid`),
+* multiaddresses, including ``p2p-circuit`` relay addresses
+  (:mod:`repro.ids.multiaddr`),
+* base58btc / base32 encodings (:mod:`repro.ids.encoding`).
+"""
+
+from repro.ids.cid import CID, cid_for_data
+from repro.ids.encoding import base32_decode, base32_encode, base58_decode, base58_encode
+from repro.ids.keys import KEY_BITS, Key, bucket_index, common_prefix_len, key_from_bytes, xor_distance
+from repro.ids.multiaddr import Multiaddr
+from repro.ids.peerid import PeerID
+
+__all__ = [
+    "CID",
+    "KEY_BITS",
+    "Key",
+    "Multiaddr",
+    "PeerID",
+    "base32_decode",
+    "base32_encode",
+    "base58_decode",
+    "base58_encode",
+    "bucket_index",
+    "cid_for_data",
+    "common_prefix_len",
+    "key_from_bytes",
+    "xor_distance",
+]

@@ -1,0 +1,26 @@
+"""Network indexers — centralized, cloud-hosted content resolution.
+
+§9 of the paper flags the introduction of network indexers (entirely
+cloud-hosted services that know about all content and resolve much
+faster than DHT lookups) as a concerning centralization vector: whoever
+controls resolution can block content.  The paper advises keeping the
+DHT as a fallback resolution mechanism.
+
+This subpackage implements that future: an indexer service, a resolver
+that combines indexer and DHT paths, latency models for both, and the
+censorship experiment the discussion implies.
+"""
+
+from repro.indexer.service import IndexerService
+from repro.indexer.resolution import (
+    CombinedResolver,
+    ResolutionOutcome,
+    ResolutionStrategy,
+)
+
+__all__ = [
+    "CombinedResolver",
+    "IndexerService",
+    "ResolutionOutcome",
+    "ResolutionStrategy",
+]

@@ -1,0 +1,18 @@
+"""IPNS — the InterPlanetary Name System.
+
+IPNS maps a key-pair-derived name to a (mutable) CID via signed,
+sequence-numbered records stored on the DHT.  The paper skips measuring
+IPNS because resolution "is internal for IPFS and is equivalent to
+regular CID fetching" (§7 footnote), but the substrate needs it:
+DNSLink records of the form ``dnslink=/ipns/<hash>`` (§2) resolve
+through exactly this mechanism.
+
+* :mod:`repro.ipns.records` — signed name records with sequence numbers,
+* :mod:`repro.ipns.resolver` — publish/resolve over the overlay's
+  resolver set, with the freshest-record rule.
+"""
+
+from repro.ipns.records import IPNSName, IPNSRecord
+from repro.ipns.resolver import IPNSResolver
+
+__all__ = ["IPNSName", "IPNSRecord", "IPNSResolver"]

@@ -1,0 +1,146 @@
+"""IPNS names and signed records.
+
+An IPNS name is the hash of a public key; the owner of the matching
+private key publishes records mapping the name to a value (``/ipfs/<CID>``
+paths in practice).  Records carry a monotonically increasing sequence
+number and a validity window; resolvers accept only correctly signed
+records and prefer the highest sequence number.
+
+The key pair is modelled as an HMAC-style construction over a random
+secret — the properties the resolution pipeline relies on (only the key
+holder can mint valid records; validation is public) are preserved
+without real asymmetric cryptography.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from functools import total_ordering
+from typing import Optional
+
+from repro.ids.cid import CID
+from repro.ids.encoding import base32_encode
+from repro.ids.keys import Key, key_from_bytes
+
+
+@dataclass(frozen=True)
+class IPNSKeyPair:
+    """A name-owning key pair (secret modelled as random bytes)."""
+
+    secret: bytes
+
+    @classmethod
+    def generate(cls, rng) -> "IPNSKeyPair":
+        return cls(rng.getrandbits(256).to_bytes(32, "big"))
+
+    @property
+    def public_key(self) -> bytes:
+        return hashlib.sha256(b"pub" + self.secret).digest()
+
+    @property
+    def name(self) -> "IPNSName":
+        return IPNSName(hashlib.sha256(self.public_key).digest())
+
+    def sign(self, payload: bytes) -> bytes:
+        return hmac.new(self.secret, payload, hashlib.sha256).digest()
+
+
+@total_ordering
+@dataclass(frozen=True)
+class IPNSName:
+    """The hash of a public key — what ``/ipns/<hash>`` addresses."""
+
+    digest: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.digest) != 32:
+            raise ValueError("IPNS name digest must be 32 bytes")
+
+    @property
+    def dht_key(self) -> Key:
+        """Where the name's records live in the Kademlia keyspace."""
+        return key_from_bytes(b"/ipns/" + self.digest)
+
+    def to_string(self) -> str:
+        """The conventional ``k51…``-style rendering (base32 here)."""
+        return "k51" + base32_encode(self.digest)
+
+    def __str__(self) -> str:
+        return self.to_string()
+
+    def __lt__(self, other) -> bool:
+        if not isinstance(other, IPNSName):
+            return NotImplemented
+        return self.digest < other.digest
+
+    def __hash__(self) -> int:
+        return hash(self.digest)
+
+
+@dataclass(frozen=True)
+class IPNSRecord:
+    """One signed name → value mapping."""
+
+    name: IPNSName
+    value: CID
+    sequence: int
+    published_at: float
+    validity_seconds: float
+    signature: bytes
+
+    @staticmethod
+    def _payload(name: IPNSName, value: CID, sequence: int, published_at: float,
+                 validity_seconds: float) -> bytes:
+        return b"|".join(
+            (
+                name.digest,
+                value.digest,
+                str(sequence).encode(),
+                repr(published_at).encode(),
+                repr(validity_seconds).encode(),
+            )
+        )
+
+    @classmethod
+    def create(
+        cls,
+        keypair: IPNSKeyPair,
+        value: CID,
+        sequence: int,
+        published_at: float,
+        validity_seconds: float = 48 * 3600.0,
+    ) -> "IPNSRecord":
+        if sequence < 0:
+            raise ValueError("sequence numbers are non-negative")
+        payload = cls._payload(keypair.name, value, sequence, published_at, validity_seconds)
+        return cls(
+            name=keypair.name,
+            value=value,
+            sequence=sequence,
+            published_at=published_at,
+            validity_seconds=validity_seconds,
+            signature=keypair.sign(payload),
+        )
+
+    def verify(self, keypair: IPNSKeyPair) -> bool:
+        """Whether the record was signed by the name's key holder."""
+        if keypair.name != self.name:
+            return False
+        payload = self._payload(
+            self.name, self.value, self.sequence, self.published_at, self.validity_seconds
+        )
+        return hmac.compare_digest(self.signature, keypair.sign(payload))
+
+    def is_valid_at(self, now: float) -> bool:
+        return now - self.published_at < self.validity_seconds
+
+    def supersedes(self, other: Optional["IPNSRecord"]) -> bool:
+        """The IPNS freshest-record rule: higher sequence wins; on a tie,
+        the later publication."""
+        if other is None:
+            return True
+        if self.sequence != other.sequence:
+            return self.sequence > other.sequence
+        return self.published_at > other.published_at

@@ -1,0 +1,107 @@
+"""Publishing and resolving IPNS records over the overlay.
+
+Records are stored on the ``k`` servers closest to the name's DHT key
+(the same resolver-set mechanics as provider records) and expire with
+their validity window; resolution collects candidates from the resolver
+set, verifies signatures and applies the freshest-record rule.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.ids.cid import CID
+from repro.ipns.records import IPNSKeyPair, IPNSName, IPNSRecord
+from repro.netsim.network import Overlay
+
+
+@dataclass
+class IPNSPublishResult:
+    record: IPNSRecord
+    stored_on: int  # resolver-set size the record landed on
+
+
+class IPNSResolver:
+    """Publish/resolve IPNS names against an overlay.
+
+    Like the provider registry, storage is logically central with
+    resolver-set membership checked at query time (see DESIGN.md fast
+    paths); sequence bookkeeping is per name-owner.
+    """
+
+    def __init__(self, overlay: Overlay, rng: Optional[random.Random] = None) -> None:
+        self.overlay = overlay
+        self.rng = rng or random.Random(0x1B45)
+        self._records: Dict[IPNSName, IPNSRecord] = {}
+        self._sequences: Dict[IPNSName, int] = {}
+
+    # -- key management ----------------------------------------------------
+
+    def generate_keypair(self) -> IPNSKeyPair:
+        return IPNSKeyPair.generate(self.rng)
+
+    # -- publishing ----------------------------------------------------------
+
+    def publish(self, keypair: IPNSKeyPair, value: CID) -> IPNSPublishResult:
+        """Mint and store the next record for the keypair's name."""
+        name = keypair.name
+        sequence = self._sequences.get(name, -1) + 1
+        record = IPNSRecord.create(
+            keypair, value, sequence=sequence, published_at=self.overlay.now
+        )
+        incumbent = self._records.get(name)
+        if record.supersedes(incumbent):
+            self._records[name] = record
+        self._sequences[name] = sequence
+        resolvers = self.overlay.oracle.closest(name.dht_key, self.overlay.k)
+        return IPNSPublishResult(record=record, stored_on=len(resolvers))
+
+    def store(self, record: IPNSRecord, keypair: IPNSKeyPair) -> bool:
+        """Store a caller-built record; rejected unless correctly signed
+        (the DHT-server-side validation)."""
+        if not record.verify(keypair):
+            return False
+        incumbent = self._records.get(record.name)
+        if record.supersedes(incumbent):
+            self._records[record.name] = record
+        self._sequences[record.name] = max(
+            self._sequences.get(record.name, -1), record.sequence
+        )
+        return True
+
+    # -- resolution -------------------------------------------------------------
+
+    def resolve(self, name: IPNSName) -> Optional[CID]:
+        """The current value of a name, or ``None`` when no valid record
+        survives (expired, or never published)."""
+        record = self._records.get(name)
+        if record is None or not record.is_valid_at(self.overlay.now):
+            return None
+        return record.value
+
+    def resolve_record(self, name: IPNSName) -> Optional[IPNSRecord]:
+        record = self._records.get(name)
+        if record is None or not record.is_valid_at(self.overlay.now):
+            return None
+        return record
+
+    def resolve_path(self, path: str) -> Optional[CID]:
+        """Resolve an ``/ipns/<name>`` or ``/ipfs/<cid>`` path to a CID —
+        what a gateway does with a DNSLink target."""
+        parts = path.strip("/").split("/")
+        if len(parts) != 2:
+            return None
+        scheme, target = parts
+        if scheme == "ipfs":
+            try:
+                return CID.from_base32(target)
+            except ValueError:
+                return None
+        if scheme == "ipns":
+            for name in self._records:
+                if name.to_string() == target:
+                    return self.resolve(name)
+            return None
+        return None

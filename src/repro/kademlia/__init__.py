@@ -1,0 +1,34 @@
+"""Kademlia DHT building blocks.
+
+IPFS uses a Kademlia DHT implementing a key-value store (paper §2).  This
+subpackage provides the protocol-level pieces:
+
+* :mod:`repro.kademlia.routing_table` — k-buckets and the routing table,
+* :mod:`repro.kademlia.messages` — DHT wire messages and their
+  download/advertisement classification,
+* :mod:`repro.kademlia.providers` — provider-record storage with expiry,
+* :mod:`repro.kademlia.lookup` — the iterative ``GetClosestPeers`` /
+  ``FindProviders`` walks, including the paper's exhaustive variant.
+
+The pieces are transport-agnostic; :mod:`repro.netsim` wires them to the
+simulated overlay.
+"""
+
+from repro.kademlia.messages import MessageType, TrafficClass, classify_message
+from repro.kademlia.providers import ProviderRecord, ProviderStore
+from repro.kademlia.routing_table import KBucket, RoutingTable
+from repro.kademlia.lookup import LookupResult, ProviderLookupResult, iterative_find_node, iterative_find_providers
+
+__all__ = [
+    "KBucket",
+    "LookupResult",
+    "MessageType",
+    "ProviderLookupResult",
+    "ProviderRecord",
+    "ProviderStore",
+    "RoutingTable",
+    "TrafficClass",
+    "classify_message",
+    "iterative_find_node",
+    "iterative_find_providers",
+]

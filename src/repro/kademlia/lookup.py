@@ -1,0 +1,199 @@
+"""Iterative Kademlia lookups.
+
+``GetClosestPeers(key)`` traverses the DHT and returns the k closest peers
+to the target key.  In each step, the querying node contacts the closest
+nodes to the key it knows of; each returns the k closest peers in its own
+routing table.  The process repeats until the client does not find any
+more peers closer to the key (paper §2).
+
+``FindProviders(cid)`` uses an identical walk but also queries encountered
+nodes for provider records, terminating when either 20 providers have been
+found or all resolvers have been asked.  The paper's §3 modification —
+terminate *only* when all resolvers have been queried, to retrieve *all*
+provider records — is exposed via ``exhaustive=True``.
+
+Lookups are transport-agnostic: the caller supplies query callables, which
+the simulator (or a test double) implements.  A callable returning ``None``
+models an unreachable peer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.ids.cid import CID
+from repro.ids.peerid import PeerID
+from repro.kademlia.messages import PeerInfo
+from repro.kademlia.providers import ProviderRecord
+
+#: Kademlia replication parameter: number of closest peers returned,
+#: and number of resolvers holding each provider record.
+DEFAULT_K = 20
+
+#: Lookup concurrency (peers queried per round).
+DEFAULT_ALPHA = 3
+
+FindNodeQuery = Callable[[PeerID, int], Optional[Sequence[PeerInfo]]]
+GetProvidersQuery = Callable[
+    [PeerID, CID], Optional[Tuple[Sequence[ProviderRecord], Sequence[PeerInfo]]]
+]
+
+
+@dataclass
+class LookupResult:
+    """Outcome of a ``GetClosestPeers`` walk.
+
+    :ivar closest: up to ``k`` reachable peers closest to the target.
+    :ivar contacted: peers successfully queried, in query order.
+    :ivar failed: peers that did not respond.
+    :ivar messages: number of requests sent (the traffic the walk created).
+    """
+
+    closest: List[PeerInfo] = field(default_factory=list)
+    contacted: List[PeerID] = field(default_factory=list)
+    failed: Set[PeerID] = field(default_factory=set)
+    messages: int = 0
+
+
+@dataclass
+class ProviderLookupResult(LookupResult):
+    """Outcome of a ``FindProviders`` walk: walk stats plus the records."""
+
+    providers: List[ProviderRecord] = field(default_factory=list)
+    resolvers_queried: List[PeerID] = field(default_factory=list)
+
+
+class _Walk:
+    """Shared machinery of the iterative walks."""
+
+    def __init__(self, target_key: int, start: Sequence[PeerInfo], k: int, alpha: int) -> None:
+        self.target_key = target_key
+        self.k = k
+        self.alpha = alpha
+        self.known: Dict[PeerID, PeerInfo] = {}
+        self.queried: Set[PeerID] = set()
+        self.failed: Set[PeerID] = set()
+        self.contacted: List[PeerID] = []
+        self.messages = 0
+        for info in start:
+            self.known.setdefault(info.peer, info)
+
+    def _distance(self, peer: PeerID) -> int:
+        return peer.dht_key ^ self.target_key
+
+    def candidates(self) -> List[PeerInfo]:
+        """Known, live-so-far peers ordered by distance to the target."""
+        pool = [info for peer, info in self.known.items() if peer not in self.failed]
+        pool.sort(key=lambda info: self._distance(info.peer))
+        return pool
+
+    def next_batch(self) -> List[PeerInfo]:
+        """Up to ``alpha`` unqueried peers among the ``k`` closest known.
+
+        Empty when the ``k`` closest known live peers have all been
+        queried — the walk's termination condition.
+        """
+        frontier = [info for info in self.candidates()[: self.k] if info.peer not in self.queried]
+        return frontier[: self.alpha]
+
+    def absorb(self, closer_peers: Sequence[PeerInfo]) -> None:
+        for info in closer_peers:
+            self.known.setdefault(info.peer, info)
+
+    def closest_live(self) -> List[PeerInfo]:
+        """The ``k`` closest peers that answered a query."""
+        live = [info for info in self.candidates() if info.peer in self.queried]
+        return live[: self.k]
+
+
+def iterative_find_node(
+    target_key: int,
+    start: Sequence[PeerInfo],
+    query: FindNodeQuery,
+    k: int = DEFAULT_K,
+    alpha: int = DEFAULT_ALPHA,
+    max_queries: int = 500,
+) -> LookupResult:
+    """Run a ``GetClosestPeers(target_key)`` walk.
+
+    :param target_key: DHT key being walked towards.
+    :param start: initial candidates (typically from the local table).
+    :param query: ``(peer, target_key) -> closer peers or None``.
+    :param max_queries: safety valve against pathological topologies.
+    """
+    walk = _Walk(target_key, start, k, alpha)
+    while walk.messages < max_queries:
+        batch = walk.next_batch()
+        if not batch:
+            break
+        for info in batch:
+            if walk.messages >= max_queries:
+                break
+            walk.queried.add(info.peer)
+            walk.messages += 1
+            response = query(info.peer, target_key)
+            if response is None:
+                walk.failed.add(info.peer)
+                continue
+            walk.contacted.append(info.peer)
+            walk.absorb(response)
+    return LookupResult(
+        closest=walk.closest_live(),
+        contacted=walk.contacted,
+        failed=walk.failed,
+        messages=walk.messages,
+    )
+
+
+def iterative_find_providers(
+    cid: CID,
+    start: Sequence[PeerInfo],
+    query: GetProvidersQuery,
+    k: int = DEFAULT_K,
+    alpha: int = DEFAULT_ALPHA,
+    max_providers: int = DEFAULT_K,
+    exhaustive: bool = False,
+    max_queries: int = 500,
+) -> ProviderLookupResult:
+    """Run a ``FindProviders(cid)`` walk.
+
+    The default termination matches stock go-ipfs: stop when
+    ``max_providers`` provider records were found or all resolvers were
+    asked.  With ``exhaustive=True`` the walk only terminates when all
+    resolvers (the ``k`` closest peers to the CID) have been queried —
+    the paper's §3 modification for complete provider-record collection.
+    """
+    target_key = cid.dht_key
+    walk = _Walk(target_key, start, k, alpha)
+    providers: Dict[PeerID, ProviderRecord] = {}
+    while walk.messages < max_queries:
+        if not exhaustive and len(providers) >= max_providers:
+            break
+        batch = walk.next_batch()
+        if not batch:
+            break
+        for info in batch:
+            if walk.messages >= max_queries:
+                break
+            walk.queried.add(info.peer)
+            walk.messages += 1
+            response = query(info.peer, cid)
+            if response is None:
+                walk.failed.add(info.peer)
+                continue
+            walk.contacted.append(info.peer)
+            records, closer_peers = response
+            for record in records:
+                providers.setdefault(record.provider, record)
+            walk.absorb(closer_peers)
+            if not exhaustive and len(providers) >= max_providers:
+                break
+    return ProviderLookupResult(
+        closest=walk.closest_live(),
+        contacted=walk.contacted,
+        failed=walk.failed,
+        messages=walk.messages,
+        providers=list(providers.values()),
+        resolvers_queried=[info.peer for info in walk.closest_live()],
+    )

@@ -1,0 +1,26 @@
+"""Measurement infrastructure (the paper's §3 instruments).
+
+* :mod:`repro.monitors.hydra` — the modified Hydra-booster logging all
+  incoming DHT requests,
+* :mod:`repro.monitors.bitswap_monitor` — the unbounded-connection
+  Bitswap monitor logging discovery broadcasts,
+* :mod:`repro.monitors.provider_fetcher` — the modified, exhaustive
+  ``FindProviders`` collecting complete provider-record sets,
+* :mod:`repro.monitors.gateway_probe` — gateway identification via
+  unique random content requested through the HTTP side.
+"""
+
+from repro.monitors.bitswap_monitor import BitswapLogEntry, BitswapMonitor
+from repro.monitors.gateway_probe import GatewayProbeReport, GatewayProber
+from repro.monitors.hydra import HydraBooster
+from repro.monitors.provider_fetcher import ProviderObservation, ProviderRecordFetcher
+
+__all__ = [
+    "BitswapLogEntry",
+    "BitswapMonitor",
+    "GatewayProbeReport",
+    "GatewayProber",
+    "HydraBooster",
+    "ProviderObservation",
+    "ProviderRecordFetcher",
+]

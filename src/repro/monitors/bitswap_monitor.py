@@ -1,0 +1,123 @@
+"""The Bitswap monitor.
+
+A modified IPFS node with unbounded connection capacity that logs all
+incoming Bitswap traffic to disk (paper §3).  The monitor sees the 1-hop
+discovery broadcasts of every peer it is connected to — a large portion
+of the network, but not everyone, and only the locally broadcast requests
+(not unicast responses).
+
+Connectivity is modelled per participant: stable, well-connected nodes
+(gateways, platforms, cloud servers) are almost always connected to the
+monitor; the churning fringe less so.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.ids.cid import CID
+from repro.ids.peerid import PeerID
+from repro.netsim.node import Node
+from repro.world.population import NodeClass
+
+#: Probability that a node of a class holds a connection to the monitor.
+CONNECTION_PROBABILITY = {
+    NodeClass.PLATFORM: 0.98,
+    NodeClass.GATEWAY: 0.97,
+    NodeClass.CLOUD_STABLE: 0.85,
+    NodeClass.HYBRID: 0.85,
+    NodeClass.RESIDENTIAL_STABLE: 0.70,
+    NodeClass.RESIDENTIAL_EPHEMERAL: 0.50,
+    NodeClass.NAT_CLIENT: 0.40,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class BitswapLogEntry:
+    """One logged incoming want broadcast."""
+
+    timestamp: float
+    sender: PeerID
+    sender_ip: str
+    cid: CID
+
+
+class BitswapMonitor:
+    """Logs want-have broadcasts from connected peers."""
+
+    def __init__(self, rng: Optional[random.Random] = None) -> None:
+        self.rng = rng or random.Random(0xB17)
+        self.log: List[BitswapLogEntry] = []
+        self._connected_specs: Dict[int, bool] = {}
+
+    def is_connected(self, node: Node) -> bool:
+        """Whether the monitor holds a Bitswap connection to this peer.
+
+        The decision is persistent per physical participant: stable nodes
+        that connected once stay connected (the monitor never prunes).
+        """
+        spec_index = node.spec.index
+        if spec_index not in self._connected_specs:
+            probability = CONNECTION_PROBABILITY[node.node_class]
+            self._connected_specs[spec_index] = self.rng.random() < probability
+        return self._connected_specs[spec_index]
+
+    def observe_broadcast(self, timestamp: float, node: Node, cid: CID) -> bool:
+        """Log the broadcast if the sender is connected to us."""
+        if not self.is_connected(node) or node.peer is None or not node.ips:
+            return False
+        self.log.append(
+            BitswapLogEntry(
+                timestamp=timestamp,
+                sender=node.peer,
+                sender_ip=node.primary_ip_str,
+                cid=cid,
+            )
+        )
+        return True
+
+    # -- derived datasets -------------------------------------------------------
+
+    def cids_on_day(self, day: int) -> Set[CID]:
+        """All distinct CIDs requested on a given simulated day."""
+        from repro.netsim.clock import SECONDS_PER_DAY
+
+        low = day * SECONDS_PER_DAY
+        high = low + SECONDS_PER_DAY
+        return {entry.cid for entry in self.log if low <= entry.timestamp < high}
+
+    def cids_in_window(self, start: float, end: float) -> Set[CID]:
+        """Distinct CIDs requested in a time window (newest log suffix)."""
+        cids: Set[CID] = set()
+        for entry in reversed(self.log):
+            if entry.timestamp < start:
+                break
+            if entry.timestamp < end:
+                cids.add(entry.cid)
+        return cids
+
+    def sampled_cids_in_window(
+        self, start: float, end: float, sample_size: int, rng: Optional[random.Random] = None
+    ) -> List[CID]:
+        """Deduplicated random sample of a window's requested CIDs."""
+        rng = rng or self.rng
+        cids = sorted(self.cids_in_window(start, end), key=lambda cid: cid.digest)
+        if len(cids) <= sample_size:
+            return cids
+        return rng.sample(cids, sample_size)
+
+    def daily_sampled_cids(
+        self, day: int, sample_size: int, rng: Optional[random.Random] = None
+    ) -> List[CID]:
+        """The paper's daily dataset: dedupe the day's requested CIDs and
+        draw a fixed-size random sample (200 k at paper scale)."""
+        rng = rng or self.rng
+        cids = sorted(self.cids_on_day(day), key=lambda cid: cid.digest)
+        if len(cids) <= sample_size:
+            return cids
+        return rng.sample(cids, sample_size)
+
+    def __len__(self) -> int:
+        return len(self.log)

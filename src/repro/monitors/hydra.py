@@ -1,0 +1,124 @@
+"""The (modified) Hydra-booster DHT monitor.
+
+The paper runs a Hydra-booster with 20 virtual peer IDs co-located on one
+VM and modified to write all incoming DHT requests to disk: timestamp,
+sender peer ID and IP, request type, target key, and the proxy DHT server
+when the sender used NAT traversal (§3).  The authors estimate the node
+captures ≈4 % of all IPFS DHT traffic because an average query contacts
+~50 nodes out of ~25 000 servers: ``50 × 20 / 25 000 = 4 %``.
+
+The simulated Hydra uses exactly that geometry: its virtual heads sit
+uniformly in the keyspace, so each message of a DHT walk reaches a head
+with probability ``heads / servers``; the workload engine asks
+:meth:`capture_count` how many messages of a walk land in the log.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional
+
+from repro.ids.cid import CID
+from repro.ids.peerid import PeerID
+from repro.kademlia.messages import MessageEnvelope, MessageType, TrafficClass
+
+
+class HydraBooster:
+    """A multi-headed DHT server that logs every incoming request."""
+
+    def __init__(
+        self,
+        num_heads: int = 20,
+        rng: Optional[random.Random] = None,
+        cache_ttl: float = 24 * 3600.0,
+    ) -> None:
+        if num_heads < 1:
+            raise ValueError("a Hydra needs at least one head")
+        self.rng = rng or random.Random(0x47D2A)
+        self.heads: List[PeerID] = [PeerID.generate(self.rng) for _ in range(num_heads)]
+        self.log: List[MessageEnvelope] = []
+        self.cache_ttl = cache_ttl
+        #: provider-record cache: CID -> last refresh time.  A miss is what
+        #: triggers the proactive lookups of Protocol Labs' hydra fleet.
+        self._cache: Dict[CID, float] = {}
+
+    @property
+    def num_heads(self) -> int:
+        return len(self.heads)
+
+    # -- capture geometry ----------------------------------------------------
+
+    def capture_probability(self, network_servers: int) -> float:
+        """Per-message probability of hitting one of our heads."""
+        if network_servers <= 0:
+            return 0.0
+        return min(1.0, self.num_heads / network_servers)
+
+    def capture_count(
+        self, walk_messages: int, network_servers: int, rng: random.Random
+    ) -> int:
+        """How many of a walk's messages land in our log.
+
+        Exact binomial for short walks; for the common small-probability
+        case a Poisson draw with the same mean is indistinguishable and
+        much cheaper (the engine calls this for every walk).
+        """
+        probability = self.capture_probability(network_servers)
+        if probability <= 0.0 or walk_messages <= 0:
+            return 0
+        mean = probability * walk_messages
+        if probability < 0.2:
+            from repro.content.workload import _poisson
+
+            return min(walk_messages, _poisson(mean, rng))
+        count = 0
+        for _ in range(walk_messages):
+            if rng.random() < probability:
+                count += 1
+        return count
+
+    # -- logging ---------------------------------------------------------------
+
+    def record(
+        self,
+        timestamp: float,
+        sender: PeerID,
+        sender_ip: str,
+        message_type: MessageType,
+        target_cid: Optional[CID] = None,
+        target_key: Optional[int] = None,
+        via_relay: Optional[PeerID] = None,
+    ) -> MessageEnvelope:
+        envelope = MessageEnvelope(
+            timestamp=timestamp,
+            sender=sender,
+            sender_ip=sender_ip,
+            message_type=message_type,
+            target_key=target_key if target_key is not None else (
+                target_cid.dht_key if target_cid is not None else None
+            ),
+            target_cid=target_cid,
+            via_relay=via_relay,
+        )
+        self.log.append(envelope)
+        return envelope
+
+    # -- hydra cache behaviour ---------------------------------------------------
+
+    def cache_lookup(self, cid: CID, now: float) -> bool:
+        """True on cache hit; a miss marks the CID as being fetched."""
+        last = self._cache.get(cid)
+        if last is not None and now - last < self.cache_ttl:
+            return True
+        self._cache[cid] = now
+        return False
+
+    # -- analysis helpers -----------------------------------------------------------
+
+    def entries(self, traffic_class: Optional[TrafficClass] = None) -> List[MessageEnvelope]:
+        if traffic_class is None:
+            return list(self.log)
+        return [entry for entry in self.log if entry.traffic_class is traffic_class]
+
+    def __len__(self) -> int:
+        return len(self.log)

@@ -1,0 +1,50 @@
+"""NAT traversal: circuit relay and DCUtR hole punching.
+
+NAT-ed providers are reachable through a relay (circuit addresses).  As of
+v0.13, IPFS includes DCUtR — direct connection upgrade through a relay —
+which lets two peers hole-punch a direct connection after a relayed
+introduction (paper §2).  Hole-punched clients still function as DHT
+clients only (§9), so this affects *data transfer*, not DHT topology.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.netsim.node import Node
+
+#: Empirical success rate of libp2p hole punching (order of magnitude from
+#: the libp2p DCUtR measurement campaign; exact value is not load-bearing).
+DEFAULT_HOLEPUNCH_SUCCESS = 0.7
+
+
+@dataclass
+class ConnectionPath:
+    """How a dialer ended up connected to a NAT-ed peer."""
+
+    direct: bool          # True once DCUtR succeeded
+    via_relay: Optional[Node]  # the relay used for the introduction
+
+
+class DCUtR:
+    """Direct-connection upgrade through a relay."""
+
+    def __init__(self, success_prob: float = DEFAULT_HOLEPUNCH_SUCCESS, rng=None) -> None:
+        self.success_prob = success_prob
+        self.rng = rng or random.Random(0xDC)
+
+    def connect(self, dialer: Node, target: Node) -> Optional[ConnectionPath]:
+        """Attempt to reach a NAT-ed ``target``.
+
+        Requires the target's relay to be online for the introduction.
+        On hole-punch success the connection is direct (the relay drops
+        out of the data path); otherwise traffic stays relayed.
+        """
+        relay = target.overlay.ensure_relay(target)
+        if relay is None or not relay.online:
+            return None
+        if self.rng.random() < self.success_prob:
+            return ConnectionPath(direct=True, via_relay=relay)
+        return ConnectionPath(direct=False, via_relay=relay)

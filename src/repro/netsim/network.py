@@ -1,0 +1,523 @@
+"""The simulated IPFS overlay.
+
+The :class:`Overlay` owns every runtime node, the online registry, the
+keyspace oracle, the provider-record registry and the routing-table
+book-keeping (including *stale entries*: peers that went offline but are
+still referenced in other peers' k-buckets, which is why DHT crawls
+discover more peers than are crawlable — paper §3).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.ids.cid import CID
+from repro.ids.keys import KEY_BITS
+from repro.ids.multiaddr import Multiaddr
+from repro.ids.peerid import PeerID
+from repro.kademlia.messages import PeerInfo
+from repro.kademlia.providers import DEFAULT_RECORD_TTL, ProviderRecord
+from repro.kademlia.routing_table import RoutingTable
+from repro.netsim.clock import EventScheduler, SECONDS_PER_HOUR
+from repro.netsim.node import Node
+from repro.netsim.oracle import KeyspaceOracle
+from repro.world.population import NodeClass, NodeSpec, World
+
+
+class ProviderRegistry:
+    """Network-wide provider-record state.
+
+    In the real network each record lives on the ~20 resolvers closest to
+    the CID.  Storing 20 physical copies per record is pure memory overhead
+    for the analyses, so the registry keeps one logical copy and answers
+    "is this node currently a resolver for that CID?" via the keyspace
+    oracle at query time (see DESIGN.md, fast-path substitutions).
+    """
+
+    def __init__(self, ttl: float = DEFAULT_RECORD_TTL, max_per_cid: int = 200) -> None:
+        self.ttl = ttl
+        self.max_per_cid = max_per_cid
+        self._records: Dict[CID, Dict[PeerID, ProviderRecord]] = {}
+        #: earliest ``published_at`` per CID — lets ``get`` skip the prune
+        #: entirely while nothing can have expired yet.
+        self._oldest: Dict[CID, float] = {}
+
+    def add(self, record: ProviderRecord) -> None:
+        by_provider = self._records.setdefault(record.cid, {})
+        by_provider[record.provider] = record
+        oldest = self._oldest.get(record.cid)
+        if oldest is None or record.published_at < oldest:
+            self._oldest[record.cid] = record.published_at
+        if len(by_provider) > self.max_per_cid:
+            victim = min(by_provider.values(), key=lambda rec: rec.published_at)
+            del by_provider[victim.provider]
+
+    def _prune(self, cid: CID, now: float) -> None:
+        by_provider = self._records.get(cid)
+        if not by_provider:
+            return
+        alive = {
+            provider: record
+            for provider, record in by_provider.items()
+            if now - record.published_at < self.ttl
+        }
+        if alive:
+            self._records[cid] = alive
+            self._oldest[cid] = min(record.published_at for record in alive.values())
+        else:
+            del self._records[cid]
+            self._oldest.pop(cid, None)
+
+    def get(self, cid: CID, now: float) -> List[ProviderRecord]:
+        by_provider = self._records.get(cid)
+        if not by_provider:
+            return []
+        if now - self._oldest.get(cid, now) >= self.ttl:
+            self._prune(cid, now)
+            by_provider = self._records.get(cid, {})
+        return list(by_provider.values())
+
+    def has_records(self, cid: CID, now: float) -> bool:
+        return bool(self.get(cid, now))
+
+    def cids(self) -> List[CID]:
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return sum(len(by_provider) for by_provider in self._records.values())
+
+
+class Overlay:
+    """The global network state and its mechanics."""
+
+    def __init__(
+        self,
+        world: World,
+        scheduler: Optional[EventScheduler] = None,
+        rng: Optional[random.Random] = None,
+        k: int = 20,
+        refresh_interval_hours: float = 6.0,
+        stale_detect_prob: float = 0.85,
+    ) -> None:
+        self.world = world
+        self.scheduler = scheduler or EventScheduler()
+        self.rng = rng or random.Random(world.profile.seed + 1)
+        self.k = k
+        self.refresh_interval_hours = refresh_interval_hours
+        self.stale_detect_prob = stale_detect_prob
+
+        self.nodes: List[Node] = [Node(spec, self) for spec in world.specs]
+        self.online_by_peer: Dict[PeerID, Node] = {}
+        self.oracle = KeyspaceOracle()
+        self.providers = ProviderRegistry()
+        #: peer ID -> nodes whose routing table currently references it.
+        self._holders: Dict[PeerID, Set[Node]] = {}
+        #: last announced addresses per peer ID (stale peers keep theirs).
+        self._last_infos: Dict[PeerID, PeerInfo] = {}
+        #: persistent peer IDs per spec index (survive sessions w/o regen).
+        self._persistent_peer: Dict[int, PeerID] = {}
+        self._persistent_ips: Dict[int, List[int]] = {}
+        #: whether a spec offers the circuit-relay service (stable trait).
+        self._relay_capable: Dict[int, bool] = {}
+
+    # ------------------------------------------------------------------
+    # clock helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.scheduler.clock.now
+
+    def nodes_of_class(self, node_class: NodeClass) -> List[Node]:
+        return [node for node in self.nodes if node.node_class is node_class]
+
+    def online_servers(self) -> List[Node]:
+        return [node for node in self.online_by_peer.values() if node.is_dht_server]
+
+    def online_nat_clients(self) -> List[Node]:
+        return [node for node in self.online_by_peer.values() if not node.is_dht_server]
+
+    # ------------------------------------------------------------------
+    # join / leave mechanics
+    # ------------------------------------------------------------------
+
+    def _assign_identity(self, node: Node, rotate_ip: bool, regen_peer: bool) -> None:
+        spec = node.spec
+        if regen_peer or spec.index not in self._persistent_peer:
+            self._persistent_peer[spec.index] = PeerID.generate(self.rng)
+        node.peer = self._persistent_peer[spec.index]
+        if rotate_ip or spec.index not in self._persistent_ips:
+            allocator = self.world.allocator
+            ips = []
+            for position in range(spec.num_addrs):
+                block = spec.blocks[position % len(spec.blocks)]
+                try:
+                    ips.append(allocator.next_address(block))
+                except RuntimeError:
+                    ips.append(allocator.random_address(block, self.rng))
+            self._persistent_ips[spec.index] = ips
+        node.ips = list(self._persistent_ips[spec.index])
+
+    def bring_online(
+        self, node: Node, rotate_ip: bool = False, regen_peer: bool = False
+    ) -> None:
+        """Start a session for ``node``: identity, registration, DHT join."""
+        if node.online:
+            return
+        self._assign_identity(node, rotate_ip, regen_peer)
+        node.sample_session_traits(self.rng)
+        node.online = True
+        node.session_started_at = self.now
+        node.sessions_seen += 1
+        if node.peer in self.online_by_peer:
+            # Peer-ID collision from a returning identity raced by a ghost;
+            # regenerate to keep the registry one-to-one.
+            self._assign_identity(node, rotate_ip, regen_peer=True)
+        self.online_by_peer[node.peer] = node
+        if not node.is_dht_server:
+            node.relay = self.pick_relay(exclude=node)
+        else:
+            self.oracle.add(node.peer)
+        self._last_infos[node.peer] = node.peer_info()
+        if node.is_dht_server:
+            self._join_dht(node)
+
+    def rotate_addresses(self, node: Node) -> None:
+        """Mid-session DHCP re-lease: the node's addresses change while it
+        stays online with the same peer ID."""
+        if not node.online or node.peer is None:
+            return
+        allocator = self.world.allocator
+        spec = node.spec
+        ips = []
+        for position in range(spec.num_addrs):
+            block = spec.blocks[position % len(spec.blocks)]
+            try:
+                ips.append(allocator.next_address(block))
+            except RuntimeError:
+                ips.append(allocator.random_address(block, self.rng))
+        self._persistent_ips[spec.index] = ips
+        node.ips = list(ips)
+        self._last_infos[node.peer] = node.peer_info()
+
+    def take_offline(self, node: Node) -> None:
+        """End the session: unregister; stale table entries linger."""
+        if not node.online:
+            return
+        node.online = False
+        if node.peer is not None:
+            self.online_by_peer.pop(node.peer, None)
+            if node.is_dht_server:
+                self.oracle.remove(node.peer)
+        node.relay = None
+        # Routing-table state of the departed node is dropped; peers that
+        # reference it keep a stale entry until their next refresh.
+        if node.routing_table is not None:
+            for peer in node.routing_table.peers():
+                holders = self._holders.get(peer)
+                if holders is not None:
+                    holders.discard(node)
+            node.routing_table = None
+
+    # ------------------------------------------------------------------
+    # DHT join, refresh, stale handling
+    # ------------------------------------------------------------------
+
+    def _expected_depth(self) -> int:
+        size = max(len(self.oracle), 2)
+        return int(math.log2(size)) + 1
+
+    def _fill_routing_table(self, node: Node) -> None:
+        """Populate the joiner's k-buckets.
+
+        Fast path equivalent of the self-lookup walk a joining node
+        performs: each bucket is filled with up to ``k`` random online
+        servers from that bucket's subtree (see DESIGN.md).
+        """
+        table = RoutingTable(node.peer, bucket_size=self.k)
+        own = node.peer.dht_key
+        empty_streak = 0
+        max_depth = self._expected_depth() + 8
+        for bucket_idx in range(KEY_BITS):
+            shift = KEY_BITS - bucket_idx - 1
+            prefix_base = (((own >> shift) ^ 1) << shift)
+            peers = self.oracle.sample_range(prefix_base, bucket_idx + 1, self.k, self.rng)
+            found = False
+            for peer in peers:
+                if peer != node.peer and table.add(peer):
+                    self._holders.setdefault(peer, set()).add(node)
+                    found = True
+            if found:
+                empty_streak = 0
+            else:
+                empty_streak += 1
+                if bucket_idx > max_depth and empty_streak >= 3:
+                    break
+        node.routing_table = table
+
+    def _join_dht(self, node: Node) -> None:
+        self._fill_routing_table(node)
+        # The join walk makes the newcomer known: the k closest peers store
+        # it in their (near, sparse) buckets, and a handful of random peers
+        # contacted along the way may opportunistically add it.
+        for neighbor_peer in self.oracle.closest(node.peer.dht_key, self.k):
+            self._try_table_insert(self.online_by_peer.get(neighbor_peer), node.peer)
+        contacted = min(len(self.online_by_peer), 24)
+        for neighbor_peer in self.rng.sample(list(self.online_by_peer), contacted):
+            neighbor = self.online_by_peer[neighbor_peer]
+            if neighbor.is_dht_server:
+                self._try_table_insert(neighbor, node.peer)
+
+    def _try_table_insert(
+        self, holder: Optional[Node], peer: PeerID, force_prob: float = 0.0
+    ) -> bool:
+        """Attempt to place ``peer`` into ``holder``'s table.
+
+        Classic Kademlia only evicts dead entries; ``force_prob`` models
+        modified, aggressively connected clients that stay at the fresh
+        end of buckets and eventually displace the incumbent.
+        """
+        if (
+            holder is None
+            or not holder.online
+            or holder.routing_table is None
+            or peer == holder.peer
+        ):
+            return False
+        table = holder.routing_table
+        bucket = table.bucket(table.bucket_index_for(peer))
+        if bucket.is_full and peer not in bucket:
+            # Kademlia evicts an entry only if it is dead; check the oldest.
+            oldest = bucket.oldest()
+            if oldest is not None and (
+                oldest not in self.online_by_peer or self.rng.random() < force_prob
+            ):
+                table.remove(oldest)
+                holders = self._holders.get(oldest)
+                if holders is not None:
+                    holders.discard(holder)
+        if table.add(peer):
+            self._holders.setdefault(peer, set()).add(holder)
+            return True
+        return False
+
+    def advertise_presence(self, node: Node, attempts: int = 40) -> int:
+        """Aggressive self-insertion used by modified clients (e.g. the
+        Filebase nodes the paper finds at the top of the in-degree
+        distribution, §4).  A modified client keeps its connections warm,
+        so it occasionally displaces the least-recently seen incumbent."""
+        if not node.online or node.peer is None:
+            return 0
+        inserted = 0
+        servers = self.online_servers()
+        if not servers:
+            return 0
+        for target in self.rng.sample(servers, min(attempts, len(servers))):
+            if self._try_table_insert(target, node.peer, force_prob=0.35):
+                inserted += 1
+        return inserted
+
+    def refresh_node(self, node: Node) -> None:
+        """One maintenance pass: evict dead entries, top up buckets."""
+        if not node.online or node.routing_table is None:
+            return
+        table = node.routing_table
+        for peer in table.peers():
+            if peer not in self.online_by_peer and self.rng.random() < self.stale_detect_prob:
+                table.remove(peer)
+                holders = self._holders.get(peer)
+                if holders is not None:
+                    holders.discard(node)
+        own = node.peer.dht_key
+        for bucket_idx in range(min(self._expected_depth() + 4, KEY_BITS)):
+            bucket = table.bucket(bucket_idx)
+            missing = self.k - len(bucket)
+            if missing <= 0:
+                continue
+            shift = KEY_BITS - bucket_idx - 1
+            prefix_base = (((own >> shift) ^ 1) << shift)
+            for peer in self.oracle.sample_range(prefix_base, bucket_idx + 1, missing * 2, self.rng):
+                if peer != node.peer and peer not in bucket and table.add(peer):
+                    self._holders.setdefault(peer, set()).add(node)
+
+    def refresh_all(self) -> None:
+        """A network-wide maintenance pass (run periodically by scenarios)."""
+        for node in list(self.online_by_peer.values()):
+            if node.is_dht_server:
+                self.refresh_node(node)
+
+    def schedule_periodic_refresh(self) -> None:
+        interval = self.refresh_interval_hours * SECONDS_PER_HOUR
+
+        def tick() -> None:
+            self.refresh_all()
+            self.scheduler.schedule_in(interval, tick)
+
+        self.scheduler.schedule_in(interval, tick)
+
+    # ------------------------------------------------------------------
+    # relays (circuit relay protocol, §2/§6)
+    # ------------------------------------------------------------------
+
+    #: Probability a node of a class offers the circuit-relay service.
+    #: Stable home servers often enable it; ephemeral nodes and gateway
+    #: pools rarely do.
+    RELAY_CAPABILITY = {
+        NodeClass.CLOUD_STABLE: 0.55,
+        NodeClass.RESIDENTIAL_STABLE: 0.95,
+        NodeClass.RESIDENTIAL_EPHEMERAL: 0.30,
+        NodeClass.HYBRID: 0.80,
+        NodeClass.PLATFORM: 0.90,
+        NodeClass.GATEWAY: 0.20,
+        NodeClass.NAT_CLIENT: 0.0,
+    }
+
+    def _is_relay_capable(self, node: Node) -> bool:
+        if node.spec.index not in self._relay_capable:
+            probability = self.RELAY_CAPABILITY[node.node_class]
+            self._relay_capable[node.spec.index] = self.rng.random() < probability
+        return self._relay_capable[node.spec.index]
+
+    def pick_relay(self, exclude: Optional[Node] = None) -> Optional[Node]:
+        """A NAT-ed peer connects to a random relay-capable DHT server."""
+        servers = [
+            node
+            for node in self.online_by_peer.values()
+            if node.is_dht_server and node is not exclude and self._is_relay_capable(node)
+        ]
+        if not servers:
+            return None
+        return self.rng.choice(servers)
+
+    def ensure_relay(self, node: Node) -> Optional[Node]:
+        """NAT clients re-select their relay when it disappears."""
+        if node.relay is None or not node.relay.online:
+            node.relay = self.pick_relay(exclude=node)
+            if node.peer is not None and node.relay is not None:
+                self._last_infos[node.peer] = node.peer_info()
+        return node.relay
+
+    # ------------------------------------------------------------------
+    # queries (used by the measurement tooling)
+    # ------------------------------------------------------------------
+
+    def peer_infos(self, peers: List[PeerID]) -> List[PeerInfo]:
+        """Last-announced PeerInfo for each peer (stale peers included —
+        their old addresses are what the DHT still hands out)."""
+        infos = []
+        for peer in peers:
+            info = self._last_infos.get(peer)
+            if info is None:
+                info = PeerInfo(peer=peer, addrs=())
+            infos.append(info)
+        return infos
+
+    def dial(self, peer: PeerID, timeout: float = 180.0) -> Optional[Node]:
+        """Attempt to connect to a peer; None models a failed/timed-out dial."""
+        node = self.online_by_peer.get(peer)
+        if node is None or not node.is_dht_server:
+            return None
+        if not node.reachable or node.response_latency > timeout:
+            return None
+        return node
+
+    def find_node_query(self, timeout: float = 180.0):
+        """A :func:`repro.kademlia.lookup` query callable over this overlay."""
+
+        def query(peer: PeerID, target_key: int):
+            node = self.dial(peer, timeout)
+            if node is None:
+                return None
+            return node.handle_find_node(target_key, self.k)
+
+        return query
+
+    def get_providers_query(self, timeout: float = 180.0):
+        def query(peer: PeerID, cid: CID):
+            node = self.dial(peer, timeout)
+            if node is None:
+                return None
+            return node.handle_get_providers(cid, self.k)
+
+        return query
+
+    def provider_records_at(self, node: Node, cid: CID) -> List[ProviderRecord]:
+        """Records ``node`` would return for ``cid`` — only resolvers
+        (the k closest servers to the CID) hold them."""
+        if node.peer is None:
+            return []
+        resolvers = self.oracle.closest(cid.dht_key, self.k)
+        if node.peer not in resolvers:
+            return []
+        return self.providers.get(cid, self.now)
+
+    def resolvers_for(self, cid: CID) -> List[PeerID]:
+        return self.oracle.closest(cid.dht_key, self.k)
+
+    # ------------------------------------------------------------------
+    # provide / content plumbing
+    # ------------------------------------------------------------------
+
+    def publish_provider_record(self, node: Node, cid: CID) -> Optional[ProviderRecord]:
+        """Execute the effect of a Provide(): store a provider record
+        mapping the CID to the node's current multiaddresses."""
+        if not node.online or node.peer is None:
+            return None
+        if not node.is_dht_server:
+            self.ensure_relay(node)
+        addrs = tuple(node.multiaddrs())
+        if not addrs:
+            return None
+        record = ProviderRecord(cid=cid, provider=node.peer, addrs=addrs, published_at=self.now)
+        self.providers.add(record)
+        node.provided_cids.add(cid)
+        return record
+
+    def is_provider_reachable(self, record: ProviderRecord) -> bool:
+        """The §6 reachability verification: can the provider be reached at
+        record-collection time (directly, or through its relay)?"""
+        node = self.online_by_peer.get(record.provider)
+        if node is None:
+            return False
+        if node.is_dht_server:
+            return node.reachable
+        # NAT-ed: reachable while its advertised relay is still up.
+        relays = {addr.relay for addr in record.addrs if addr.relay is not None}
+        return any(relay in self.online_by_peer for relay in relays)
+
+    # ------------------------------------------------------------------
+    # bootstrap
+    # ------------------------------------------------------------------
+
+    def bootstrap(self) -> None:
+        """Bring the steady-state population online at t=0.
+
+        Each spec starts online with probability equal to its class
+        uptime, so crawl #1 already sees a typical snapshot.
+        """
+        starters = [
+            node for node in self.nodes if self.rng.random() < node.spec.behavior.uptime
+        ]
+        # Join servers in random order; tables fill against the oracle as
+        # it grows, then a global refresh evens out early joiners.
+        self.rng.shuffle(starters)
+        for node in starters:
+            if node.is_dht_server:
+                self.bring_online(node)
+        for node in starters:
+            if not node.is_dht_server:
+                self.bring_online(node)
+        self.refresh_all()
+
+
+def in_degree_counts(overlay: Overlay) -> Dict[PeerID, int]:
+    """How often each peer appears in other peers' buckets (the estimate
+    of in-degree the paper uses, §4)."""
+    counts: Dict[PeerID, int] = {}
+    for peer, holders in overlay._holders.items():
+        live_holders = sum(1 for holder in holders if holder.online)
+        if live_holders:
+            counts[peer] = live_holders
+    return counts

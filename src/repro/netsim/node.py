@@ -1,0 +1,167 @@
+"""A live IPFS node in the simulation.
+
+A :class:`Node` is the runtime incarnation of a :class:`NodeSpec`
+(the physical participant).  Across its lifetime a node may go on- and
+offline many times, rotate its IP addresses and even regenerate its peer
+ID — the spec stays, the identifiers change.  This is the behaviour the
+paper's counting-methodology analysis (§3) hinges on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.ids.multiaddr import Multiaddr
+from repro.ids.peerid import PeerID
+from repro.kademlia.messages import PeerInfo
+from repro.kademlia.routing_table import RoutingTable
+from repro.world.population import NodeClass, NodeSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.netsim.network import Overlay
+
+#: Default libp2p swarm port.
+DEFAULT_PORT = 4001
+
+#: Dial-success probability per node class: the share of crawl attempts a
+#: node of this class answers (connection limits, firewalls, slow links).
+#: Calibrated so ≈70 % of discovered peers are crawlable (paper §3).
+REACHABILITY = {
+    NodeClass.CLOUD_STABLE: 0.78,
+    NodeClass.RESIDENTIAL_STABLE: 0.66,
+    NodeClass.RESIDENTIAL_EPHEMERAL: 0.42,
+    NodeClass.HYBRID: 0.85,
+    NodeClass.PLATFORM: 0.98,
+    NodeClass.GATEWAY: 0.95,
+    NodeClass.NAT_CLIENT: 0.0,  # never directly dialable
+}
+
+#: Median response latency (seconds) and lognormal sigma per class, for
+#: the crawl-timeout ablation.  Residential links are slow and jittery.
+LATENCY_PROFILE = {
+    NodeClass.CLOUD_STABLE: (0.15, 0.6),
+    NodeClass.RESIDENTIAL_STABLE: (1.5, 1.4),
+    NodeClass.RESIDENTIAL_EPHEMERAL: (6.0, 1.8),
+    NodeClass.HYBRID: (0.3, 0.8),
+    NodeClass.PLATFORM: (0.08, 0.3),
+    NodeClass.GATEWAY: (0.12, 0.4),
+    NodeClass.NAT_CLIENT: (3.0, 1.5),
+}
+
+
+class Node:
+    """Runtime state of one participant."""
+
+    __slots__ = (
+        "spec",
+        "overlay",
+        "peer",
+        "ips",
+        "port",
+        "online",
+        "routing_table",
+        "relay",
+        "reachable",
+        "response_latency",
+        "session_started_at",
+        "sessions_seen",
+        "provided_cids",
+        "bitswap_neighbors_weight",
+    )
+
+    def __init__(self, spec: NodeSpec, overlay: "Overlay") -> None:
+        self.spec = spec
+        self.overlay = overlay
+        self.peer: Optional[PeerID] = None
+        self.ips: List[int] = []
+        self.port = DEFAULT_PORT
+        self.online = False
+        self.routing_table: Optional[RoutingTable] = None
+        self.relay: Optional["Node"] = None  # for NAT clients
+        self.reachable = False
+        self.response_latency = 0.0
+        self.session_started_at = 0.0
+        self.sessions_seen = 0
+        self.provided_cids: set = set()
+        # Relative likelihood of holding a Bitswap connection to any given
+        # peer; gateways/platforms keep hundreds of connections.
+        self.bitswap_neighbors_weight = 1.0
+
+    # -- identity -----------------------------------------------------------
+
+    @property
+    def node_class(self) -> NodeClass:
+        return self.spec.node_class
+
+    @property
+    def is_dht_server(self) -> bool:
+        return self.spec.node_class.is_dht_server
+
+    def mint_peer_id(self, rng) -> PeerID:
+        """Generate and adopt a fresh peer ID (new key pair)."""
+        self.peer = PeerID.generate(rng)
+        return self.peer
+
+    def sample_session_traits(self, rng) -> None:
+        """Draw this session's reachability and latency."""
+        self.reachable = rng.random() < REACHABILITY[self.node_class]
+        median, sigma = LATENCY_PROFILE[self.node_class]
+        self.response_latency = median * pow(2.718281828, rng.gauss(0.0, sigma))
+
+    # -- addressing -----------------------------------------------------------
+
+    def multiaddrs(self) -> List[Multiaddr]:
+        """The addresses this node currently announces.
+
+        NAT clients announce circuit addresses through their relay; public
+        nodes announce one direct address per IP.
+        """
+        if self.peer is None:
+            return []
+        if self.node_class is NodeClass.NAT_CLIENT:
+            if self.relay is None or self.relay.peer is None:
+                return []
+            relay = self.relay
+            return [
+                Multiaddr.circuit(relay.primary_ip_str, relay.port, relay.peer, self.peer)
+            ]
+        from repro.world.ipspace import format_ip
+
+        return [Multiaddr.direct(format_ip(ip), self.port, self.peer) for ip in self.ips]
+
+    @property
+    def primary_ip(self) -> Optional[int]:
+        return self.ips[0] if self.ips else None
+
+    @property
+    def primary_ip_str(self) -> str:
+        from repro.world.ipspace import format_ip
+
+        if not self.ips:
+            raise ValueError("node has no address")
+        return format_ip(self.ips[0])
+
+    def peer_info(self) -> PeerInfo:
+        if self.peer is None:
+            raise ValueError("node has no peer ID (offline?)")
+        return PeerInfo(peer=self.peer, addrs=tuple(self.multiaddrs()))
+
+    # -- DHT server handlers --------------------------------------------------
+
+    def handle_find_node(self, target_key: int, k: int = 20) -> List[PeerInfo]:
+        """FIND_NODE: the k closest peers to ``target_key`` in our table."""
+        if self.routing_table is None:
+            return []
+        peers = self.routing_table.closest(target_key, k)
+        return self.overlay.peer_infos(peers)
+
+    def handle_get_providers(self, cid, k: int = 20):
+        """GET_PROVIDERS: provider records if we are a resolver for the CID,
+        plus closer peers from our table."""
+        records = self.overlay.provider_records_at(self, cid)
+        closer = self.handle_find_node(cid.dht_key, k)
+        return records, closer
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "online" if self.online else "offline"
+        return f"<Node #{self.spec.index} {self.spec.node_class.value} {state}>"

@@ -1,0 +1,112 @@
+"""A sorted index over the online DHT-server keyspace.
+
+Several simulation steps need "the k XOR-closest online servers to a key":
+provider-record placement, routing-table construction and refresh.  Running
+a full iterative walk for each would be prohibitively slow at network
+scale, and — crucially — the *result* of a healthy Kademlia walk is exactly
+the set this index returns.  The exact walk remains available in
+:mod:`repro.kademlia.lookup` and is used by the measurement code paths
+(crawler, provider fetcher); the oracle is the fast path for *network-side*
+behaviour.  DESIGN.md documents this substitution.
+
+The XOR-closest query exploits a property of the metric: the k closest
+keys to a target all lie inside the smallest *aligned binary subtree*
+(prefix range) around the target containing at least k keys, and prefix
+ranges are contiguous in sorted order.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from typing import Dict, List
+
+from repro.ids.keys import KEY_BITS
+from repro.ids.peerid import PeerID
+
+
+class KeyspaceOracle:
+    """Sorted (dht_key, peer) index of online DHT servers."""
+
+    def __init__(self) -> None:
+        self._keys: List[int] = []
+        self._by_key: Dict[int, PeerID] = {}
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, peer: PeerID) -> bool:
+        return self._by_key.get(peer.dht_key) == peer
+
+    def add(self, peer: PeerID) -> None:
+        key = peer.dht_key
+        if key in self._by_key:
+            if self._by_key[key] != peer:
+                raise ValueError("DHT key collision between distinct peers")
+            return
+        self._by_key[key] = peer
+        insort(self._keys, key)
+
+    def remove(self, peer: PeerID) -> None:
+        key = peer.dht_key
+        if self._by_key.get(key) != peer:
+            return
+        del self._by_key[key]
+        index = bisect_left(self._keys, key)
+        if index < len(self._keys) and self._keys[index] == key:
+            del self._keys[index]
+
+    def peers(self) -> List[PeerID]:
+        return [self._by_key[key] for key in self._keys]
+
+    def closest(self, target: int, count: int) -> List[PeerID]:
+        """The ``count`` online servers XOR-closest to ``target``.
+
+        Finds the smallest aligned prefix range around the target holding
+        at least ``3 * count`` keys (or everything), then exact-sorts that
+        slice by XOR distance.  The overshoot factor guarantees the true
+        closest set is contained: a prefix range with >= count keys
+        sharing a longer prefix than anything outside it dominates all
+        outside keys in XOR distance.
+        """
+        keys = self._keys
+        if not keys or count <= 0:
+            return []
+        want = min(len(keys), 3 * count)
+        low, high = 0, len(keys)
+        # Shrink the aligned range while it still holds enough keys.
+        for prefix_len in range(1, KEY_BITS + 1):
+            shift = KEY_BITS - prefix_len
+            range_base = (target >> shift) << shift
+            new_low = bisect_left(keys, range_base, low, high)
+            new_high = bisect_left(keys, range_base + (1 << shift), low, high)
+            if new_high - new_low < want:
+                break
+            low, high = new_low, new_high
+        candidates = keys[low:high]
+        if len(candidates) < want:
+            # Expand symmetrically in sorted order to regain the overshoot.
+            extra = want - len(candidates)
+            low = max(0, low - extra)
+            high = min(len(keys), high + extra)
+            candidates = keys[low:high]
+        candidates.sort(key=lambda key: key ^ target)
+        return [self._by_key[key] for key in candidates[:count]]
+
+    def sample_range(self, prefix: int, prefix_len: int, count: int, rng) -> List[PeerID]:
+        """Up to ``count`` random online servers whose keys share the given
+        prefix — the population of one k-bucket subtree."""
+        if prefix_len <= 0:
+            low_index, high_index = 0, len(self._keys)
+        else:
+            shift = KEY_BITS - prefix_len
+            base = (prefix >> shift) << shift
+            low_index = bisect_left(self._keys, base)
+            high_index = bisect_left(self._keys, base + (1 << shift))
+        size = high_index - low_index
+        if size <= 0:
+            return []
+        if size <= count:
+            chosen = range(low_index, high_index)
+        else:
+            chosen = rng.sample(range(low_index, high_index), count)
+        return [self._by_key[self._keys[index]] for index in chosen]

@@ -1,0 +1,14 @@
+"""End-to-end measurement campaigns.
+
+* :mod:`repro.scenario.config` — campaign configuration with a
+  laptop-scale default and the paper-scale preset,
+* :mod:`repro.scenario.run` — builds the world, runs the simulated
+  measurement period (churn, traffic, crawls, provider fetches) and the
+  one-shot entry-point measurements, returning every dataset the §4-§7
+  analyses consume.
+"""
+
+from repro.scenario.config import ScenarioConfig
+from repro.scenario.run import CampaignResult, MeasurementCampaign, run_campaign
+
+__all__ = ["CampaignResult", "MeasurementCampaign", "ScenarioConfig", "run_campaign"]

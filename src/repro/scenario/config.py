@@ -1,0 +1,91 @@
+"""Campaign configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.content.workload import WorkloadConfig
+from repro.dns.seeding import DNSLinkSeedConfig
+from repro.ens.seeding import ENSSeedConfig
+from repro.world.profiles import WorldProfile
+
+
+@dataclass
+class ScenarioConfig:
+    """Everything a :class:`~repro.scenario.run.MeasurementCampaign` needs.
+
+    The default is laptop-scale (seconds to minutes); ``paper_scale()``
+    reproduces the paper's dimensions (≈25.8 k online servers, 38 days,
+    101 crawls, 200 k daily CID samples) at a correspondingly heavy cost.
+    All reported quantities are shares and are approximately
+    scale-invariant, which is what the benches check.
+    """
+
+    profile: WorldProfile = field(default_factory=WorldProfile)
+    days: int = 8
+    #: days of churn+traffic before measurements start (lets ghost
+    #: entries, caches and provider records reach steady state).
+    warmup_days: int = 1
+    crawls_per_day: float = 2.66
+    ticks_per_day: int = 4
+    #: daily Bitswap-derived CID sample fed to the provider fetcher.
+    daily_cid_sample: int = 400
+    #: how many trailing days run the provider-record collection.
+    provider_fetch_days: int = 6
+    hydra_heads: int = 20
+    gateway_probes_per_endpoint: int = 60
+    workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+    dns: DNSLinkSeedConfig = field(default_factory=DNSLinkSeedConfig)
+    ens: ENSSeedConfig = field(default_factory=ENSSeedConfig)
+    #: disable the content workload for crawl-only campaigns (the cheap
+    #: way to run the paper's full 38-day / 101-crawl temporal design).
+    traffic_enabled: bool = True
+    seed: int = 2023
+
+    @property
+    def num_crawls(self) -> int:
+        return max(1, round(self.days * self.crawls_per_day))
+
+    def scaled(self, online_servers: int) -> "ScenarioConfig":
+        return replace(self, profile=self.profile.scaled(online_servers))
+
+    @classmethod
+    def smoke(cls) -> "ScenarioConfig":
+        """A tiny configuration for fast tests."""
+        return cls(
+            profile=WorldProfile(online_servers=400),
+            days=3,
+            daily_cid_sample=120,
+            provider_fetch_days=2,
+            gateway_probes_per_endpoint=8,
+            dns=DNSLinkSeedConfig(background_domains=800, dnslink_domains=120),
+            ens=ENSSeedConfig(num_names=150),
+        )
+
+    @classmethod
+    def paper_horizon(cls, online_servers: int = 700) -> "ScenarioConfig":
+        """The paper's *temporal* design — 38 days, 101 crawls — at a
+        reduced network size.  Crawl-only (no traffic), so the
+        G-IP-vs-A-N divergence (Figs. 3-6) is measured over the same
+        number of aggregated crawls as the paper's dataset."""
+        return cls(
+            profile=WorldProfile(online_servers=online_servers),
+            days=38,
+            crawls_per_day=101 / 38,
+            traffic_enabled=False,
+            daily_cid_sample=0,
+            provider_fetch_days=0,
+            gateway_probes_per_endpoint=4,
+        )
+
+    @classmethod
+    def paper_scale(cls) -> "ScenarioConfig":
+        """The paper's dimensions.  Heavy: hours of CPU, gigabytes of RAM."""
+        return cls(
+            profile=WorldProfile.paper_scale(),
+            days=38,
+            daily_cid_sample=200_000,
+            provider_fetch_days=28,
+            ens=ENSSeedConfig(num_names=20_600),
+        )

@@ -1,0 +1,265 @@
+"""Text renderings of the paper's figures.
+
+Each ``render_*`` function turns the corresponding report into a
+terminal-friendly figure (bar charts, concentration curves, CDFs) using
+:mod:`repro.viz`.  The CLI's ``--render`` flag and the examples use these
+to show the reproduced figures, not just their numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.scenario import report as R
+from repro.scenario.run import CampaignResult
+from repro.viz import bar_chart, cdf_chart, line_chart
+from repro.core import topology
+
+
+def render_fig3(result: CampaignResult) -> str:
+    f3 = R.fig3_report(result)
+    return "\n\n".join(
+        [
+            "Fig. 3 — participants of the IPFS DHT by cloud status",
+            bar_chart(f3["A-N"], "A-N (average over crawls, unique nodes):"),
+            bar_chart(f3["G-IP"], "G-IP (global, unique IPs):"),
+        ]
+    )
+
+
+def render_fig4(result: CampaignResult) -> str:
+    f4 = R.fig4_report(result)
+    gip = [(float(k), ratio) for k, ratio in f4["G-IP"]]
+    an = [(float(k), ratio) for k, ratio in f4["A-N"]]
+    return "\n\n".join(
+        [
+            "Fig. 4 — cloud:non-cloud ratio vs cumulative crawls",
+            line_chart(gip, "G-IP (decays as rotated IPs accumulate):",
+                       x_label="crawls", y_label="ratio"),
+            line_chart(an, "A-N (flat):", x_label="crawls", y_label="ratio"),
+        ]
+    )
+
+
+def render_fig5(result: CampaignResult) -> str:
+    f5 = R.fig5_report(result)
+    return "\n\n".join(
+        [
+            "Fig. 5 — nodes of the IPFS DHT by cloud provider",
+            bar_chart(f5["A-N"], "A-N:", limit=10),
+            bar_chart(f5["G-IP"], "G-IP:", limit=10),
+        ]
+    )
+
+
+def render_fig6(result: CampaignResult) -> str:
+    f6 = R.fig6_report(result)
+    return "\n\n".join(
+        [
+            "Fig. 6 — nodes of the IPFS DHT by origin country",
+            bar_chart(f6["A-N"], "A-N:", limit=10),
+            bar_chart(f6["G-IP"], "G-IP:", limit=10),
+        ]
+    )
+
+
+def render_fig7(result: CampaignResult) -> str:
+    snapshot = result.crawls.snapshots[-1]
+    outs = list(topology.out_degrees(snapshot).values())
+    ins = list(topology.estimated_in_degrees(snapshot).values())
+    return "\n\n".join(
+        [
+            "Fig. 7 — degree distribution (CDF)",
+            cdf_chart(outs, "out-degree:"),
+            cdf_chart(ins, "estimated in-degree:"),
+        ]
+    )
+
+
+def render_fig8(result: CampaignResult) -> str:
+    f8 = R.fig8_report(result, repetitions=3)
+    random_points = list(zip(f8["random_fractions"], f8["random_mean_lcc"]))
+    targeted_points = list(zip(f8["targeted_fractions"], f8["targeted_lcc"]))
+    return "\n\n".join(
+        [
+            "Fig. 8 — resilience to node removals (LCC share of remaining)",
+            line_chart(random_points, "random removal:", x_label="removed", y_label="LCC"),
+            line_chart(targeted_points, "targeted removal:", x_label="removed", y_label="LCC"),
+        ]
+    )
+
+
+def render_fig9(result: CampaignResult) -> str:
+    f9 = R.fig9_report(result)
+    sections = ["Fig. 9 — request frequency per identifier (days seen)"]
+    for label, key in (("CIDs", "cid_days"), ("IPs", "ip_days"), ("peer IDs", "peerid_days")):
+        histogram = f9[key]
+        total = sum(histogram.values())
+        shares = {f"{days}d": count / total for days, count in sorted(histogram.items())}
+        sections.append(bar_chart(shares, f"{label}:", limit=10))
+    return "\n\n".join(sections)
+
+
+def render_fig10(result: CampaignResult) -> str:
+    f10 = R.fig10_report(result)
+    return "\n\n".join(
+        [
+            "Fig. 10 — DHT/Bitswap peer-ID simplified Pareto chart",
+            line_chart(f10["dht_curve"], "DHT:", x_label="top share of peer IDs", y_label="traffic"),
+            line_chart(f10["bitswap_curve"], "Bitswap:", x_label="top share of peer IDs", y_label="traffic"),
+        ]
+    )
+
+
+def render_fig11(result: CampaignResult) -> str:
+    f11 = R.fig11_report(result)
+    return "\n\n".join(
+        [
+            "Fig. 11 — DHT/Bitswap IP simplified Pareto chart",
+            line_chart(f11["dht_curve"], "DHT:", x_label="top share of IPs", y_label="traffic"),
+            line_chart(f11["bitswap_curve"], "Bitswap:", x_label="top share of IPs", y_label="traffic"),
+        ]
+    )
+
+
+def render_fig12(result: CampaignResult) -> str:
+    f12 = R.fig12_report(result)
+    return "\n\n".join(
+        [
+            "Fig. 12 — cloud per traffic type",
+            bar_chart(
+                {
+                    "all (by IP count)": f12["overall_cloud_by_ip_count"],
+                    "download (by IP count)": f12["download_cloud_by_ip_count"],
+                    "advert (by IP count)": f12["advert_cloud_by_ip_count"],
+                    "all (by volume)": f12["overall_cloud_by_volume"],
+                    "download (by volume)": f12["download_cloud_by_volume"],
+                },
+                "cloud share:",
+            ),
+        ]
+    )
+
+
+def render_fig13(result: CampaignResult) -> str:
+    f13 = R.fig13_report(result)
+    return "\n\n".join(
+        [
+            "Fig. 13 — platforms generating traffic (reverse DNS)",
+            bar_chart(f13["dht_download"], "download:", limit=7),
+            bar_chart(f13["dht_advertisement"], "advertisement:", limit=7),
+            bar_chart(f13["bitswap"], "Bitswap:", limit=7),
+        ]
+    )
+
+
+def render_fig14(result: CampaignResult) -> str:
+    f14 = R.fig14_report(result)
+    return "\n\n".join(
+        [
+            "Fig. 14 — classification of providers",
+            bar_chart(f14["class_shares"], "unique providers by class:"),
+            bar_chart(f14["relay_provider_shares"], "relays of NAT-ed providers:", limit=7),
+        ]
+    )
+
+
+def render_fig15(result: CampaignResult) -> str:
+    f15 = R.fig15_report(result)
+    return "\n\n".join(
+        [
+            "Fig. 15 — provider-popularity Pareto chart",
+            line_chart(f15["curve"], "record appearances:", x_label="top share of peers",
+                       y_label="records"),
+            bar_chart(f15["record_shares_by_class"], "record appearances by class:"),
+        ]
+    )
+
+
+def render_fig16(result: CampaignResult) -> str:
+    f16 = R.fig16_report(result)
+    distribution = {
+        f">={threshold:.0%} cloud": share for threshold, share in f16["distribution"]
+    }
+    return "\n\n".join(
+        [
+            "Fig. 16 — CIDs classified by their providers' cloud share",
+            bar_chart(distribution, "fraction of CIDs with at least x cloud providers:", limit=11),
+        ]
+    )
+
+
+def render_fig17(result: CampaignResult) -> str:
+    f17 = R.fig17_report(result)
+    return "\n\n".join(
+        [
+            "Fig. 17 — DNSLink records pointing to IPFS content providers",
+            bar_chart(f17["provider_shares"], "DNSLink-serving IPs by provider:", limit=8),
+        ]
+    )
+
+
+def render_fig18(result: CampaignResult) -> str:
+    f18 = R.fig18_19_report(result)
+    return "\n\n".join(
+        [
+            "Fig. 18 — gateway frontend and overlay IPs by cloud provider",
+            bar_chart(f18["frontend_provider_shares"], "HTTP frontends:", limit=8),
+            bar_chart(f18["overlay_provider_shares"], "overlay nodes:", limit=8),
+        ]
+    )
+
+
+def render_fig19(result: CampaignResult) -> str:
+    f18 = R.fig18_19_report(result)
+    return "\n\n".join(
+        [
+            "Fig. 19 — gateway frontend and overlay IPs by geolocation",
+            bar_chart(f18["frontend_country_shares"], "HTTP frontends:", limit=8),
+            bar_chart(f18["overlay_country_shares"], "overlay nodes:", limit=8),
+        ]
+    )
+
+
+def render_fig20(result: CampaignResult) -> str:
+    f20 = R.fig20_report(result)
+    return "\n\n".join(
+        [
+            "Fig. 20 — content providers of IPFS content on ENS records",
+            bar_chart(dict(f20["top_providers"]), "by cloud provider (unique IPs):"),
+            bar_chart(dict(f20["top_countries"]), "by geolocation (unique IPs):"),
+        ]
+    )
+
+
+RENDERERS: Dict[str, Callable[[CampaignResult], str]] = {
+    "fig3": render_fig3,
+    "fig4": render_fig4,
+    "fig5": render_fig5,
+    "fig6": render_fig6,
+    "fig7": render_fig7,
+    "fig8": render_fig8,
+    "fig9": render_fig9,
+    "fig10": render_fig10,
+    "fig11": render_fig11,
+    "fig12": render_fig12,
+    "fig13": render_fig13,
+    "fig14": render_fig14,
+    "fig15": render_fig15,
+    "fig16": render_fig16,
+    "fig17": render_fig17,
+    "fig18": render_fig18,
+    "fig19": render_fig19,
+    "fig20": render_fig20,
+}
+
+
+def render(result: CampaignResult, figure: str) -> str:
+    """Render one figure by name (``fig3`` … ``fig20``)."""
+    try:
+        renderer = RENDERERS[figure]
+    except KeyError:
+        raise ValueError(
+            f"unknown figure {figure!r}; choose from {sorted(RENDERERS)}"
+        ) from None
+    return renderer(result)

@@ -1,0 +1,310 @@
+"""The end-to-end measurement campaign (paper §3, Fig. 2 architecture).
+
+Builds the synthetic world and network, runs the simulated measurement
+period — churn and traffic interleaved with periodic DHT crawls and daily
+provider-record collection — and finally the one-shot entry-point
+measurements (gateway probing, active DNS scan, ENS scrape).  The result
+object carries every dataset the §4-§7 analyses need.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.content.catalog import ContentCatalog
+from repro.content.workload import TrafficEngine
+from repro.core.crawler import CrawlDataset, DHTCrawler
+from repro.dns.scanner import ActiveScanner, DNSLinkScanResult
+from repro.dns.seeding import DNSWorld, seed_dns_world
+from repro.ens.scraper import ENSContenthashScraper, ENSScrapeResult
+from repro.ens.seeding import ENSWorld, seed_ens_world
+from repro.gateway.operators import default_operators, install_gateway_specs
+from repro.gateway.registry import PublicGatewayRegistry
+from repro.gateway.service import GatewayService
+from repro.ids.peerid import PeerID
+from repro.monitors.bitswap_monitor import BitswapMonitor
+from repro.monitors.gateway_probe import GatewayProbeReport, GatewayProber
+from repro.monitors.hydra import HydraBooster
+from repro.monitors.provider_fetcher import ProviderObservation, ProviderRecordFetcher
+from repro.netsim.churn import ChurnProcess, DailyAddressRotation, PresenceAdvertiser
+from repro.netsim.clock import SECONDS_PER_DAY
+from repro.netsim.network import Overlay
+from repro.netsim.node import Node
+from repro.scenario.config import ScenarioConfig
+from repro.world.population import NodeClass, NodeSpec, PopulationBuilder, World
+
+
+@dataclass
+class CampaignResult:
+    """Every dataset a completed campaign produced."""
+
+    config: ScenarioConfig
+    world: World
+    overlay: Overlay
+    catalog: ContentCatalog
+    crawls: CrawlDataset
+    hydra: HydraBooster
+    bitswap_monitor: BitswapMonitor
+    provider_observations: List[ProviderObservation]
+    gateway_registry: PublicGatewayRegistry
+    gateway_probe_reports: Dict[str, GatewayProbeReport]
+    dns_world: DNSWorld
+    dns_scan: DNSLinkScanResult
+    ens_world: ENSWorld
+    ens_scrape: ENSScrapeResult
+    ens_observations: List[ProviderObservation]
+    gateway_peers: Set[PeerID]
+    hydra_peers: Set[PeerID]
+
+    @property
+    def crawl_rows(self):
+        from repro.core.counting import make_rows
+
+        return make_rows(self.crawls.rows())
+
+
+class MeasurementCampaign:
+    """Owns the simulated world and executes the full §3 methodology."""
+
+    def __init__(self, config: Optional[ScenarioConfig] = None) -> None:
+        self.config = config or ScenarioConfig()
+        self.rng = random.Random(self.config.seed + 100)
+        self._built = False
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def build(self) -> None:
+        config = self.config
+        self.world = PopulationBuilder(config.profile).build()
+        self.operators = default_operators()
+        self.gateway_specs = install_gateway_specs(self.world, self.operators)
+        self._monitor_spec = self._add_monitor_spec()
+        self.overlay = Overlay(self.world)
+        self.overlay.bootstrap()
+        self.overlay.schedule_periodic_refresh()
+        self.churn = ChurnProcess(self.overlay)
+        self.churn.start()
+        self.advertiser = PresenceAdvertiser(self.overlay)
+        self.advertiser.start()
+        self.rotation = DailyAddressRotation(self.overlay)
+        self.rotation.start()
+        self.catalog = ContentCatalog(random.Random(config.seed + 101))
+        self.hydra = HydraBooster(num_heads=config.hydra_heads)
+        self.monitor = BitswapMonitor(random.Random(config.seed + 102))
+        self.engine = TrafficEngine(
+            self.overlay, self.catalog, self.hydra, self.monitor, config.workload
+        )
+        self.crawler = DHTCrawler(self.overlay)
+        self.fetcher = ProviderRecordFetcher(self.overlay)
+        self.gateway_registry = PublicGatewayRegistry(self.operators)
+        self.services: Dict[str, Optional[GatewayService]] = {}
+        for entry in self.gateway_registry.entries:
+            if entry.operator is None:
+                self.services[entry.domain] = None
+                continue
+            nodes = [
+                node
+                for node in self.overlay.nodes
+                if node.spec.platform == entry.operator
+                and node.spec.node_class is NodeClass.GATEWAY
+            ]
+            operator = self.gateway_registry.operator_for(entry.domain)
+            self.services[entry.domain] = GatewayService(
+                operator, nodes, self.overlay, self.monitor
+            )
+        self.dns_world = seed_dns_world(self.world, self.operators, config.dns)
+        self._built = True
+
+    def _add_monitor_spec(self) -> NodeSpec:
+        """Our own monitoring node: a stable university server (non-cloud,
+        DE) that hosts the probe content and the Bitswap monitor."""
+        key = ("isp-de", "DE")
+        if key not in self.world.blocks_by_org_country:
+            self.world.blocks_by_org_country[key] = self.world.allocator.allocate_block(
+                "isp-de", "DE", is_cloud=False, prefix_len=14
+            )
+        spec = NodeSpec(
+            index=max(s.index for s in self.world.specs) + 1,
+            node_class=NodeClass.PLATFORM,
+            organisation="isp-de",
+            country="DE",
+            blocks=(self.world.blocks_by_org_country[key],),
+            behavior=self.world.profile.behaviors["platform"],
+            platform="tud-monitor",
+            activity_weight=0.1,
+            num_addrs=1,
+        )
+        self.world.specs.append(spec)
+        return spec
+
+    # ------------------------------------------------------------------
+    # the measurement period
+    # ------------------------------------------------------------------
+
+    def run(self) -> CampaignResult:
+        if not self._built:
+            self.build()
+        config = self.config
+        overlay = self.overlay
+        if config.traffic_enabled:
+            self.engine.seed_platform_content()
+        persistent_items = self._seed_persistent_user_content(
+            max(40, int(config.ens.num_names * config.ens.share_persistent_user))
+        )
+        ens_world = seed_ens_world(
+            self.catalog,
+            config.ens,
+            random.Random(config.seed + 103),
+            persistent_items=persistent_items,
+        )
+
+        crawl_dataset = CrawlDataset()
+        provider_observations: List[ProviderObservation] = []
+        crawl_interval = SECONDS_PER_DAY / config.crawls_per_day
+        warmup = config.warmup_days
+        next_crawl = warmup * SECONDS_PER_DAY
+        crawl_id = 0
+        total_days = warmup + config.days
+        fetch_from_day = total_days - config.provider_fetch_days
+        tick_seconds = SECONDS_PER_DAY / config.ticks_per_day
+
+        for day in range(total_days):
+            self.catalog.build_day_index(day)
+            if config.traffic_enabled:
+                self.engine.platform_reprovide_pass()
+                self.engine.user_reprovide_pass()
+            for tick in range(config.ticks_per_day):
+                while (
+                    day >= warmup
+                    and overlay.now >= next_crawl
+                    and crawl_id < config.num_crawls
+                ):
+                    crawl_dataset.add(self.crawler.crawl(crawl_id))
+                    crawl_id += 1
+                    next_crawl += crawl_interval
+                tick_start = overlay.now
+                if config.traffic_enabled:
+                    self.engine.run_tick(tick_seconds / 3600.0)
+                if config.traffic_enabled and day >= fetch_from_day:
+                    # The paper fetches each day's sampled CIDs the same
+                    # day; fetching per tick keeps the same freshness.
+                    sampled = self.monitor.sampled_cids_in_window(
+                        tick_start,
+                        overlay.now + tick_seconds,
+                        config.daily_cid_sample // config.ticks_per_day,
+                    )
+                    provider_observations.extend(self.fetcher.fetch_many(sampled))
+                overlay.scheduler.run_until(day * SECONDS_PER_DAY + (tick + 1) * tick_seconds)
+
+        # Provider records expire after 24 h; refresh them so the one-shot
+        # entry-point measurements below resolve live content.
+        self.catalog.build_day_index(total_days - 1)
+        if config.traffic_enabled:
+            self.engine.platform_reprovide_pass()
+        self.engine.user_reprovide_pass()
+
+        # --- one-shot entry-point measurements -----------------------------
+        monitor_node = next(
+            node for node in overlay.nodes if node.spec.platform == "tud-monitor"
+        )
+        if not monitor_node.online:
+            overlay.bring_online(monitor_node)
+        prober = GatewayProber(overlay, self.monitor, monitor_node)
+        probe_reports = prober.run_campaign(
+            self.services, config.gateway_probes_per_endpoint
+        )
+        scanner = ActiveScanner(self.dns_world.resolver)
+        dns_scan = scanner.scan(self.dns_world.scan_input)
+        scraper = ENSContenthashScraper(
+            ens_world.chain, [resolver.address for resolver in ens_world.resolvers]
+        )
+        ens_scrape = scraper.scrape()
+        ens_fetcher = ProviderRecordFetcher(overlay)
+        ens_observations = ens_fetcher.fetch_many(ens_scrape.cids())
+
+        return CampaignResult(
+            config=config,
+            world=self.world,
+            overlay=overlay,
+            catalog=self.catalog,
+            crawls=crawl_dataset,
+            hydra=self.hydra,
+            bitswap_monitor=self.monitor,
+            provider_observations=provider_observations,
+            gateway_registry=self.gateway_registry,
+            gateway_probe_reports=probe_reports,
+            dns_world=self.dns_world,
+            dns_scan=dns_scan,
+            ens_world=ens_world,
+            ens_scrape=ens_scrape,
+            ens_observations=ens_observations,
+            gateway_peers=self._peers_of_class(NodeClass.GATEWAY),
+            hydra_peers={
+                node.peer
+                for node in overlay.nodes
+                if node.spec.platform == "hydra" and node.peer is not None
+            },
+        )
+
+    def _seed_persistent_user_content(self, count: int):
+        """Long-lived user-published items (ENS websites and the like).
+
+        Publishers are ordinary participants — home servers, small VPSes,
+        NAT-ed users — who keep the content alive through the daily
+        re-provide cycle while they are online.
+        """
+        from repro.content.catalog import ContentItem
+        from repro.ids.cid import CID
+
+        rng = random.Random(self.config.seed + 104)
+        class_weights = [
+            (NodeClass.RESIDENTIAL_STABLE, 0.30),
+            (NodeClass.CLOUD_STABLE, 0.25),
+            (NodeClass.NAT_CLIENT, 0.35),
+            (NodeClass.HYBRID, 0.10),
+        ]
+        pools = {
+            cls: [node for node in self.overlay.nodes if node.spec.node_class is cls]
+            for cls, _ in class_weights
+        }
+        items = []
+        for _ in range(count):
+            cls = rng.choices(
+                [cls for cls, _ in class_weights],
+                weights=[weight for _, weight in class_weights],
+            )[0]
+            pool = pools[cls] or self.overlay.nodes
+            node = rng.choice(pool)
+            item = self.catalog.add(
+                ContentItem(
+                    cid=CID.generate(rng),
+                    publisher=node.spec.index,
+                    created_day=0,
+                    lifetime_days=self.config.days + 3,
+                    weight=1.5,
+                )
+            )
+            if node.online:
+                self.engine.publish(node, cid=item.cid, fresh=False)
+            else:
+                node.provided_cids.add(item.cid)
+            items.append(item)
+        return items
+
+    def _peers_of_class(self, node_class: NodeClass) -> Set[PeerID]:
+        return {
+            node.peer
+            for node in self.overlay.nodes
+            if node.spec.node_class is node_class and node.peer is not None
+        }
+
+
+def run_campaign(config: Optional[ScenarioConfig] = None) -> CampaignResult:
+    """Build and run a campaign in one call."""
+    campaign = MeasurementCampaign(config)
+    campaign.build()
+    return campaign.run()

@@ -1,0 +1,105 @@
+"""Terminal visualization helpers.
+
+Render the reproduction's figures as plain-text charts so the examples
+and reports work in any environment (no plotting dependencies).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+_FULL = "█"
+_PARTIALS = " ▏▎▍▌▋▊▉"
+
+
+def _bar(value: float, maximum: float, width: int) -> str:
+    if maximum <= 0:
+        return ""
+    cells = value / maximum * width
+    full = int(cells)
+    remainder = int((cells - full) * 8)
+    tail = _PARTIALS[remainder] if remainder and full < width else ""
+    return _FULL * full + tail
+
+
+def bar_chart(
+    data: Dict[str, float],
+    title: str = "",
+    width: int = 40,
+    limit: int = 12,
+    percent: bool = True,
+) -> str:
+    """A horizontal bar chart of labelled values, largest first."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    items = sorted(data.items(), key=lambda kv: -kv[1])[:limit]
+    if not items:
+        return title or "(no data)"
+    label_width = max(len(str(label)) for label, _ in items)
+    maximum = max(value for _, value in items)
+    for label, value in items:
+        rendered = f"{value:7.1%}" if percent else f"{value:10.2f}"
+        lines.append(
+            f"  {str(label).ljust(label_width)} {rendered} {_bar(value, maximum, width)}"
+        )
+    return "\n".join(lines)
+
+
+def line_chart(
+    points: Sequence[Tuple[float, float]],
+    title: str = "",
+    width: int = 60,
+    height: int = 12,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """A scatter/line chart of (x, y) points on a character grid."""
+    if not points:
+        return title or "(no data)"
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = x_high - x_low or 1.0
+    y_span = y_high - y_low or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in points:
+        column = min(width - 1, int((x - x_low) / x_span * (width - 1)))
+        row = min(height - 1, int((y - y_low) / y_span * (height - 1)))
+        grid[height - 1 - row][column] = "•"
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"  {y_high:10.3f} ┐")
+    for row in grid:
+        lines.append(" " * 13 + "│" + "".join(row))
+    lines.append(f"  {y_low:10.3f} └" + "─" * width)
+    lines.append(" " * 14 + f"{x_low:<10.3f}{x_label:^{max(width - 20, 4)}}{x_high:>10.3f}")
+    if y_label:
+        lines.insert(1 if title else 0, f"  [{y_label}]")
+    return "\n".join(lines)
+
+
+def cdf_chart(values: Iterable[float], title: str = "", width: int = 60, height: int = 10) -> str:
+    """Empirical CDF of a sample, rendered as a line chart."""
+    ordered = sorted(values)
+    if not ordered:
+        return title or "(no data)"
+    total = len(ordered)
+    points = [(value, (index + 1) / total) for index, value in enumerate(ordered)]
+    return line_chart(points, title=title, width=width, height=height, y_label="P[X<=x]")
+
+
+def comparison_table(rows: Sequence[Tuple[str, float, float]], title: str = "") -> str:
+    """A measured-vs-paper table (shared look with the benchmarks)."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not rows:
+        return title or "(no data)"
+    width = max(len(name) for name, _, _ in rows)
+    lines.append(f"  {'metric'.ljust(width)}  measured    paper")
+    for name, measured, paper in rows:
+        lines.append(f"  {name.ljust(width)}  {measured:8.3f} {paper:8.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,37 @@
+"""The synthetic Internet underlying the simulated IPFS network.
+
+The paper attributes peers to cloud providers via the Udger IP database
+and to countries via MaxMind GeoLite2.  This subpackage provides the
+synthetic ground truth those attributions are measured against:
+
+* :mod:`repro.world.ipspace` — IPv4 address blocks and allocation,
+* :mod:`repro.world.clouddb` — an Udger-like IP→cloud-provider database,
+* :mod:`repro.world.geodb` — a MaxMind-like IP→country database,
+* :mod:`repro.world.rdns` — reverse-DNS entries for platform attribution,
+* :mod:`repro.world.profiles` — the paper-calibrated distributions
+  (cloud share, provider mix, country mix, churn behaviour),
+* :mod:`repro.world.population` — sampling a node population from the
+  profiles.
+"""
+
+from repro.world.clouddb import CloudIPDatabase
+from repro.world.geodb import GeoIPDatabase
+from repro.world.ipspace import IPAllocator, IPBlock, format_ip, parse_ip
+from repro.world.population import NodeClass, NodeSpec, PopulationBuilder
+from repro.world.profiles import PaperCalibration, WorldProfile
+from repro.world.rdns import ReverseDNS
+
+__all__ = [
+    "CloudIPDatabase",
+    "GeoIPDatabase",
+    "IPAllocator",
+    "IPBlock",
+    "NodeClass",
+    "NodeSpec",
+    "PaperCalibration",
+    "PopulationBuilder",
+    "ReverseDNS",
+    "WorldProfile",
+    "format_ip",
+    "parse_ip",
+]

@@ -1,0 +1,55 @@
+"""An Udger-like cloud-IP database.
+
+The paper maps IP addresses to known cloud providers with the Udger IP
+database; addresses absent from the database are marked non-cloud (§4).
+This class offers the same interface over the synthetic block table:
+longest-prefix-match lookup from IP to provider slug, ``None`` meaning
+"not a known data-centre address".
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterable, List, Optional, Tuple
+
+from repro.world.ipspace import IPBlock, parse_ip
+
+
+class CloudIPDatabase:
+    """IP → cloud-provider lookups over sorted CIDR entries."""
+
+    def __init__(self, blocks: Iterable[IPBlock]) -> None:
+        entries: List[Tuple[int, int, str]] = []
+        for block in blocks:
+            if block.is_cloud:
+                entries.append((block.base, block.base + block.size, block.organisation))
+        entries.sort()
+        self._starts = [start for start, _, _ in entries]
+        self._entries = entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, ip) -> Optional[str]:
+        """Cloud-provider slug for ``ip`` (int or dotted-quad), or ``None``.
+
+        ``None`` mirrors Udger semantics: no entry means the address is
+        treated as non-cloud by the attribution pipeline.
+        """
+        if isinstance(ip, str):
+            ip = parse_ip(ip)
+        index = bisect_right(self._starts, ip) - 1
+        if index < 0:
+            return None
+        start, end, organisation = self._entries[index]
+        if start <= ip < end:
+            return organisation
+        return None
+
+    def is_cloud(self, ip) -> bool:
+        """Whether ``ip`` belongs to a known cloud provider."""
+        return self.lookup(ip) is not None
+
+    def providers(self) -> List[str]:
+        """All provider slugs present in the database."""
+        return sorted({organisation for _, _, organisation in self._entries})

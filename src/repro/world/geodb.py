@@ -1,0 +1,45 @@
+"""A MaxMind GeoLite2-like geolocation database.
+
+Maps IP addresses to ISO country codes with the same
+longest-prefix-match semantics the paper uses for node geolocation (§4).
+Operates entirely offline on the synthetic block table, exactly as the
+paper queried a local GeoLite2 copy (Appendix A).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterable, List, Optional, Tuple
+
+from repro.world.ipspace import IPBlock, parse_ip
+
+
+class GeoIPDatabase:
+    """IP → country lookups over sorted CIDR entries."""
+
+    def __init__(self, blocks: Iterable[IPBlock]) -> None:
+        entries: List[Tuple[int, int, str]] = sorted(
+            (block.base, block.base + block.size, block.country) for block in blocks
+        )
+        self._starts = [start for start, _, _ in entries]
+        self._entries = entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, ip) -> Optional[str]:
+        """ISO country code for ``ip`` (int or dotted-quad), or ``None``
+        for addresses outside every known block."""
+        if isinstance(ip, str):
+            ip = parse_ip(ip)
+        index = bisect_right(self._starts, ip) - 1
+        if index < 0:
+            return None
+        start, end, country = self._entries[index]
+        if start <= ip < end:
+            return country
+        return None
+
+    def countries(self) -> List[str]:
+        """All country codes present in the database."""
+        return sorted({country for _, _, country in self._entries})

@@ -1,0 +1,334 @@
+"""Sampling a node population from a :class:`WorldProfile`.
+
+A :class:`NodeSpec` is a *physical* participant — a machine or user — with
+a hosting location and a behaviour profile.  Peer IDs and IP addresses are
+minted at runtime by the simulator (a spec can regenerate its peer ID and
+rotate its IP, which is exactly the phenomenon the paper's counting
+methodology section is about).
+
+Population sizes are derived from steady-state arithmetic: a class that
+should contribute ``s`` online nodes needs ``s / uptime`` specs, because
+each spec is online with probability ``uptime = session/(session+gap)``.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.world.clouddb import CloudIPDatabase
+from repro.world.geodb import GeoIPDatabase
+from repro.world.ipspace import IPAllocator, IPBlock
+from repro.world.profiles import BehaviorProfile, PlatformSpec, WorldProfile
+from repro.world.rdns import ReverseDNS
+
+
+class NodeClass(enum.Enum):
+    """Behavioural class of a physical participant."""
+
+    CLOUD_STABLE = "cloud_stable"
+    RESIDENTIAL_STABLE = "residential_stable"
+    RESIDENTIAL_EPHEMERAL = "residential_ephemeral"
+    HYBRID = "hybrid"
+    NAT_CLIENT = "nat_client"
+    PLATFORM = "platform"
+    GATEWAY = "gateway"
+
+    @property
+    def is_dht_server(self) -> bool:
+        """Whether nodes of this class join the DHT as servers.
+
+        Only connectable (public-IP) nodes become DHT servers (paper §2);
+        NAT clients use the DHT purely as a service.
+        """
+        return self is not NodeClass.NAT_CLIENT
+
+    @property
+    def behavior_key(self) -> str:
+        if self in (NodeClass.PLATFORM, NodeClass.GATEWAY):
+            return "platform"
+        return self.value
+
+
+@dataclass
+class NodeSpec:
+    """One physical participant of the network.
+
+    :ivar index: dense id, unique within a population.
+    :ivar node_class: behavioural class.
+    :ivar organisation: hosting organisation (cloud slug or ``isp-<cc>``).
+    :ivar country: where the participant's addresses geolocate.
+    :ivar blocks: IP blocks its addresses are drawn from (hybrids have
+        one cloud and one residential block).
+    :ivar behavior: churn/rotation behaviour.
+    :ivar platform: operator name for platform/gateway nodes.
+    :ivar activity_weight: heavy-tailed per-node traffic multiplier.
+    :ivar num_addrs: how many addresses the node announces at a time.
+    """
+
+    index: int
+    node_class: NodeClass
+    organisation: str
+    country: str
+    blocks: Tuple[IPBlock, ...]
+    behavior: BehaviorProfile
+    platform: Optional[str] = None
+    activity_weight: float = 1.0
+    num_addrs: int = 1
+
+    @property
+    def is_cloud_hosted(self) -> bool:
+        return any(block.is_cloud for block in self.blocks)
+
+
+@dataclass
+class World:
+    """The built synthetic Internet plus its population."""
+
+    profile: WorldProfile
+    allocator: IPAllocator
+    cloud_db: CloudIPDatabase
+    geo_db: GeoIPDatabase
+    rdns: ReverseDNS
+    specs: List[NodeSpec]
+    blocks_by_org_country: Dict[Tuple[str, str], IPBlock]
+
+    def specs_of(self, node_class: NodeClass) -> List[NodeSpec]:
+        return [spec for spec in self.specs if spec.node_class == node_class]
+
+    @property
+    def server_specs(self) -> List[NodeSpec]:
+        return [spec for spec in self.specs if spec.node_class.is_dht_server]
+
+    @property
+    def nat_specs(self) -> List[NodeSpec]:
+        return self.specs_of(NodeClass.NAT_CLIENT)
+
+
+class PopulationBuilder:
+    """Builds a :class:`World` from a :class:`WorldProfile`."""
+
+    def __init__(self, profile: WorldProfile, rng: Optional[random.Random] = None) -> None:
+        self.profile = profile
+        self.rng = rng or random.Random(profile.seed)
+        self.allocator = IPAllocator()
+        self._blocks: Dict[Tuple[str, str], IPBlock] = {}
+        self.rdns = ReverseDNS()
+
+    # -- address blocks -----------------------------------------------------
+
+    def _block(self, organisation: str, country: str, is_cloud: bool) -> IPBlock:
+        """The (lazily allocated) block for an organisation in a country."""
+        key = (organisation, country)
+        if key not in self._blocks:
+            prefix_len = 14 if not is_cloud else 16
+            block = self.allocator.allocate_block(organisation, country, is_cloud, prefix_len)
+            self._blocks[key] = block
+            if organisation == "amazon-aws":
+                self.rdns.register_block(block, "ec2-{ip}." + country.lower() + ".compute.amazonaws.com")
+        return self._blocks[key]
+
+    def _platform_block(self, platform: PlatformSpec) -> IPBlock:
+        """A dedicated sub-range for a platform, with its own reverse DNS."""
+        key = (f"platform:{platform.name}", platform.country)
+        if key not in self._blocks:
+            block = self.allocator.allocate_block(
+                platform.provider, platform.country, is_cloud=True, prefix_len=24
+            )
+            self._blocks[key] = block
+            self.rdns.register_block(block, "node-{ip}." + platform.rdns_suffix)
+        return self._blocks[key]
+
+    # -- sampling helpers ----------------------------------------------------
+
+    def _weighted_choice(self, weights: Dict[str, float]) -> str:
+        choices = list(weights)
+        totals = [max(weights[choice], 0.0) for choice in choices]
+        return self.rng.choices(choices, weights=totals, k=1)[0]
+
+    def _num_addrs(self, behavior: BehaviorProfile) -> int:
+        return self.rng.choices((1, 2, 3), weights=behavior.extra_addr_probs, k=1)[0]
+
+    def _activity_weight(self, sigma: float = 2.2) -> float:
+        """Heavy-tailed per-node activity — drives the Pareto traffic
+        concentration of Figs. 10-11.
+
+        Lognormal, normalized to mean 1 so the workload's per-class rates
+        stay true expectations regardless of the tail heaviness.
+        """
+        return math.exp(self.rng.gauss(0.0, sigma) - sigma * sigma / 2.0)
+
+    # -- main build ----------------------------------------------------------
+
+    def build(self) -> World:
+        profile = self.profile
+        rng = self.rng
+        behaviors = profile.behaviors
+        joint = profile.joint_org_country()
+        specs: List[NodeSpec] = []
+        index = 0
+
+        def add_spec(
+            node_class: NodeClass,
+            organisation: str,
+            country: str,
+            blocks: Tuple[IPBlock, ...],
+            platform: Optional[str] = None,
+            activity_sigma: float = 2.2,
+        ) -> NodeSpec:
+            nonlocal index
+            behavior = behaviors[node_class.behavior_key]
+            spec = NodeSpec(
+                index=index,
+                node_class=node_class,
+                organisation=organisation,
+                country=country,
+                blocks=blocks,
+                behavior=behavior,
+                platform=platform,
+                activity_weight=self._activity_weight(activity_sigma),
+                num_addrs=self._num_addrs(behavior),
+            )
+            specs.append(spec)
+            index += 1
+            return spec
+
+        online_target = profile.online_servers
+        scale = online_target / 2500.0
+        # Traffic-heterogeneity spread per class: the stable cloud core
+        # participates fairly evenly; the user fringe is dominated by a
+        # few heavy users amid a long silent tail (Figs. 10-11).
+        class_sigma = {
+            NodeClass.CLOUD_STABLE: 1.2,
+            NodeClass.HYBRID: 1.2,
+            NodeClass.RESIDENTIAL_STABLE: 1.8,
+            NodeClass.RESIDENTIAL_EPHEMERAL: 2.6,
+            NodeClass.NAT_CLIENT: 2.6,
+        }
+        hybrid_online = profile.hybrid_share * online_target
+        residential_online = joint["residential"]
+        residential_total_online = sum(residential_online.values())
+        ephemeral_online = residential_total_online * profile.ephemeral_share_of_residential * online_target
+        stable_resid_online = residential_total_online * (1 - profile.ephemeral_share_of_residential) * online_target
+
+        # Cloud-stable servers: counts per (provider, country) from the IPF
+        # joint, inflated by 1/uptime so the *online* population matches.
+        cloud_behavior = behaviors["cloud_stable"]
+        for organisation, per_country in joint.items():
+            if organisation == "residential":
+                continue
+            for country, share in per_country.items():
+                online = share * online_target
+                count = _stochastic_round(online / cloud_behavior.uptime, rng)
+                block = self._block(organisation, country, is_cloud=True) if count else None
+                for _ in range(count):
+                    add_spec(
+                        NodeClass.CLOUD_STABLE, organisation, country, (block,),
+                        activity_sigma=class_sigma[NodeClass.CLOUD_STABLE],
+                    )
+
+        # Stable residential servers: country mix from the IPF residential row.
+        stable_behavior = behaviors["residential_stable"]
+        resid_country_shares = {
+            country: share / residential_total_online
+            for country, share in residential_online.items()
+            if share > 0
+        }
+        count = _stochastic_round(stable_resid_online / stable_behavior.uptime, rng)
+        for _ in range(count):
+            country = self._weighted_choice(resid_country_shares)
+            block = self._block(f"isp-{country.lower()}", country, is_cloud=False)
+            add_spec(
+                NodeClass.RESIDENTIAL_STABLE, f"isp-{country.lower()}", country, (block,),
+                activity_sigma=class_sigma[NodeClass.RESIDENTIAL_STABLE],
+            )
+
+        # Ephemeral residential servers: skewed country mix, hard churn.
+        ephemeral_behavior = behaviors["residential_ephemeral"]
+        count = _stochastic_round(ephemeral_online / ephemeral_behavior.uptime, rng)
+        for _ in range(count):
+            country = self._weighted_choice(dict(profile.ephemeral_country_shares))
+            block = self._block(f"isp-{country.lower()}", country, is_cloud=False)
+            add_spec(
+                NodeClass.RESIDENTIAL_EPHEMERAL, f"isp-{country.lower()}", country, (block,),
+                activity_sigma=class_sigma[NodeClass.RESIDENTIAL_EPHEMERAL],
+            )
+
+        # Hybrid (BOTH) peers: announce one cloud and one residential address.
+        hybrid_behavior = behaviors["hybrid"]
+        count = _stochastic_round(hybrid_online / hybrid_behavior.uptime, rng)
+        for _ in range(count):
+            organisation = self._weighted_choice(
+                {org: share for org, share in profile.org_shares.items() if org != "residential"}
+            )
+            country = self._weighted_choice({c: w for c, w in joint[organisation].items() if w > 0})
+            cloud_block = self._block(organisation, country, is_cloud=True)
+            resid_block = self._block(f"isp-{country.lower()}", country, is_cloud=False)
+            spec = add_spec(
+                NodeClass.HYBRID, organisation, country, (cloud_block, resid_block),
+                activity_sigma=class_sigma[NodeClass.HYBRID],
+            )
+            spec.num_addrs = max(spec.num_addrs, 2)
+
+        # Platform nodes (web3.storage, nft.storage, pinata, filebase,
+        # ipfs-bank, Hydra hosts): cloud, always on, very active.
+        for platform in profile.platforms:
+            block = self._platform_block(platform)
+            count = max(1, round(platform.node_count * scale))
+            for _ in range(count):
+                add_spec(
+                    NodeClass.PLATFORM,
+                    platform.provider,
+                    platform.country,
+                    (block,),
+                    platform=platform.name,
+                    activity_sigma=0.3,
+                )
+
+        # NAT-ed DHT clients: the user-operated fringe behind NAT.  Under
+        # the §9 IPv6 what-if, a fraction of them are publicly reachable
+        # and join the DHT as (ephemeral residential) servers instead.
+        nat_behavior = behaviors["nat_client"]
+        nat_population = _stochastic_round(profile.nat_client_ratio * online_target, rng)
+        for _ in range(nat_population):
+            country = self._weighted_choice(dict(profile.ephemeral_country_shares))
+            block = self._block(f"isp-{country.lower()}", country, is_cloud=False)
+            if rng.random() < profile.ipv6_adoption:
+                add_spec(
+                    NodeClass.RESIDENTIAL_EPHEMERAL, f"isp-{country.lower()}", country,
+                    (block,),
+                    activity_sigma=class_sigma[NodeClass.NAT_CLIENT],
+                )
+            else:
+                add_spec(
+                    NodeClass.NAT_CLIENT, f"isp-{country.lower()}", country, (block,),
+                    activity_sigma=class_sigma[NodeClass.NAT_CLIENT],
+                )
+
+        all_blocks = self.allocator.blocks
+        return World(
+            profile=profile,
+            allocator=self.allocator,
+            cloud_db=CloudIPDatabase(all_blocks),
+            geo_db=GeoIPDatabase(all_blocks),
+            rdns=self.rdns,
+            specs=specs,
+            blocks_by_org_country=dict(self._blocks),
+        )
+
+
+def _stochastic_round(value: float, rng: random.Random) -> int:
+    """Round so that the expectation equals ``value`` (keeps small-count
+    classes represented proportionally at small scales)."""
+    floor = int(value)
+    return floor + (1 if rng.random() < value - floor else 0)
+
+
+def build_world(profile: Optional[WorldProfile] = None, seed: Optional[int] = None) -> World:
+    """Convenience one-call world construction."""
+    profile = profile or WorldProfile()
+    rng = random.Random(seed if seed is not None else profile.seed)
+    return PopulationBuilder(profile, rng).build()

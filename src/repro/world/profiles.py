@@ -1,0 +1,467 @@
+"""Paper-calibrated distributions.
+
+Two things live here:
+
+* :class:`PaperCalibration` — every quantitative target the paper reports,
+  with section/figure references.  Benchmarks print measured-vs-paper from
+  this single source of truth.
+* :class:`WorldProfile` — the *generative* parameters of the synthetic
+  world (who hosts where, how nodes churn and rotate IPs, who publishes
+  and requests content).  The profile encodes the paper's explanation of
+  its own findings — stable cloud core, churning IP-rotating residential
+  fringe — and the measurement pipeline re-derives the findings from the
+  simulated behaviour.
+
+The joint (organisation, country) distribution of DHT servers is fitted
+with iterative proportional fitting (IPF) so that both the provider
+marginal (Fig. 5) and the country marginal (Fig. 6) match the paper while
+keeping plausible provider→country affinities (Hetzner→DE/FI, OVH→FR/CA).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Tuple
+
+
+# ---------------------------------------------------------------------------
+# Paper targets (single source of truth for EXPERIMENTS.md comparisons)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PaperCalibration:
+    """Quantities reported by the paper, keyed by section/figure."""
+
+    # --- §3 crawl dataset ---
+    num_crawls: int = 101
+    avg_peers_per_crawl: float = 25771.6
+    avg_crawlable_per_crawl: float = 17991.4
+    unique_peer_ids: int = 53898
+    unique_ips: int = 86064
+    addrs_per_peer: float = 1.82
+
+    # --- Fig. 3 cloud status (A-N vs G-IP) ---
+    an_cloud_share: float = 0.796
+    an_noncloud_share: float = 0.186
+    gip_cloud_share: float = 0.399
+    gip_noncloud_share: float = 0.601
+
+    # --- Fig. 5 cloud providers ---
+    an_choopa_share: float = 0.293
+    an_top3_share: float = 0.519
+    gip_choopa_share: float = 0.138
+
+    # --- Fig. 6 geolocation ---
+    an_country_shares: Mapping[str, float] = field(
+        default_factory=lambda: {"US": 0.474, "DE": 0.137, "KR": 0.052}
+    )
+    an_non_top10_share: float = 0.133
+    gip_country_shares: Mapping[str, float] = field(
+        default_factory=lambda: {"US": 0.330, "CN": 0.111, "DE": 0.080}
+    )
+    gip_non_top10_share: float = 0.229
+
+    # --- Fig. 7 degree distribution ---
+    in_degree_p90_max: float = 500.0
+    in_degree_typical_max: float = 200.0
+
+    # --- Fig. 8 resilience ---
+    random_removal_lcc_at_90pct: float = 0.96
+    targeted_removal_partition_point: float = 0.60
+
+    # --- §5 traffic headline ---
+    total_messages: int = 290_000_000
+    download_share: float = 0.57
+    advertisement_share: float = 0.40
+    other_share: float = 0.03
+    hydra_capture_rate: float = 0.04
+
+    # --- Fig. 10 peer ID Pareto ---
+    top5pct_peerid_traffic_share: float = 0.97
+    gateway_dht_traffic_share: float = 0.01
+    gateway_bitswap_traffic_share: float = 0.18
+
+    # --- Fig. 11 IP Pareto ---
+    top5pct_ip_traffic_share: float = 0.94
+    cloud_dht_traffic_share: float = 0.85
+    cloud_bitswap_traffic_share: float = 0.42
+
+    # --- Fig. 12 cloud per traffic type ---
+    cloud_ip_count_share: float = 0.35
+    cloud_ip_count_download_share: float = 0.45
+    cloud_ip_count_advertisement_share: float = 0.34
+    cloud_traffic_weighted_share: float = 0.93
+    cloud_traffic_weighted_download_share: float = 0.98
+    aws_traffic_weighted_download_share: float = 0.68
+
+    # --- Fig. 13 platforms ---
+    hydra_dht_traffic_share: float = 0.35
+    hydra_download_traffic_share: float = 0.50
+
+    # --- Fig. 14 provider classification ---
+    provider_nat_share: float = 0.3557
+    provider_cloud_share: float = 0.45
+    provider_noncloud_share: float = 0.18
+    provider_hybrid_share: float = 0.0058
+    nat_relay_cloud_share: float = 0.80
+
+    # --- Fig. 15 provider popularity ---
+    top1pct_provider_record_share: float = 0.90
+    records_cloud_share: float = 0.70
+    records_nat_share: float = 0.08
+    records_noncloud_share: float = 0.22
+
+    # --- Fig. 16 per-CID cloud reliance ---
+    cid_at_least_one_cloud: float = 0.95
+    cid_majority_cloud: float = 0.91
+    cid_cloud_only: float = 0.23
+    cid_at_least_one_noncloud: float = 0.77
+
+    # --- Fig. 17 DNSLink ---
+    dnslink_cloudflare_share: float = 0.50
+    dnslink_noncloud_share: float = 0.20
+    dnslink_public_gateway_ip_share: float = 0.21
+
+    # --- §3 / Fig. 18-19 gateways ---
+    gateway_endpoints_listed: int = 83
+    gateway_endpoints_functional: int = 22
+    gateway_overlay_ids: int = 119
+
+    # --- Fig. 20 ENS ---
+    ens_records_with_contenthash: int = 20_600
+    ens_provider_records: int = 16_800
+    ens_unique_ips: int = 9_000
+    ens_cloud_share: float = 0.82
+    ens_us_de_share: float = 0.60
+
+
+#: Module-level singleton — the calibration never changes.
+PAPER = PaperCalibration()
+
+
+# ---------------------------------------------------------------------------
+# Iterative proportional fitting
+# ---------------------------------------------------------------------------
+
+
+def iterative_proportional_fit(
+    seed: Dict[str, Dict[str, float]],
+    row_marginals: Mapping[str, float],
+    col_marginals: Mapping[str, float],
+    iterations: int = 200,
+    tolerance: float = 1e-9,
+) -> Dict[str, Dict[str, float]]:
+    """Fit a joint distribution to row and column marginals.
+
+    Classic IPF: alternately rescale rows and columns of the seed matrix
+    until both marginals hold.  Zero seed cells stay zero, which is how
+    the affinity structure (e.g. "Hetzner only hosts in DE/FI") is
+    preserved.  The marginals must each sum to the same total (shares
+    summing to 1).
+    """
+    rows = list(row_marginals)
+    cols = list(col_marginals)
+    matrix = {row: {col: float(seed.get(row, {}).get(col, 0.0)) for col in cols} for row in rows}
+    for row in rows:
+        if row_marginals[row] > 0 and all(matrix[row][col] == 0.0 for col in cols):
+            raise ValueError(f"row {row!r} has positive marginal but all-zero seed")
+    for _ in range(iterations):
+        max_error = 0.0
+        for row in rows:
+            total = sum(matrix[row].values())
+            target = row_marginals[row]
+            if total > 0:
+                scale = target / total
+                for col in cols:
+                    matrix[row][col] *= scale
+        for col in cols:
+            total = sum(matrix[row][col] for row in rows)
+            target = col_marginals[col]
+            if total > 0:
+                scale = target / total
+                for row in rows:
+                    matrix[row][col] *= scale
+            max_error = max(max_error, abs(total - target))
+        if max_error < tolerance:
+            break
+    return matrix
+
+
+# ---------------------------------------------------------------------------
+# Generative world profile
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BehaviorProfile:
+    """Churn / rotation behaviour of one node class.
+
+    :ivar mean_session_hours: mean online-session duration (exponential).
+    :ivar mean_gap_hours: mean offline gap between sessions.
+    :ivar ip_rotation_prob: probability of a fresh IP at each rejoin.
+    :ivar peerid_regen_prob: probability of a fresh peer ID at each rejoin.
+    :ivar extra_addr_probs: weights for announcing 1, 2 or 3 addresses.
+    :ivar daily_ip_rotation_prob: probability of a DHCP-style address
+        change per *online* day (residential lines re-lease even while
+        the node keeps running).
+    """
+
+    mean_session_hours: float
+    mean_gap_hours: float
+    ip_rotation_prob: float
+    peerid_regen_prob: float
+    extra_addr_probs: Tuple[float, float, float] = (0.5, 0.3, 0.2)
+    daily_ip_rotation_prob: float = 0.0
+
+    @property
+    def uptime(self) -> float:
+        """Steady-state probability of being online."""
+        return self.mean_session_hours / (self.mean_session_hours + self.mean_gap_hours)
+
+
+#: Cloud providers in the simulated world, ordered by paper Fig. 5 rank.
+CLOUD_PROVIDERS: Tuple[str, ...] = (
+    "choopa",
+    "vultr",
+    "contabo",
+    "amazon-aws",
+    "digital-ocean",
+    "hetzner",
+    "ovh",
+    "oracle",
+    "google-cloud",
+    "tencent",
+    "alibaba",
+    "linode",
+    "packet-host",
+    "cloudflare",
+)
+
+#: Countries modelled; a superset of every country the paper names.
+COUNTRIES: Tuple[str, ...] = (
+    "US", "DE", "KR", "FR", "SG", "NL", "GB", "CA", "JP", "FI",
+    "CN", "RU", "IN", "BR", "PL", "AU", "SE", "IT", "ES", "UA",
+)
+
+#: Share of *online DHT servers* per organisation at a typical snapshot.
+#: Cloud rows sum to the paper's 79.6 % (Fig. 3); "residential" carries the
+#: non-cloud 18.6 % plus the ~1.8 % BOTH peers' non-cloud legs.
+SNAPSHOT_ORG_SHARES: Dict[str, float] = {
+    # Slightly above the paper's A-N targets: crawls also discover the
+    # recently departed (stale bucket entries), which skew non-cloud and
+    # dilute the cloud rows back down to the measured values.
+    "choopa": 0.349,
+    "vultr": 0.134,
+    "contabo": 0.119,
+    "amazon-aws": 0.082,
+    "digital-ocean": 0.046,
+    "hetzner": 0.036,
+    "ovh": 0.027,
+    "oracle": 0.018,
+    "google-cloud": 0.015,
+    "tencent": 0.013,
+    "alibaba": 0.011,
+    "linode": 0.009,
+    "packet-host": 0.006,
+    "residential": 0.135,
+}
+
+#: Share of online DHT servers per country at a typical snapshot (Fig. 6,
+#: A-N).  Top-10 per the paper sums to 86.7 %; the tail carries 13.3 %.
+SNAPSHOT_COUNTRY_SHARES: Dict[str, float] = {
+    "US": 0.474,
+    "DE": 0.137,
+    "KR": 0.052,
+    "FR": 0.040,
+    "SG": 0.035,
+    "NL": 0.030,
+    "GB": 0.028,
+    "CA": 0.025,
+    "JP": 0.024,
+    "FI": 0.022,
+    # Non-top-10 tail (13.3 % total).
+    "CN": 0.030,
+    "RU": 0.020,
+    "IN": 0.015,
+    "BR": 0.015,
+    "PL": 0.013,
+    "AU": 0.012,
+    "SE": 0.010,
+    "IT": 0.010,
+    "ES": 0.005,
+    "UA": 0.003,
+}
+
+#: Seed affinities organisation → country for the IPF.  Zeros mean "this
+#: provider has no presence there"; relative sizes express plausibility.
+ORG_COUNTRY_SEED: Dict[str, Dict[str, float]] = {
+    "choopa": {"US": 8, "DE": 1, "KR": 1.5, "SG": 0.6, "NL": 0.5, "GB": 0.4, "JP": 0.5, "FR": 0.4, "AU": 0.2},
+    "vultr": {"US": 5, "DE": 1, "KR": 1, "SG": 0.7, "NL": 0.6, "GB": 0.4, "JP": 0.6, "FR": 0.5, "AU": 0.3},
+    "contabo": {"DE": 6, "US": 2, "SG": 0.8, "GB": 0.4},
+    "amazon-aws": {"US": 6, "DE": 1.5, "SG": 0.6, "JP": 0.6, "KR": 0.5, "GB": 0.5, "CA": 0.4, "FR": 0.4},
+    "digital-ocean": {"US": 4, "DE": 1, "NL": 1, "SG": 0.8, "GB": 0.8, "CA": 0.4, "IN": 0.4},
+    "hetzner": {"DE": 6, "FI": 2, "US": 0.8},
+    "ovh": {"FR": 4, "CA": 2, "DE": 0.8, "GB": 0.4, "PL": 0.5},
+    "oracle": {"US": 3, "KR": 1.2, "DE": 0.6, "JP": 0.6, "GB": 0.5},
+    "google-cloud": {"US": 4, "DE": 0.7, "NL": 0.4, "SG": 0.4, "JP": 0.3},
+    "tencent": {"CN": 4, "SG": 1, "US": 0.5},
+    "alibaba": {"CN": 3, "SG": 1.5, "US": 0.5},
+    "linode": {"US": 3, "DE": 0.7, "SG": 0.5, "JP": 0.4, "GB": 0.4},
+    "packet-host": {"US": 3, "NL": 0.5},
+    "residential": {
+        "US": 5, "DE": 2, "KR": 0.6, "FR": 0.8, "NL": 0.5, "GB": 0.6, "CA": 0.6,
+        "JP": 0.5, "FI": 0.3, "SG": 0.2, "CN": 0.45, "RU": 0.7, "IN": 0.5,
+        "BR": 0.5, "PL": 0.4, "AU": 0.4, "SE": 0.3, "IT": 0.3, "ES": 0.2, "UA": 0.1,
+    },
+}
+
+#: Country mix of the *ephemeral* residential population (short sessions,
+#: rotating IPs).  Deliberately skewed to CN/RU/IN/BR — the paper explains
+#: the G-IP country shift by short-lived IPs in less-represented countries.
+EPHEMERAL_COUNTRY_SHARES: Dict[str, float] = {
+    "CN": 0.21, "US": 0.15, "RU": 0.09, "IN": 0.08, "BR": 0.07, "DE": 0.035,
+    "KR": 0.04, "FR": 0.04, "GB": 0.04, "PL": 0.05, "UA": 0.03, "IT": 0.03,
+    "ES": 0.03, "SE": 0.025, "AU": 0.025, "NL": 0.015, "CA": 0.015, "JP": 0.015,
+    "SG": 0.005, "FI": 0.005,
+}
+
+#: Behaviour of each node class.  The stable cloud core barely churns;
+#: the residential fringe churns hard and rotates IPs (paper §4/§5).
+BEHAVIORS: Dict[str, BehaviorProfile] = {
+    "cloud_stable": BehaviorProfile(
+        mean_session_hours=6000.0,
+        mean_gap_hours=90.0,
+        ip_rotation_prob=0.02,
+        peerid_regen_prob=0.01,
+        extra_addr_probs=(0.38, 0.38, 0.24),
+    ),
+    "residential_stable": BehaviorProfile(
+        mean_session_hours=120.0,
+        mean_gap_hours=40.0,
+        ip_rotation_prob=0.30,
+        peerid_regen_prob=0.05,
+        extra_addr_probs=(0.70, 0.25, 0.05),
+        daily_ip_rotation_prob=0.03,
+    ),
+    "residential_ephemeral": BehaviorProfile(
+        mean_session_hours=6.0,
+        mean_gap_hours=42.0,
+        ip_rotation_prob=0.15,
+        peerid_regen_prob=0.10,
+        extra_addr_probs=(0.85, 0.12, 0.03),
+        daily_ip_rotation_prob=0.06,
+    ),
+    "hybrid": BehaviorProfile(  # peers announcing cloud AND non-cloud IPs
+        mean_session_hours=2000.0,
+        mean_gap_hours=200.0,
+        ip_rotation_prob=0.10,
+        peerid_regen_prob=0.02,
+        extra_addr_probs=(0.0, 0.6, 0.4),
+    ),
+    "nat_client": BehaviorProfile(
+        mean_session_hours=6.0,
+        mean_gap_hours=42.0,
+        ip_rotation_prob=0.55,
+        peerid_regen_prob=0.45,
+        extra_addr_probs=(0.9, 0.08, 0.02),
+        daily_ip_rotation_prob=0.30,
+    ),
+    "platform": BehaviorProfile(
+        mean_session_hours=100000.0,
+        mean_gap_hours=1.0,
+        ip_rotation_prob=0.0,
+        peerid_regen_prob=0.0,
+        extra_addr_probs=(0.4, 0.4, 0.2),
+    ),
+}
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """A platform operator running dedicated IPFS infrastructure (§5).
+
+    :ivar pinned_set_scale: relative size of the platform's pinned
+        content set (web3.storage and nft.storage hold the lion's share
+        of persistent content and dominate the advertisement traffic).
+    """
+
+    name: str
+    provider: str          # cloud provider hosting the platform
+    country: str
+    node_count: int        # overlay nodes at default scale
+    rdns_suffix: str       # reverse-DNS domain used for attribution
+    role: str              # "storage" | "gateway" | "pinning" | "hydra-host"
+    pinned_set_scale: float = 1.0
+
+
+#: The platforms the paper identifies in its traffic analysis (Fig. 13)
+#: and in-degree analysis (§4: Filebase), plus Protocol Labs' Hydras.
+PLATFORMS: Tuple[PlatformSpec, ...] = (
+    PlatformSpec("web3.storage", "amazon-aws", "US", 10, "web3.storage", "storage", 2.0),
+    PlatformSpec("nft.storage", "amazon-aws", "US", 10, "nft.storage", "storage", 1.6),
+    PlatformSpec("pinata", "amazon-aws", "US", 6, "pinata.cloud", "pinning", 0.5),
+    PlatformSpec("filebase", "amazon-aws", "US", 4, "filebase.com", "pinning", 0.4),
+    PlatformSpec("ipfs-bank", "packet-host", "US", 6, "ipfs-bank.io", "gateway", 0.1),
+    PlatformSpec("hydra", "amazon-aws", "US", 1, "compute.amazonaws.com", "hydra-host", 0.0),
+    # Heavy automated resolvers the paper could not attribute: "we were
+    # not able to discover the purpose of the remaining traffic
+    # originating from Amazon AWS" (§5); packet-host is jointly
+    # responsible for 82 % of download volume with AWS (Fig. 12).
+    PlatformSpec("aws-mystery", "amazon-aws", "US", 2, "compute.amazonaws.com", "indexer", 0.0),
+    PlatformSpec("cid-scraper", "packet-host", "US", 2, "packet-host.net", "indexer", 0.0),
+)
+
+
+@dataclass(frozen=True)
+class WorldProfile:
+    """Everything the population builder needs to instantiate a world.
+
+    :ivar online_servers: target number of online DHT servers at any time
+        (the paper's network has ≈25.8 k; the default is laptop-scale).
+    :ivar nat_client_ratio: NAT-ed DHT clients per online DHT server.
+    :ivar days: length of the measurement campaign in simulated days.
+    :ivar ephemeral_share_of_residential: fraction of the *online*
+        residential population that belongs to the ephemeral class.
+    :ivar hybrid_share: share of online servers announcing cloud and
+        non-cloud addresses (the BOTH bar of Fig. 3).
+    """
+
+    online_servers: int = 2500
+    nat_client_ratio: float = 3.2
+    days: float = 38.0
+    ephemeral_share_of_residential: float = 0.55
+    hybrid_share: float = 0.018
+    #: §9 what-if: fraction of would-be NAT clients that are publicly
+    #: reachable over IPv6 and therefore join as DHT servers.  0.0
+    #: reproduces the paper's IPv4/NAT reality.
+    ipv6_adoption: float = 0.0
+    seed: int = 2023
+
+    org_shares: Mapping[str, float] = field(default_factory=lambda: dict(SNAPSHOT_ORG_SHARES))
+    country_shares: Mapping[str, float] = field(
+        default_factory=lambda: dict(SNAPSHOT_COUNTRY_SHARES)
+    )
+    ephemeral_country_shares: Mapping[str, float] = field(
+        default_factory=lambda: dict(EPHEMERAL_COUNTRY_SHARES)
+    )
+    behaviors: Mapping[str, BehaviorProfile] = field(default_factory=lambda: dict(BEHAVIORS))
+    platforms: Tuple[PlatformSpec, ...] = PLATFORMS
+
+    def joint_org_country(self) -> Dict[str, Dict[str, float]]:
+        """The IPF-fitted joint (organisation, country) distribution of
+        online DHT servers; both marginals match the paper."""
+        return iterative_proportional_fit(
+            ORG_COUNTRY_SEED, dict(self.org_shares), dict(self.country_shares)
+        )
+
+    def scaled(self, online_servers: int) -> "WorldProfile":
+        """The same profile at a different network size."""
+        from dataclasses import replace
+
+        return replace(self, online_servers=online_servers)
+
+    @classmethod
+    def paper_scale(cls) -> "WorldProfile":
+        """The paper's network size (≈25.8 k online DHT servers)."""
+        return cls(online_servers=25772)

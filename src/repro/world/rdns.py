@@ -1,0 +1,46 @@
+"""Reverse DNS for platform attribution.
+
+§5 of the paper attributes traffic to platforms (web3.storage,
+nft.storage, ipfs-bank, …) by reverse DNS lookups on the logged IPs.
+The simulation registers PTR-style entries per block or per address and
+exposes the same ``ip -> hostname`` lookup.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.world.ipspace import IPBlock, format_ip, parse_ip
+
+
+class ReverseDNS:
+    """PTR records for the synthetic address space."""
+
+    def __init__(self) -> None:
+        self._block_patterns: Dict[IPBlock, str] = {}
+        self._exact: Dict[int, str] = {}
+
+    def register_block(self, block: IPBlock, pattern: str) -> None:
+        """PTR entries for a whole block.
+
+        ``pattern`` may contain ``{ip}`` which expands to the dashed
+        address, e.g. ``"ec2-{ip}.compute.amazonaws.com"``.
+        """
+        self._block_patterns[block] = pattern
+
+    def register_address(self, ip, hostname: str) -> None:
+        """A single PTR entry, overriding any block pattern."""
+        if isinstance(ip, str):
+            ip = parse_ip(ip)
+        self._exact[ip] = hostname
+
+    def lookup(self, ip) -> Optional[str]:
+        """The PTR hostname for ``ip``, or ``None`` (NXDOMAIN)."""
+        if isinstance(ip, str):
+            ip = parse_ip(ip)
+        if ip in self._exact:
+            return self._exact[ip]
+        for block, pattern in self._block_patterns.items():
+            if ip in block:
+                return pattern.format(ip=format_ip(ip).replace(".", "-"))
+        return None

@@ -1,0 +1,78 @@
+"""Churn, presence advertising and daily address rotation."""
+
+import pytest
+
+from repro.netsim.churn import ChurnProcess, DailyAddressRotation, PresenceAdvertiser
+from repro.netsim.network import Overlay, in_degree_counts
+from repro.world.population import NodeClass, build_world
+from repro.world.profiles import WorldProfile
+
+
+class TestChurnProcess:
+    def test_population_stays_near_steady_state(self, churned_overlay):
+        assert len(churned_overlay.oracle) == pytest.approx(300, rel=0.15)
+
+    def test_ephemeral_nodes_cycled(self, churned_overlay):
+        ephemerals = [
+            node
+            for node in churned_overlay.nodes
+            if node.node_class is NodeClass.RESIDENTIAL_EPHEMERAL
+        ]
+        sessions = [node.sessions_seen for node in ephemerals]
+        # After 3 days the ephemeral class should have cycled sessions.
+        assert sum(sessions) > len(ephemerals) * 0.5
+
+    def test_cloud_nodes_barely_churn(self, churned_overlay):
+        cloud = [
+            node
+            for node in churned_overlay.nodes
+            if node.node_class is NodeClass.CLOUD_STABLE
+        ]
+        online_share = sum(1 for node in cloud if node.online) / len(cloud)
+        assert online_share > 0.9
+
+    def test_joins_and_leaves_balanced(self):
+        world = build_world(WorldProfile(online_servers=200, seed=31))
+        overlay = Overlay(world)
+        overlay.bootstrap()
+        churn = ChurnProcess(overlay)
+        churn.start()
+        overlay.scheduler.run_until(2 * 86400.0)
+        assert churn.joins > 0
+        assert churn.leaves == pytest.approx(churn.joins, rel=0.35)
+
+
+class TestDailyAddressRotation:
+    def test_rotations_happen_for_fringe_not_platforms(self):
+        world = build_world(WorldProfile(online_servers=200, seed=32))
+        overlay = Overlay(world)
+        overlay.bootstrap()
+        rotation = DailyAddressRotation(overlay)
+        rotation.start()
+        platform_ips_before = {
+            node.spec.index: list(node.ips)
+            for node in overlay.nodes
+            if node.node_class is NodeClass.PLATFORM and node.online
+        }
+        overlay.scheduler.run_until(3 * 86400.0)
+        assert rotation.rotations > 0
+        for node in overlay.nodes:
+            if node.spec.index in platform_ips_before and node.online:
+                assert node.ips == platform_ips_before[node.spec.index]
+
+
+class TestPresenceAdvertiser:
+    def test_filebase_gains_in_degree(self):
+        world = build_world(WorldProfile(online_servers=250, seed=33))
+        overlay = Overlay(world)
+        overlay.bootstrap()
+        filebase = [
+            node for node in overlay.nodes if node.spec.platform == "filebase" and node.online
+        ]
+        assert filebase
+        before = sum(in_degree_counts(overlay).get(node.peer, 0) for node in filebase)
+        advertiser = PresenceAdvertiser(overlay, interval_hours=6.0)
+        advertiser.start()
+        overlay.scheduler.run_until(86400.0)
+        after = sum(in_degree_counts(overlay).get(node.peer, 0) for node in filebase)
+        assert after > before

@@ -1,0 +1,119 @@
+"""Passive churn analysis from crawl snapshots."""
+
+import pytest
+
+from repro.core.churn_analysis import (
+    ChurnReport,
+    PeerPresence,
+    churn_by_label,
+    churn_report,
+    peer_presences,
+)
+from repro.core.crawler import CrawlDataset, CrawlObservation, CrawlSnapshot
+from repro.ids.peerid import PeerID
+
+
+def make_peer(tag: int) -> PeerID:
+    return PeerID(tag.to_bytes(32, "big"))
+
+
+def build_dataset(appearances):
+    """appearances: {peer_tag: {crawl_id: ips}}."""
+    dataset = CrawlDataset()
+    crawl_ids = sorted({c for per_peer in appearances.values() for c in per_peer})
+    for crawl_id in crawl_ids:
+        snapshot = CrawlSnapshot(crawl_id=crawl_id, started_at=float(crawl_id))
+        for tag, per_crawl in appearances.items():
+            if crawl_id in per_crawl:
+                peer = make_peer(tag)
+                snapshot.observations[peer] = CrawlObservation(
+                    peer, tuple(per_crawl[crawl_id]), crawlable=True
+                )
+        dataset.add(snapshot)
+    return dataset
+
+
+class TestPeerPresence:
+    def test_sessions_split_on_gaps(self):
+        presence = PeerPresence(make_peer(1), crawls_seen=[0, 1, 2, 5, 6, 9])
+        assert presence.sessions() == [(0, 2), (5, 6), (9, 9)]
+
+    def test_empty_sessions(self):
+        assert PeerPresence(make_peer(1)).sessions() == []
+
+    def test_uptime(self):
+        presence = PeerPresence(make_peer(1), crawls_seen=[0, 2])
+        assert presence.uptime(4) == 0.5
+        assert presence.uptime(0) == 0.0
+
+    def test_ip_changes(self):
+        presence = PeerPresence(
+            make_peer(1),
+            crawls_seen=[0, 1, 2],
+            ips_per_crawl={0: ("a",), 1: ("a",), 2: ("b",)},
+        )
+        assert presence.ip_changes() == 1
+
+
+class TestChurnReport:
+    def test_stable_vs_churner(self):
+        dataset = build_dataset(
+            {
+                1: {c: ["stable-ip"] for c in range(10)},            # always on
+                2: {0: ["r0"], 5: ["r5"]},                            # two blips
+            }
+        )
+        report = churn_report(dataset)
+        assert report.peers == 2
+        assert report.mean_uptime == pytest.approx((1.0 + 0.2) / 2)
+        assert report.single_appearance_share == 0.0
+        # The churner changed IP between its two appearances.
+        assert report.ip_change_rate == pytest.approx(1 / 10)
+
+    def test_empty_dataset(self):
+        assert churn_report(CrawlDataset()) == ChurnReport.empty()
+
+    def test_filtering(self):
+        dataset = build_dataset({1: {0: ["a"], 1: ["a"]}, 2: {0: ["b"]}})
+        only_singles = churn_report(
+            dataset, include=lambda presence: presence.appearances == 1
+        )
+        assert only_singles.peers == 1
+        assert only_singles.single_appearance_share == 1.0
+
+    def test_by_label_splits_cloud_and_fringe(self):
+        dataset = build_dataset(
+            {
+                1: {c: ["cloud-1"] for c in range(8)},
+                2: {c: ["cloud-2"] for c in range(8)},
+                3: {0: ["resid-a"], 4: ["resid-b"]},
+                4: {2: ["resid-c"]},
+            }
+        )
+        reports = churn_by_label(
+            dataset, lambda ip: "cloud" if ip.startswith("cloud") else "non-cloud"
+        )
+        assert set(reports) == {"cloud", "non-cloud"}
+        # The paper's story in miniature: cloud peers near-always on,
+        # non-cloud peers short-lived with rotating IPs.
+        assert reports["cloud"].mean_uptime > 0.9
+        assert reports["non-cloud"].mean_uptime < 0.3
+        assert reports["non-cloud"].ip_change_rate > reports["cloud"].ip_change_rate
+        assert reports["non-cloud"].single_appearance_share == 0.5
+
+
+class TestOnCampaign:
+    def test_cloud_peers_outlive_fringe(self, smoke_campaign):
+        reports = churn_by_label(
+            smoke_campaign.crawls,
+            lambda ip: "cloud" if smoke_campaign.world.cloud_db.is_cloud(ip) else "non-cloud",
+        )
+        assert reports["cloud"].mean_uptime > reports["non-cloud"].mean_uptime + 0.2
+        assert (
+            reports["non-cloud"].single_appearance_share
+            > reports["cloud"].single_appearance_share
+        )
+
+    def test_presences_cover_all_discovered(self, smoke_campaign):
+        presences = peer_presences(smoke_campaign.crawls)
+        assert len(presences) == smoke_campaign.crawls.unique_peer_ids()

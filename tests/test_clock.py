@@ -1,0 +1,81 @@
+"""Simulated time and the event scheduler."""
+
+import pytest
+
+from repro.netsim.clock import Clock, EventScheduler, SECONDS_PER_DAY
+
+
+class TestClock:
+    def test_monotonic(self):
+        clock = Clock()
+        clock.advance_to(10.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(5.0)
+
+    def test_day_index(self):
+        clock = Clock()
+        assert clock.day == 0
+        clock.advance_to(SECONDS_PER_DAY * 2.5)
+        assert clock.day == 2
+
+
+class TestScheduler:
+    def test_runs_in_time_order(self):
+        scheduler = EventScheduler()
+        order = []
+        scheduler.schedule(30.0, lambda: order.append("c"))
+        scheduler.schedule(10.0, lambda: order.append("a"))
+        scheduler.schedule(20.0, lambda: order.append("b"))
+        scheduler.run_until(100.0)
+        assert order == ["a", "b", "c"]
+        assert scheduler.clock.now == 100.0
+
+    def test_ties_run_in_insertion_order(self):
+        scheduler = EventScheduler()
+        order = []
+        scheduler.schedule(5.0, lambda: order.append(1))
+        scheduler.schedule(5.0, lambda: order.append(2))
+        scheduler.run_until(5.0)
+        assert order == [1, 2]
+
+    def test_events_after_horizon_stay_queued(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.schedule(50.0, lambda: fired.append(True))
+        executed = scheduler.run_until(49.0)
+        assert executed == 0
+        assert not fired
+        assert len(scheduler) == 1
+        assert scheduler.next_event_time == 50.0
+
+    def test_schedule_in_relative(self):
+        scheduler = EventScheduler()
+        scheduler.run_until(100.0)
+        fired = []
+        scheduler.schedule_in(10.0, lambda: fired.append(scheduler.clock.now))
+        scheduler.run_until(200.0)
+        assert fired == [110.0]
+
+    def test_rejects_past_events(self):
+        scheduler = EventScheduler()
+        scheduler.run_until(10.0)
+        with pytest.raises(ValueError):
+            scheduler.schedule(5.0, lambda: None)
+
+    def test_event_scheduling_from_within_event(self):
+        scheduler = EventScheduler()
+        fired = []
+
+        def recurring():
+            fired.append(scheduler.clock.now)
+            if len(fired) < 3:
+                scheduler.schedule_in(10.0, recurring)
+
+        scheduler.schedule(0.0, recurring)
+        scheduler.run_until(100.0)
+        assert fired == [0.0, 10.0, 20.0]
+
+    def test_clock_lands_exactly_on_boundary(self):
+        scheduler = EventScheduler()
+        scheduler.run_until(33.3)
+        assert scheduler.clock.now == 33.3

@@ -1,0 +1,94 @@
+"""Cloud and geo attribution over synthetic crawl rows."""
+
+import pytest
+
+from repro.core import cloud as cloud_analysis
+from repro.core import geo as geo_analysis
+from repro.core.counting import CountingMethod, CrawlRow
+from repro.ids.peerid import PeerID
+from repro.world.clouddb import CloudIPDatabase
+from repro.world.geodb import GeoIPDatabase
+from repro.world.ipspace import IPAllocator, format_ip
+
+
+def make_peer(tag):
+    return PeerID(tag.to_bytes(32, "big"))
+
+
+@pytest.fixture(scope="module")
+def env():
+    allocator = IPAllocator()
+    choopa = allocator.allocate_block("choopa", "US", True, 24)
+    vultr = allocator.allocate_block("vultr", "DE", True, 24)
+    isp = allocator.allocate_block("isp-cn", "CN", False, 24)
+    cloud_db = CloudIPDatabase(allocator.blocks)
+    geo_db = GeoIPDatabase(allocator.blocks)
+    ip = lambda block, offset: format_ip(block.base + offset)
+    rows = [
+        # Two stable choopa peers, both crawls.
+        CrawlRow(0, make_peer(1), ip(choopa, 1)),
+        CrawlRow(1, make_peer(1), ip(choopa, 1)),
+        CrawlRow(0, make_peer(2), ip(choopa, 2)),
+        CrawlRow(1, make_peer(2), ip(choopa, 2)),
+        # One vultr peer present once.
+        CrawlRow(0, make_peer(3), ip(vultr, 1)),
+        # A CN churner with a fresh IP per crawl.
+        CrawlRow(0, make_peer(4), ip(isp, 1)),
+        CrawlRow(1, make_peer(5), ip(isp, 2)),
+        # A mixed announcer: cloud and non-cloud in the same crawl.
+        CrawlRow(1, make_peer(6), ip(choopa, 3)),
+        CrawlRow(1, make_peer(6), ip(isp, 3)),
+    ]
+    return rows, cloud_db, geo_db
+
+
+class TestCloudStatus:
+    def test_a_n_includes_both_label(self, env):
+        rows, cloud_db, _ = env
+        shares = cloud_analysis.cloud_status_shares(rows, cloud_db, CountingMethod.A_N)
+        # Per crawl: c0 = {cloud:3, non:1}; c1 = {cloud:2, non:1, both:1}.
+        assert shares["cloud"] == pytest.approx(2.5 / 4)
+        assert shares["non-cloud"] == pytest.approx(1.0 / 4)
+        assert shares["both"] == pytest.approx(0.5 / 4)
+
+    def test_g_ip_counts_addresses(self, env):
+        rows, cloud_db, _ = env
+        shares = cloud_analysis.cloud_status_shares(rows, cloud_db, CountingMethod.G_IP)
+        # Unique IPs: 4 cloud (choopa 1,2,3 + vultr 1), 3 non-cloud.
+        assert shares["cloud"] == pytest.approx(4 / 7)
+        assert "both" not in shares
+
+    def test_provider_shares_and_top3(self, env):
+        rows, cloud_db, _ = env
+        shares = cloud_analysis.provider_shares(rows, cloud_db, CountingMethod.A_N)
+        top, combined = cloud_analysis.top_provider_concentration(shares, top_n=2)
+        assert top[0][0] == "choopa"
+        assert combined == pytest.approx(shares["choopa"] + shares["vultr"])
+        assert "non-cloud" not in dict(top)
+
+    def test_ratio_series_shapes(self, env):
+        rows, cloud_db, _ = env
+        series = cloud_analysis.cloud_ratio_series(rows, cloud_db, CountingMethod.G_IP)
+        assert [k for k, _ in series] == [1, 2]
+        assert series[1][1] < series[0][1]  # churner IPs accumulate
+
+
+class TestGeo:
+    def test_country_shares(self, env):
+        rows, _, geo_db = env
+        shares = geo_analysis.country_shares(rows, geo_db, CountingMethod.A_N)
+        assert shares["US"] > shares["CN"] > 0
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_unknown_ip_label(self, env):
+        rows, _, geo_db = env
+        extra = rows + [CrawlRow(0, make_peer(9), "0.0.0.9")]
+        shares = geo_analysis.country_shares(extra, geo_db, CountingMethod.A_N)
+        assert geo_analysis.UNKNOWN_COUNTRY in shares
+
+    def test_top_countries_tail(self, env):
+        rows, _, geo_db = env
+        shares = geo_analysis.country_shares(rows, geo_db, CountingMethod.G_IP)
+        top, outside = geo_analysis.top_countries(shares, top_n=1)
+        assert len(top) == 1
+        assert outside == pytest.approx(1.0 - top[0][1])

@@ -1,0 +1,149 @@
+"""Blocks/chunking and the content catalog."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.content.blocks import DEFAULT_CHUNK_SIZE, chunk_data, reassemble
+from repro.content.catalog import (
+    ContentCatalog,
+    ContentItem,
+    sample_popularity_weight,
+    sample_user_lifetime,
+)
+from repro.ids.cid import CID
+
+
+class TestChunking:
+    def test_single_chunk_root_is_chunk(self):
+        dag, blocks = chunk_data(b"small", chunk_size=1024)
+        assert len(blocks) == 1
+        assert dag.root == blocks[0][0]
+        assert dag.total_size == 5
+
+    def test_multi_chunk_has_root_block(self):
+        data = bytes(range(256)) * 20
+        dag, blocks = chunk_data(data, chunk_size=1000)
+        assert len(dag.links) == (len(data) + 999) // 1000
+        assert len(blocks) == len(dag.links) + 1  # plus the root block
+
+    def test_empty_data(self):
+        dag, blocks = chunk_data(b"")
+        assert dag.total_size == 0
+        assert len(blocks) == 1
+
+    def test_rejects_bad_chunk_size(self):
+        with pytest.raises(ValueError):
+            chunk_data(b"x", chunk_size=0)
+
+    @settings(max_examples=25)
+    @given(st.binary(max_size=5000), st.integers(min_value=1, max_value=700))
+    def test_reassemble_roundtrip(self, data, chunk_size):
+        dag, blocks = chunk_data(data, chunk_size=chunk_size)
+        store = dict(blocks)
+        assert reassemble(dag, store.get) == data
+
+    def test_reassemble_missing_block_raises(self):
+        dag, blocks = chunk_data(b"abcdef", chunk_size=2)
+        store = dict(blocks[1:])
+        with pytest.raises(KeyError):
+            reassemble(dag, store.get)
+
+    def test_default_chunk_size_matches_ipfs(self):
+        assert DEFAULT_CHUNK_SIZE == 256 * 1024
+
+    def test_deduplication(self):
+        """Identical chunks share a CID — content addressing dedupes."""
+        dag, blocks = chunk_data(b"AA" * 500, chunk_size=100)
+        cids = [cid for cid, _ in blocks]
+        assert len(set(cids)) < len(cids)
+
+
+class TestLifetimes:
+    def test_mostly_one_to_three_days(self, rng):
+        lifetimes = [sample_user_lifetime(rng) for _ in range(3000)]
+        short = sum(1 for life in lifetimes if life <= 3) / len(lifetimes)
+        assert short > 0.8  # paper Fig. 9: vast majority 1-3 days
+
+    def test_minimum_one_day(self, rng):
+        assert all(sample_user_lifetime(rng) >= 1 for _ in range(500))
+
+    def test_popularity_heavy_tailed(self, rng):
+        weights = sorted(sample_popularity_weight(rng) for _ in range(2000))
+        assert sum(weights[-20:]) / sum(weights) > 0.1
+
+
+class TestCatalog:
+    def test_alive_window(self):
+        catalog = ContentCatalog(random.Random(0))
+        item = catalog.add(
+            ContentItem(CID.generate(random.Random(1)), "me", created_day=2, lifetime_days=3)
+        )
+        assert not item.alive_on(1)
+        assert item.alive_on(2)
+        assert item.alive_on(4)
+        assert not item.alive_on(5)
+
+    def test_sampling_respects_aliveness(self):
+        catalog = ContentCatalog(random.Random(2))
+        dead = catalog.add(
+            ContentItem(CID.generate(random.Random(3)), "a", created_day=0, lifetime_days=1)
+        )
+        alive = catalog.add(
+            ContentItem(CID.generate(random.Random(4)), "b", created_day=0, lifetime_days=99)
+        )
+        catalog.build_day_index(5)
+        rng = random.Random(5)
+        sampled = {catalog.sample_request(rng).cid for _ in range(50)}
+        assert sampled == {alive.cid}
+
+    def test_sampling_empty_day(self):
+        catalog = ContentCatalog(random.Random(6))
+        catalog.build_day_index(0)
+        assert catalog.sample_request(random.Random(7)) is None
+
+    def test_popular_items_drawn_more(self):
+        catalog = ContentCatalog(random.Random(8))
+        rng = random.Random(9)
+        hot = catalog.add(
+            ContentItem(CID.generate(rng), "a", created_day=0, lifetime_days=10, weight=100.0)
+        )
+        cold = catalog.add(
+            ContentItem(CID.generate(rng), "b", created_day=0, lifetime_days=10, weight=1.0)
+        )
+        catalog.build_day_index(0)
+        draws = [catalog.sample_request(rng).cid for _ in range(300)]
+        assert draws.count(hot.cid) > draws.count(cold.cid) * 3
+
+    def test_user_content_decays_platform_does_not(self):
+        catalog = ContentCatalog(random.Random(10))
+        rng = random.Random(11)
+        old_user = catalog.add(
+            ContentItem(CID.generate(rng), 123, created_day=0, lifetime_days=30, weight=10.0)
+        )
+        platform = catalog.add(
+            ContentItem(CID.generate(rng), "web3.storage", created_day=0, lifetime_days=30, weight=10.0)
+        )
+        catalog.build_day_index(20)
+        draws = [catalog.sample_request(rng).cid for _ in range(400)]
+        assert draws.count(platform.cid) > draws.count(old_user.cid) * 2
+
+    def test_incremental_add_keeps_index_usable(self):
+        catalog = ContentCatalog(random.Random(12))
+        catalog.build_day_index(0)
+        item = catalog.mint_user_item(day=0, publisher=7)
+        rng = random.Random(13)
+        assert catalog.sample_request(rng).cid == item.cid
+
+    def test_mint_platform_set(self):
+        catalog = ContentCatalog(random.Random(14))
+        items = catalog.mint_platform_set("nft.storage", 50, weight_scale=0.5)
+        assert len(items) == 50
+        assert all(item.publisher == "nft.storage" for item in items)
+        assert catalog.platform_items("nft.storage") == items
+
+    def test_by_cid_lookup(self):
+        catalog = ContentCatalog(random.Random(15))
+        item = catalog.mint_user_item(day=0, publisher=1)
+        assert catalog.by_cid[item.cid] is item

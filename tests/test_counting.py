@@ -1,0 +1,162 @@
+"""Counting methodologies — including the paper's Table 1 worked example."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.counting import (
+    BOTH,
+    CLOUD,
+    NON_CLOUD,
+    CountingMethod,
+    CrawlRow,
+    a_n_counts,
+    cloud_status_combine,
+    counts,
+    cumulative_ratio_series,
+    g_ip_counts,
+    g_n_counts,
+    majority_vote,
+    make_rows,
+    shares,
+)
+from repro.ids.peerid import PeerID
+
+
+def make_peer(tag: int) -> PeerID:
+    return PeerID(tag.to_bytes(32, "big"))
+
+
+@pytest.fixture()
+def table1_rows():
+    """The paper's Table 1 example dataset.
+
+    Crawl 1: p1→a1(DE), p1→a2(DE), p2→a3(US)
+    Crawl 2: p2→a2(DE), p2→a3(US), p2→a4(US)
+    """
+    p1, p2 = make_peer(1), make_peer(2)
+    return [
+        CrawlRow(1, p1, "a1"),
+        CrawlRow(1, p1, "a2"),
+        CrawlRow(1, p2, "a3"),
+        CrawlRow(2, p2, "a2"),
+        CrawlRow(2, p2, "a3"),
+        CrawlRow(2, p2, "a4"),
+    ]
+
+
+GEO = {"a1": "DE", "a2": "DE", "a3": "US", "a4": "US"}
+
+
+class TestTable1:
+    def test_g_ip_matches_paper(self, table1_rows):
+        """The paper: G-IP yields DE=2, US=2."""
+        assert g_ip_counts(table1_rows, GEO.get) == {"DE": 2.0, "US": 2.0}
+
+    def test_a_n_matches_paper(self, table1_rows):
+        """The paper: A-N yields DE=0.5, US=1."""
+        assert a_n_counts(table1_rows, GEO.get) == {"DE": 0.5, "US": 1.0}
+
+    def test_a_n_interpretation(self, table1_rows):
+        """'One stable node probably in the US, one node with 50 % uptime
+        in Germany' — the A-N counts support exactly that reading."""
+        result = a_n_counts(table1_rows, GEO.get)
+        assert result["US"] == 1.0  # stable
+        assert result["DE"] == 0.5  # 50% uptime
+
+    def test_g_n_counts_peers_once(self, table1_rows):
+        # p1 is DE-majority; p2 announces a2(DE), a3(US), a4(US) → US.
+        assert g_n_counts(table1_rows, GEO.get) == {"DE": 1.0, "US": 1.0}
+
+    def test_dispatcher(self, table1_rows):
+        assert counts(table1_rows, GEO.get, CountingMethod.G_IP) == {"DE": 2.0, "US": 2.0}
+        assert counts(table1_rows, GEO.get, CountingMethod.A_N) == {"DE": 0.5, "US": 1.0}
+        assert counts(table1_rows, GEO.get, CountingMethod.G_N) == {"DE": 1.0, "US": 1.0}
+
+
+class TestMajorityVote:
+    def test_simple_majority(self):
+        assert majority_vote(["DE", "DE", "US"]) == "DE"
+
+    def test_tie_breaks_lexicographically(self):
+        assert majority_vote(["US", "DE"]) == "DE"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            majority_vote([])
+
+    @given(st.lists(st.sampled_from(["a", "b", "c"]), min_size=1))
+    def test_result_is_member(self, labels):
+        assert majority_vote(labels) in labels
+
+
+class TestCloudStatusCombine:
+    def test_pure_cloud(self):
+        assert cloud_status_combine([CLOUD, CLOUD]) == CLOUD
+
+    def test_pure_noncloud(self):
+        assert cloud_status_combine([NON_CLOUD]) == NON_CLOUD
+
+    def test_mixed_is_both(self):
+        """Peers announcing cloud AND non-cloud addresses get BOTH (§4)."""
+        assert cloud_status_combine([CLOUD, NON_CLOUD, NON_CLOUD]) == BOTH
+
+
+class TestMethodProperties:
+    def test_a_n_with_explicit_crawl_count(self, table1_rows):
+        result = a_n_counts(table1_rows, GEO.get, num_crawls=4)
+        assert result == {"DE": 0.25, "US": 0.5}
+
+    def test_empty_rows(self):
+        assert g_ip_counts([], GEO.get) == {}
+        assert a_n_counts([], GEO.get) == {}
+        assert g_n_counts([], GEO.get) == {}
+
+    def test_shares_normalize(self):
+        assert shares({"a": 3.0, "b": 1.0}) == {"a": 0.75, "b": 0.25}
+        assert shares({}) == {}
+
+    @settings(max_examples=30)
+    @given(st.lists(st.tuples(st.integers(0, 3), st.integers(1, 6), st.integers(0, 9)), min_size=1))
+    def test_a_n_total_is_avg_peers_per_crawl(self, raw):
+        rows = [CrawlRow(crawl, make_peer(peer), f"ip{ip}") for crawl, peer, ip in raw]
+        prop = lambda ip: "x"
+        result = a_n_counts(rows, prop)
+        crawls = {row.crawl_id for row in rows}
+        expected = sum(
+            len({row.peer for row in rows if row.crawl_id == crawl}) for crawl in crawls
+        ) / len(crawls)
+        assert result["x"] == pytest.approx(expected)
+
+    @settings(max_examples=30)
+    @given(st.lists(st.tuples(st.integers(0, 3), st.integers(1, 6), st.integers(0, 9)), min_size=1))
+    def test_g_ip_total_is_unique_ips(self, raw):
+        rows = [CrawlRow(crawl, make_peer(peer), f"ip{ip}") for crawl, peer, ip in raw]
+        result = g_ip_counts(rows, lambda ip: "x")
+        assert result["x"] == len({row.ip for row in rows})
+
+
+class TestCumulativeSeries:
+    def test_rotating_ips_inflate_g_ip_only(self):
+        """The Fig. 4 mechanism in miniature: a stable cloud peer and a
+        non-cloud peer that rotates its IP every crawl."""
+        cloud_peer, churner = make_peer(1), make_peer(2)
+        prop = lambda ip: CLOUD if ip.startswith("c") else NON_CLOUD
+        rows = []
+        for crawl in range(10):
+            rows.append(CrawlRow(crawl, cloud_peer, "c-stable"))
+            rows.append(CrawlRow(crawl, churner, f"r-{crawl}"))
+        gip = cumulative_ratio_series(rows, prop, CountingMethod.G_IP)
+        an = cumulative_ratio_series(
+            rows, prop, CountingMethod.A_N, combine=cloud_status_combine
+        )
+        # G-IP ratio decays as rotated IPs accumulate …
+        assert gip[0][1] == 1.0
+        assert gip[-1][1] == pytest.approx(0.1)
+        # … while A-N stays flat at 1:1.
+        assert all(ratio == pytest.approx(1.0) for _, ratio in an)
+
+    def test_make_rows_adapter(self):
+        rows = make_rows([(0, make_peer(1), "a"), (1, make_peer(2), "b")])
+        assert rows[0].crawl_id == 0 and rows[1].ip == "b"

@@ -1,0 +1,93 @@
+"""The Udger-like cloud database, the GeoLite-like geo database, and
+reverse DNS."""
+
+import pytest
+
+from repro.world.clouddb import CloudIPDatabase
+from repro.world.geodb import GeoIPDatabase
+from repro.world.ipspace import IPAllocator, format_ip
+from repro.world.rdns import ReverseDNS
+
+
+@pytest.fixture()
+def blocks():
+    allocator = IPAllocator()
+    return {
+        "aws": allocator.allocate_block("amazon-aws", "US", True, 20),
+        "hetzner": allocator.allocate_block("hetzner", "DE", True, 20),
+        "isp": allocator.allocate_block("isp-fr", "FR", False, 20),
+    }
+
+
+class TestCloudDB:
+    def test_lookup_by_int_and_string(self, blocks):
+        db = CloudIPDatabase(blocks.values())
+        ip = blocks["aws"].base + 7
+        assert db.lookup(ip) == "amazon-aws"
+        assert db.lookup(format_ip(ip)) == "amazon-aws"
+
+    def test_non_cloud_blocks_absent(self, blocks):
+        """Udger semantics: ISP ranges have no entry → None → non-cloud."""
+        db = CloudIPDatabase(blocks.values())
+        assert db.lookup(blocks["isp"].base + 1) is None
+        assert not db.is_cloud(blocks["isp"].base + 1)
+
+    def test_unknown_address(self, blocks):
+        db = CloudIPDatabase(blocks.values())
+        assert db.lookup(1) is None
+
+    def test_boundaries(self, blocks):
+        db = CloudIPDatabase(blocks.values())
+        aws = blocks["aws"]
+        assert db.lookup(aws.base) == "amazon-aws"
+        assert db.lookup(aws.base + aws.size - 1) == "amazon-aws"
+
+    def test_providers_listing(self, blocks):
+        db = CloudIPDatabase(blocks.values())
+        assert db.providers() == ["amazon-aws", "hetzner"]
+
+    def test_empty_db(self):
+        db = CloudIPDatabase([])
+        assert len(db) == 0
+        assert db.lookup("1.2.3.4") is None
+
+
+class TestGeoDB:
+    def test_lookup_covers_all_blocks(self, blocks):
+        db = GeoIPDatabase(blocks.values())
+        assert db.lookup(blocks["aws"].base) == "US"
+        assert db.lookup(blocks["hetzner"].base + 3) == "DE"
+        assert db.lookup(blocks["isp"].base + 9) == "FR"
+
+    def test_unknown_address(self, blocks):
+        db = GeoIPDatabase(blocks.values())
+        assert db.lookup("0.0.0.1") is None
+
+    def test_countries_listing(self, blocks):
+        db = GeoIPDatabase(blocks.values())
+        assert db.countries() == ["DE", "FR", "US"]
+
+
+class TestReverseDNS:
+    def test_block_pattern_expansion(self, blocks):
+        rdns = ReverseDNS()
+        rdns.register_block(blocks["aws"], "ec2-{ip}.compute.amazonaws.com")
+        ip = blocks["aws"].base + 2
+        hostname = rdns.lookup(ip)
+        assert hostname == f"ec2-{format_ip(ip).replace('.', '-')}.compute.amazonaws.com"
+
+    def test_exact_overrides_block(self, blocks):
+        rdns = ReverseDNS()
+        rdns.register_block(blocks["aws"], "ec2-{ip}.compute.amazonaws.com")
+        ip = blocks["aws"].base + 2
+        rdns.register_address(ip, "node-1.web3.storage")
+        assert rdns.lookup(ip) == "node-1.web3.storage"
+
+    def test_nxdomain(self, blocks):
+        rdns = ReverseDNS()
+        assert rdns.lookup(blocks["isp"].base) is None
+
+    def test_string_addresses(self, blocks):
+        rdns = ReverseDNS()
+        rdns.register_address("10.0.0.5", "host.example.org")
+        assert rdns.lookup("10.0.0.5") == "host.example.org"

@@ -1,0 +1,75 @@
+"""Reproducibility: identical seeds give identical campaigns."""
+
+import dataclasses
+
+import pytest
+
+from repro.scenario.config import ScenarioConfig
+from repro.scenario.run import run_campaign
+from repro.world.profiles import WorldProfile
+
+
+def tiny_config(seed: int) -> ScenarioConfig:
+    return ScenarioConfig(
+        profile=WorldProfile(online_servers=150, seed=seed),
+        days=1,
+        warmup_days=0,
+        daily_cid_sample=40,
+        provider_fetch_days=1,
+        gateway_probes_per_endpoint=2,
+        seed=seed,
+    )
+
+
+@pytest.fixture(scope="module")
+def twin_campaigns():
+    return run_campaign(tiny_config(77)), run_campaign(tiny_config(77))
+
+
+class TestDeterminism:
+    def test_crawls_identical(self, twin_campaigns):
+        first, second = twin_campaigns
+        assert first.crawls.avg_discovered() == second.crawls.avg_discovered()
+        assert first.crawls.unique_ips() == second.crawls.unique_ips()
+        snap_a = first.crawls.snapshots[0]
+        snap_b = second.crawls.snapshots[0]
+        assert set(snap_a.observations) == set(snap_b.observations)
+
+    def test_logs_identical(self, twin_campaigns):
+        first, second = twin_campaigns
+        assert len(first.hydra.log) == len(second.hydra.log)
+        assert len(first.bitswap_monitor.log) == len(second.bitswap_monitor.log)
+        assert [e.sender for e in first.hydra.log[:50]] == [
+            e.sender for e in second.hydra.log[:50]
+        ]
+
+    def test_provider_observations_identical(self, twin_campaigns):
+        first, second = twin_campaigns
+        assert [o.cid for o in first.provider_observations] == [
+            o.cid for o in second.provider_observations
+        ]
+
+    def test_ens_identical(self, twin_campaigns):
+        first, second = twin_campaigns
+        assert [r.cid_string for r in first.ens_scrape.records] == [
+            r.cid_string for r in second.ens_scrape.records
+        ]
+
+    def test_different_seed_differs(self):
+        other = run_campaign(tiny_config(78))
+        baseline = run_campaign(tiny_config(77))
+        assert [e.sender for e in other.hydra.log[:50]] != [
+            e.sender for e in baseline.hydra.log[:50]
+        ]
+
+
+class TestMinimalConfigurations:
+    def test_one_day_campaign_completes(self):
+        result = run_campaign(tiny_config(79))
+        assert len(result.crawls) >= 1
+        assert len(result.hydra.log) > 0
+
+    def test_zero_warmup_supported(self):
+        config = dataclasses.replace(tiny_config(80), warmup_days=0)
+        result = run_campaign(config)
+        assert result.crawls.snapshots[0].started_at == 0.0

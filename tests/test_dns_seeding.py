@@ -1,0 +1,88 @@
+"""DNS world seeding: namespace shape and adopter wiring."""
+
+import random
+
+import pytest
+
+from repro.dns.records import DNSLINK_PREFIX, RRType
+from repro.dns.scanner import ActiveScanner
+from repro.dns.seeding import DNSLinkSeedConfig, seed_dns_world
+from repro.world.population import build_world
+from repro.world.profiles import WorldProfile
+
+
+@pytest.fixture(scope="module")
+def dns_world():
+    world = build_world(WorldProfile(online_servers=200, seed=61))
+    config = DNSLinkSeedConfig(background_domains=400, dnslink_domains=120)
+    return world, seed_dns_world(world, config=config, rng=random.Random(62))
+
+
+class TestNamespace:
+    def test_all_gateway_domains_have_zones(self, dns_world):
+        _, dns = dns_world
+        for domain in dns.gateway_domains():
+            assert dns.resolver.soa_exists(domain)
+            assert dns.resolver.resolve_a(domain)
+
+    def test_frontend_ips_in_passive_feed(self, dns_world):
+        _, dns = dns_world
+        observed = dns.passive.ips_for_domains(dns.gateway_domains())
+        assert observed == set(dns.all_frontend_ips())
+
+    def test_background_domains_have_no_dnslink(self, dns_world):
+        _, dns = dns_world
+        background = [
+            name
+            for name in dns.scan_input
+            if name not in set(dns.dnslink_domains) and not name.startswith("www.")
+        ]
+        sample = background[:40]
+        for domain in sample:
+            assert not dns.resolver.txt(f"{DNSLINK_PREFIX}.{domain}")
+
+    def test_dnslink_domains_have_valid_records(self, dns_world):
+        _, dns = dns_world
+        from repro.dns.records import parse_dnslink_txt
+
+        for domain in dns.dnslink_domains[:40]:
+            values = dns.resolver.txt(f"{DNSLINK_PREFIX}.{domain}")
+            assert values
+            assert parse_dnslink_txt(values[0]) is not None
+
+
+class TestAdopterWiring:
+    def test_scan_recovers_all_adopters(self, dns_world):
+        _, dns = dns_world
+        result = ActiveScanner(dns.resolver).scan(dns.scan_input)
+        assert len(result.dnslink_records) == len(dns.dnslink_domains)
+
+    def test_every_adopter_resolves_to_an_ip(self, dns_world):
+        _, dns = dns_world
+        result = ActiveScanner(dns.resolver).scan(dns.dnslink_domains)
+        resolved = [record for record in result.dnslink_records if record.a_record_ips]
+        assert len(resolved) == len(result.dnslink_records)
+
+    def test_wiring_mix_shapes_cloud_attribution(self, dns_world):
+        world, dns = dns_world
+        result = ActiveScanner(dns.resolver).scan(dns.dnslink_domains)
+        ips = set(result.all_ips)
+        cloudflare = sum(1 for ip in ips if world.cloud_db.lookup(ip) == "cloudflare")
+        noncloud = sum(1 for ip in ips if not world.cloud_db.is_cloud(ip))
+        assert cloudflare / len(ips) > 0.3   # Cloudflare-heavy
+        assert 0.05 < noncloud / len(ips) < 0.4  # a real non-cloud fringe
+
+    def test_public_gateway_overlap_is_partial(self, dns_world):
+        _, dns = dns_world
+        result = ActiveScanner(dns.resolver).scan(dns.dnslink_domains)
+        ips = set(result.all_ips)
+        frontend = set(dns.all_frontend_ips())
+        overlap = len(ips & frontend) / len(ips)
+        assert 0.0 < overlap < 0.5  # only a minority reuse the public gateways
+
+    def test_ipns_share(self, dns_world):
+        _, dns = dns_world
+        result = ActiveScanner(dns.resolver).scan(dns.dnslink_domains)
+        kinds = [record.kind for record in result.dnslink_records]
+        ipns_share = kinds.count("ipns") / len(kinds)
+        assert 0.05 < ipns_share < 0.4

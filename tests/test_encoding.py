@@ -1,0 +1,65 @@
+"""Base58btc and base32 encodings."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ids.encoding import base32_decode, base32_encode, base58_decode, base58_encode
+
+
+class TestBase58:
+    def test_empty(self):
+        assert base58_encode(b"") == ""
+        assert base58_decode("") == b""
+
+    def test_known_vector(self):
+        # "Hello World!" is a classic base58 test vector.
+        assert base58_encode(b"Hello World!") == "2NEpo7TZRRrLZSi2U"
+
+    def test_leading_zeros_preserved(self):
+        assert base58_encode(b"\x00\x00a") == "11" + base58_encode(b"a")
+        assert base58_decode("11" + base58_encode(b"a")) == b"\x00\x00a"
+
+    def test_alphabet_excludes_ambiguous_characters(self):
+        encoded = base58_encode(bytes(range(256)))
+        for forbidden in "0OIl":
+            assert forbidden not in encoded
+
+    def test_decode_rejects_invalid_characters(self):
+        with pytest.raises(ValueError):
+            base58_decode("0invalid")
+        with pytest.raises(ValueError):
+            base58_decode("abc!")
+
+    @given(st.binary(max_size=64))
+    def test_roundtrip(self, data):
+        assert base58_decode(base58_encode(data)) == data
+
+
+class TestBase32:
+    def test_empty(self):
+        assert base32_encode(b"") == ""
+        assert base32_decode("") == b""
+
+    def test_known_vector(self):
+        # RFC 4648: BASE32("foobar") = "MZXW6YTBOI", lower-cased unpadded.
+        assert base32_encode(b"foobar") == "mzxw6ytboi"
+
+    def test_lowercase_output(self):
+        encoded = base32_encode(bytes(range(256)))
+        assert encoded == encoded.lower()
+
+    def test_decode_rejects_invalid_characters(self):
+        with pytest.raises(ValueError):
+            base32_decode("ABC")  # upper case is outside our alphabet
+        with pytest.raises(ValueError):
+            base32_decode("a1a")  # '1' not in RFC 4648 base32
+
+    @given(st.binary(max_size=64))
+    def test_roundtrip(self, data):
+        assert base32_decode(base32_encode(data)) == data
+
+    @given(st.binary(min_size=1, max_size=32))
+    def test_encoding_length(self, data):
+        # ceil(8n/5) characters, unpadded.
+        encoded = base32_encode(data)
+        assert len(encoded) == (len(data) * 8 + 4) // 5

@@ -1,0 +1,74 @@
+"""ENS seeding: target mix across hosting categories."""
+
+import random
+
+import pytest
+
+from repro.content.catalog import ContentCatalog, ContentItem
+from repro.ens.seeding import ENSSeedConfig, seed_ens_world
+from repro.ens.scraper import ENSContenthashScraper
+from repro.ids.cid import CID
+
+
+@pytest.fixture(scope="module")
+def seeded():
+    rng = random.Random(31)
+    catalog = ContentCatalog(random.Random(32))
+    platform_items = catalog.mint_platform_set("web3.storage", 40)
+    user_items = [catalog.mint_user_item(0, publisher=index) for index in range(40)]
+    persistent = [
+        catalog.add(
+            ContentItem(CID.generate(rng), publisher=1000 + index, created_day=0, lifetime_days=99)
+        )
+        for index in range(40)
+    ]
+    config = ENSSeedConfig(num_names=300, update_prob=0.0)
+    world = seed_ens_world(catalog, config, random.Random(33), persistent_items=persistent)
+    return catalog, platform_items, user_items, persistent, world, config
+
+
+class TestTargetMix:
+    def test_share_of_each_category(self, seeded):
+        catalog, platform_items, user_items, persistent, world, config = seeded
+        platform_cids = {item.cid.to_base32() for item in platform_items}
+        user_cids = {item.cid.to_base32() for item in user_items}
+        persistent_cids = {item.cid.to_base32() for item in persistent}
+        scraped = ENSContenthashScraper(
+            world.chain, [r.address for r in world.resolvers]
+        ).scrape()
+        categories = {"platform": 0, "persistent": 0, "ephemeral": 0, "dead": 0}
+        for record in scraped.records:
+            if record.cid_string in platform_cids:
+                categories["platform"] += 1
+            elif record.cid_string in persistent_cids:
+                categories["persistent"] += 1
+            elif record.cid_string in user_cids:
+                categories["ephemeral"] += 1
+            else:
+                categories["dead"] += 1
+        total = sum(categories.values())
+        assert categories["platform"] / total == pytest.approx(
+            config.share_platform_content, abs=0.08
+        )
+        assert categories["persistent"] / total == pytest.approx(
+            config.share_persistent_user, abs=0.08
+        )
+        assert categories["dead"] / total == pytest.approx(
+            config.share_dead_cids + 0.0, abs=0.06
+        )
+
+    def test_every_record_decodes(self, seeded):
+        *_, world, _ = seeded
+        scraped = ENSContenthashScraper(
+            world.chain, [r.address for r in world.resolvers]
+        ).scrape()
+        assert len(scraped.cids()) == len(scraped.records)
+
+    def test_swarm_names_excluded(self, seeded):
+        *_, world, _ = seeded
+        scraped = ENSContenthashScraper(
+            world.chain, [r.address for r in world.resolvers]
+        ).scrape()
+        names = {label for label, _ in world.names}
+        assert all(not label.startswith("swarmsite") for label in names)
+        assert scraped.contenthash_events > len(scraped.records)  # swarm filtered

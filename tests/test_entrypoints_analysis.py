@@ -1,0 +1,146 @@
+"""Entry-point analyses (§7): DNSLink, gateways, ENS."""
+
+import random
+
+import pytest
+
+from repro.core.entrypoints import (
+    dnslink_report,
+    ens_providers_report,
+    gateway_sides_report,
+)
+from repro.dns.scanner import DNSLinkRecord, DNSLinkScanResult
+from repro.ids.cid import CID
+from repro.ids.multiaddr import Multiaddr
+from repro.ids.peerid import PeerID
+from repro.kademlia.providers import ProviderRecord
+from repro.monitors.gateway_probe import GatewayProbeReport
+from repro.monitors.provider_fetcher import ProviderObservation
+from repro.world.clouddb import CloudIPDatabase
+from repro.world.geodb import GeoIPDatabase
+from repro.world.ipspace import IPAllocator, format_ip
+
+
+@pytest.fixture(scope="module")
+def env():
+    allocator = IPAllocator()
+    cloudflare = allocator.allocate_block("cloudflare", "US", True, 24)
+    aws = allocator.allocate_block("amazon-aws", "DE", True, 24)
+    isp = allocator.allocate_block("isp-se", "SE", False, 24)
+    return {
+        "cloud_db": CloudIPDatabase(allocator.blocks),
+        "geo_db": GeoIPDatabase(allocator.blocks),
+        "cf_ip": format_ip(cloudflare.base + 1),
+        "cf_ip2": format_ip(cloudflare.base + 2),
+        "aws_ip": format_ip(aws.base + 1),
+        "isp_ip": format_ip(isp.base + 1),
+    }
+
+
+class TestDNSLink:
+    def test_report(self, env):
+        result = DNSLinkScanResult(
+            input_names=10, root_domains=8, registered_domains=6,
+            dnslink_records=[
+                DNSLinkRecord("a.com", "ipfs", "bafy1", (env["cf_ip"],)),
+                DNSLinkRecord("b.com", "ipfs", "bafy2", (env["cf_ip2"],)),
+                DNSLinkRecord("c.com", "ipns", "k51", (env["aws_ip"],)),
+                DNSLinkRecord("d.com", "ipfs", "bafy3", (env["isp_ip"],)),
+            ],
+        )
+        report = dnslink_report(result, env["cloud_db"], public_gateway_ips={env["cf_ip"]})
+        assert report.num_records == 4
+        assert report.num_unique_ips == 4
+        assert report.provider_shares["cloudflare"] == pytest.approx(0.5)
+        assert report.noncloud_share == pytest.approx(0.25)
+        assert report.public_gateway_ip_share == pytest.approx(0.25)
+
+    def test_duplicate_ips_counted_once(self, env):
+        result = DNSLinkScanResult(
+            input_names=2, root_domains=2, registered_domains=2,
+            dnslink_records=[
+                DNSLinkRecord("a.com", "ipfs", "x", (env["cf_ip"],)),
+                DNSLinkRecord("b.com", "ipfs", "y", (env["cf_ip"],)),
+            ],
+        )
+        report = dnslink_report(result, env["cloud_db"], set())
+        assert report.num_unique_ips == 1
+
+    def test_empty(self, env):
+        result = DNSLinkScanResult(0, 0, 0, [])
+        report = dnslink_report(result, env["cloud_db"], set())
+        assert report.public_gateway_ip_share == 0.0
+
+
+class TestGatewaySides:
+    def test_report(self, env):
+        rng = random.Random(1)
+        reports = {
+            "cloudflare-ipfs.com": GatewayProbeReport(
+                "cloudflare-ipfs.com", True,
+                overlay_ids={PeerID.generate(rng) for _ in range(3)},
+                overlay_ips={env["cf_ip"], env["cf_ip2"]},
+            ),
+            "self-hosted.se": GatewayProbeReport(
+                "self-hosted.se", True,
+                overlay_ids={PeerID.generate(rng)},
+                overlay_ips={env["isp_ip"]},
+            ),
+            "dead.example": GatewayProbeReport("dead.example", False),
+        }
+        result = gateway_sides_report(
+            reports,
+            frontend_ips={env["cf_ip"], env["aws_ip"]},
+            cloud_db=env["cloud_db"],
+            geo_db=env["geo_db"],
+        )
+        assert result.num_functional_endpoints == 2
+        assert result.num_overlay_ids == 4
+        assert result.overlay_provider_shares["cloudflare"] == pytest.approx(2 / 3)
+        assert result.overlay_provider_shares["non-cloud"] == pytest.approx(1 / 3)
+        assert result.frontend_country_shares == {"US": 0.5, "DE": 0.5}
+        assert result.overlay_country_shares["SE"] == pytest.approx(1 / 3)
+
+
+class TestENS:
+    def _observation(self, env, addr_specs):
+        rng = random.Random(2)
+        cid = CID.generate(rng)
+        records = []
+        for ip, circuit in addr_specs:
+            provider = PeerID.generate(rng)
+            if circuit:
+                relay = PeerID.generate(rng)
+                addrs = (Multiaddr.circuit(ip, 4001, relay, provider),)
+            else:
+                addrs = (Multiaddr.direct(ip, 4001, provider),)
+            records.append(
+                ProviderRecord(cid=cid, provider=provider, addrs=addrs, published_at=0.0)
+            )
+        return ProviderObservation(
+            cid=cid, collected_at=0.0, records=tuple(records),
+            reachable=tuple(records), resolvers_queried=20, walk_messages=10,
+        )
+
+    def test_unique_ip_attribution(self, env):
+        observations = [
+            self._observation(env, [(env["cf_ip"], False), (env["aws_ip"], False)]),
+            self._observation(env, [(env["isp_ip"], False)]),
+        ]
+        report = ens_providers_report(observations, env["cloud_db"], env["geo_db"])
+        assert report.num_cids == 2
+        assert report.num_unique_ips == 3
+        assert report.cloud_share == pytest.approx(2 / 3)
+        assert report.us_de_share == pytest.approx(2 / 3)
+
+    def test_circuit_addresses_attribute_to_relay_ip(self, env):
+        """A NAT-ed provider behind a cloud relay shows up as a cloud IP —
+        the address-level view of Fig. 20."""
+        observations = [self._observation(env, [(env["cf_ip"], True)])]
+        report = ens_providers_report(observations, env["cloud_db"], env["geo_db"])
+        assert report.cloud_share == 1.0
+
+    def test_empty(self, env):
+        report = ens_providers_report([], env["cloud_db"], env["geo_db"])
+        assert report.num_unique_ips == 0
+        assert report.cloud_share == pytest.approx(1.0)  # vacuous: no non-cloud

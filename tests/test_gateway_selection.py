@@ -1,0 +1,56 @@
+"""Gateway selection policies (§9 extension)."""
+
+import random
+
+import pytest
+
+from repro.gateway.registry import PublicGatewayRegistry
+from repro.gateway.selection import (
+    DEFAULT_GATEWAY_DOMAIN,
+    GatewaySelector,
+    SelectionPolicy,
+)
+
+
+@pytest.fixture(scope="module")
+def selector():
+    return GatewaySelector(PublicGatewayRegistry(), rng=random.Random(3))
+
+
+class TestSelection:
+    def test_fixed_default_always_picks_default(self, selector):
+        for _ in range(20):
+            assert selector.select(SelectionPolicy.FIXED_DEFAULT) == DEFAULT_GATEWAY_DOMAIN
+
+    def test_random_picks_only_functional(self, selector):
+        registry = selector.registry
+        for _ in range(100):
+            domain = selector.select(SelectionPolicy.RANDOM_FUNCTIONAL)
+            assert registry.check(domain)
+
+    def test_random_spreads_across_operators(self, selector):
+        tallies = selector.simulate(SelectionPolicy.RANDOM_FUNCTIONAL, 2200)
+        assert len(tallies) == 22  # every functional gateway gets traffic
+
+    def test_rejects_dead_default(self):
+        registry = PublicGatewayRegistry()
+        dead = next(e.domain for e in registry.entries if not e.functional)
+        with pytest.raises(ValueError):
+            GatewaySelector(registry, default_domain=dead)
+
+
+class TestConcentration:
+    def test_default_policy_is_maximally_concentrated(self, selector):
+        metrics = selector.concentration(SelectionPolicy.FIXED_DEFAULT, requests=2000)
+        assert metrics["busiest_gateway_share"] == 1.0
+        assert metrics["cloud_share"] == 1.0  # the default is Cloudflare
+        assert metrics["gini"] > 0.9
+
+    def test_random_policy_decentralizes(self, selector):
+        fixed = selector.concentration(SelectionPolicy.FIXED_DEFAULT, requests=2000)
+        spread = selector.concentration(SelectionPolicy.RANDOM_FUNCTIONAL, requests=2000)
+        assert spread["busiest_gateway_share"] < 0.12
+        assert spread["gini"] < 0.2
+        # Some requests now land on the self-hosted, non-cloud gateways.
+        assert spread["cloud_share"] < fixed["cloud_share"]
+        assert spread["cloud_share"] < 0.9

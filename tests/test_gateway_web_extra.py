@@ -1,0 +1,51 @@
+"""Gateway frontends: address minting and database registration."""
+
+import random
+
+import pytest
+
+from repro.gateway.operators import default_operators, frontend_ips, install_gateway_specs
+from repro.world.ipspace import format_ip
+from repro.world.population import build_world
+from repro.world.profiles import WorldProfile
+
+
+@pytest.fixture()
+def world():
+    world = build_world(WorldProfile(online_servers=150, seed=17))
+    install_gateway_specs(world)
+    return world
+
+
+class TestFrontendIPs:
+    def test_counts_match_operator_spec(self, world):
+        rng = random.Random(18)
+        for operator in default_operators()[:6]:
+            addresses = frontend_ips(world, operator, rng)
+            assert len(addresses) == operator.num_frontend_ips
+            assert len(set(addresses)) == len(addresses)
+
+    def test_cloud_attribution_follows_operator_provider(self, world):
+        rng = random.Random(19)
+        cloudflare = next(op for op in default_operators() if op.name == "cloudflare")
+        for ip in frontend_ips(world, cloudflare, rng):
+            assert world.cloud_db.lookup(ip) == "cloudflare"
+
+    def test_noncloud_operator_gets_isp_addresses(self, world):
+        rng = random.Random(20)
+        selfhosted = next(op for op in default_operators() if op.provider is None)
+        for ip in frontend_ips(world, selfhosted, rng):
+            assert not world.cloud_db.is_cloud(ip)
+
+    def test_geolocation_matches_operator_countries(self, world):
+        rng = random.Random(21)
+        operator = next(op for op in default_operators() if op.name == "eth-aragon")
+        countries = {world.geo_db.lookup(ip) for ip in frontend_ips(world, operator, rng)}
+        assert countries <= {country for country, _ in operator.frontend_countries}
+
+    def test_databases_rebuilt_after_minting(self, world):
+        rng = random.Random(22)
+        operator = default_operators()[0]
+        addresses = frontend_ips(world, operator, rng)
+        # A freshly allocated block is immediately attributable.
+        assert all(world.geo_db.lookup(ip) is not None for ip in addresses)

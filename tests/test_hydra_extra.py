@@ -1,0 +1,57 @@
+"""Additional Hydra-booster behaviours."""
+
+import random
+
+import pytest
+
+from repro.ids.cid import CID
+from repro.ids.peerid import PeerID
+from repro.kademlia.messages import MessageType, TrafficClass
+from repro.monitors.hydra import HydraBooster
+
+
+class TestCaptureGeometry:
+    def test_probability_saturates_at_one(self):
+        hydra = HydraBooster(num_heads=50)
+        assert hydra.capture_probability(10) == 1.0
+
+    def test_more_heads_capture_more(self):
+        rng_a, rng_b = random.Random(1), random.Random(1)
+        small = HydraBooster(num_heads=5)
+        large = HydraBooster(num_heads=40)
+        total_small = sum(small.capture_count(50, 5000, rng_a) for _ in range(500))
+        total_large = sum(large.capture_count(50, 5000, rng_b) for _ in range(500))
+        assert total_large > total_small * 4
+
+    def test_exact_binomial_branch_for_high_probability(self):
+        hydra = HydraBooster(num_heads=30)
+        rng = random.Random(2)
+        # heads/servers = 0.3 > 0.2 triggers the exact loop; count is
+        # bounded by the walk length.
+        counts = [hydra.capture_count(10, 100, rng) for _ in range(200)]
+        assert all(0 <= count <= 10 for count in counts)
+        assert sum(counts) / len(counts) == pytest.approx(3.0, rel=0.15)
+
+
+class TestLogInspection:
+    def test_entries_filters_by_class(self):
+        hydra = HydraBooster()
+        rng = random.Random(3)
+        sender = PeerID.generate(rng)
+        for _ in range(4):
+            hydra.record(0.0, sender, "1.1.1.1", MessageType.GET_PROVIDERS, CID.generate(rng))
+        for _ in range(2):
+            hydra.record(0.0, sender, "1.1.1.1", MessageType.ADD_PROVIDER, CID.generate(rng))
+        assert len(hydra.entries()) == 6
+        assert len(hydra.entries(TrafficClass.DOWNLOAD)) == 4
+        assert len(hydra.entries(TrafficClass.ADVERTISEMENT)) == 2
+        assert len(hydra.entries(TrafficClass.OTHER)) == 0
+
+    def test_find_node_records_keep_raw_target_key(self):
+        hydra = HydraBooster()
+        rng = random.Random(4)
+        entry = hydra.record(
+            0.0, PeerID.generate(rng), "1.1.1.1", MessageType.FIND_NODE, target_key=42
+        )
+        assert entry.target_key == 42
+        assert entry.target_cid is None

@@ -1,0 +1,100 @@
+"""The network indexer and combined resolution (§9 discussion)."""
+
+import random
+
+import pytest
+
+from repro.ids.cid import CID
+from repro.indexer.resolution import (
+    CombinedResolver,
+    ResolutionStrategy,
+    availability,
+    mean_latency,
+)
+from repro.indexer.service import IndexerService
+
+
+@pytest.fixture(scope="module")
+def provided_cids(small_overlay):
+    rng = random.Random(61)
+    cids = []
+    publishers = [n for n in small_overlay.online_servers() if n.reachable][:10]
+    for index in range(10):
+        cid = CID.generate(rng)
+        small_overlay.publish_provider_record(publishers[index % len(publishers)], cid)
+        cids.append(cid)
+    return cids
+
+
+class TestIndexerService:
+    def test_resolves_ingested_content(self, small_overlay, provided_cids):
+        indexer = IndexerService(small_overlay, coverage=1.0)
+        for cid in provided_cids:
+            assert indexer.resolve(cid)
+        assert indexer.stats.hit_rate == 1.0
+
+    def test_unprovided_content_misses(self, small_overlay):
+        indexer = IndexerService(small_overlay, coverage=1.0)
+        assert indexer.resolve(CID.generate(random.Random(62))) == []
+
+    def test_coverage_gaps_are_persistent(self, small_overlay, provided_cids):
+        indexer = IndexerService(small_overlay, coverage=0.0)
+        cid = provided_cids[0]
+        assert indexer.resolve(cid) == []
+        assert indexer.resolve(cid) == []  # the miss is sticky, not random
+
+    def test_blocking_censors_content(self, small_overlay, provided_cids):
+        indexer = IndexerService(small_overlay, coverage=1.0)
+        victim = provided_cids[0]
+        indexer.block(victim)
+        assert indexer.resolve(victim) == []
+        assert indexer.stats.blocked == 1
+        indexer.unblock(victim)
+        assert indexer.resolve(victim)
+
+    def test_rejects_bad_coverage(self, small_overlay):
+        with pytest.raises(ValueError):
+            IndexerService(small_overlay, coverage=1.5)
+
+
+class TestCombinedResolver:
+    def test_indexer_is_faster_than_dht(self, small_overlay, provided_cids):
+        indexer = IndexerService(small_overlay, coverage=1.0)
+        resolver = CombinedResolver(small_overlay, indexer, random.Random(63))
+        via_indexer = resolver.batch(provided_cids, ResolutionStrategy.INDEXER_ONLY)
+        via_dht = resolver.batch(provided_cids, ResolutionStrategy.DHT_ONLY)
+        assert availability(via_indexer) == 1.0
+        assert availability(via_dht) > 0.8
+        assert mean_latency(via_indexer) < mean_latency(via_dht) / 5
+
+    def test_fallback_restores_availability_under_censorship(
+        self, small_overlay, provided_cids
+    ):
+        """The paper's §9 advice: keep the DHT as a fallback so a
+        censoring indexer operator cannot make content unavailable."""
+        indexer = IndexerService(small_overlay, coverage=1.0)
+        for cid in provided_cids[:5]:
+            indexer.block(cid)
+        resolver = CombinedResolver(small_overlay, indexer, random.Random(64))
+        indexer_only = resolver.batch(provided_cids, ResolutionStrategy.INDEXER_ONLY)
+        with_fallback = resolver.batch(
+            provided_cids, ResolutionStrategy.INDEXER_WITH_DHT_FALLBACK
+        )
+        assert availability(indexer_only) == pytest.approx(0.5)
+        assert availability(with_fallback) > 0.9
+        assert any(outcome.used_fallback for outcome in with_fallback)
+
+    def test_fallback_unused_when_indexer_answers(self, small_overlay, provided_cids):
+        indexer = IndexerService(small_overlay, coverage=1.0)
+        resolver = CombinedResolver(small_overlay, indexer, random.Random(65))
+        outcomes = resolver.batch(
+            provided_cids, ResolutionStrategy.INDEXER_WITH_DHT_FALLBACK
+        )
+        assert not any(outcome.used_fallback for outcome in outcomes)
+        assert mean_latency(outcomes) == pytest.approx(indexer.rtt_seconds)
+
+    def test_empty_batch(self, small_overlay):
+        indexer = IndexerService(small_overlay)
+        resolver = CombinedResolver(small_overlay, indexer)
+        assert availability([]) == 0.0
+        assert mean_latency([]) == 0.0

@@ -1,0 +1,143 @@
+"""IPNS: signed mutable names over the DHT."""
+
+import random
+
+import pytest
+
+from repro.ids.cid import CID
+from repro.ipns.records import IPNSKeyPair, IPNSName, IPNSRecord
+from repro.ipns.resolver import IPNSResolver
+
+
+@pytest.fixture()
+def keypair():
+    return IPNSKeyPair.generate(random.Random(1))
+
+
+class TestNamesAndRecords:
+    def test_name_derivation_deterministic(self, keypair):
+        assert keypair.name == IPNSKeyPair(keypair.secret).name
+
+    def test_distinct_keys_distinct_names(self):
+        rng = random.Random(2)
+        names = {IPNSKeyPair.generate(rng).name for _ in range(50)}
+        assert len(names) == 50
+
+    def test_name_string_form(self, keypair):
+        assert keypair.name.to_string().startswith("k51")
+
+    def test_name_requires_32_bytes(self):
+        with pytest.raises(ValueError):
+            IPNSName(b"short")
+
+    def test_record_signature_verifies(self, keypair):
+        record = IPNSRecord.create(keypair, CID.for_data(b"v1"), 0, published_at=0.0)
+        assert record.verify(keypair)
+
+    def test_forged_record_rejected(self, keypair):
+        attacker = IPNSKeyPair.generate(random.Random(3))
+        record = IPNSRecord.create(attacker, CID.for_data(b"evil"), 0, published_at=0.0)
+        forged = IPNSRecord(
+            name=keypair.name,
+            value=record.value,
+            sequence=record.sequence,
+            published_at=record.published_at,
+            validity_seconds=record.validity_seconds,
+            signature=record.signature,
+        )
+        assert not forged.verify(keypair)
+
+    def test_tampered_value_rejected(self, keypair):
+        record = IPNSRecord.create(keypair, CID.for_data(b"v1"), 0, published_at=0.0)
+        tampered = IPNSRecord(
+            name=record.name,
+            value=CID.for_data(b"v2"),
+            sequence=record.sequence,
+            published_at=record.published_at,
+            validity_seconds=record.validity_seconds,
+            signature=record.signature,
+        )
+        assert not tampered.verify(keypair)
+
+    def test_negative_sequence_rejected(self, keypair):
+        with pytest.raises(ValueError):
+            IPNSRecord.create(keypair, CID.for_data(b"x"), -1, published_at=0.0)
+
+    def test_supersedes_rule(self, keypair):
+        older = IPNSRecord.create(keypair, CID.for_data(b"a"), 1, published_at=0.0)
+        newer = IPNSRecord.create(keypair, CID.for_data(b"b"), 2, published_at=0.0)
+        same_seq_later = IPNSRecord.create(keypair, CID.for_data(b"c"), 1, published_at=9.0)
+        assert newer.supersedes(older)
+        assert not older.supersedes(newer)
+        assert same_seq_later.supersedes(older)
+        assert older.supersedes(None)
+
+    def test_validity_window(self, keypair):
+        record = IPNSRecord.create(
+            keypair, CID.for_data(b"x"), 0, published_at=0.0, validity_seconds=100.0
+        )
+        assert record.is_valid_at(99.0)
+        assert not record.is_valid_at(100.0)
+
+
+class TestResolver:
+    def test_publish_resolve_roundtrip(self, small_overlay):
+        resolver = IPNSResolver(small_overlay)
+        keypair = resolver.generate_keypair()
+        value = CID.for_data(b"website v1")
+        result = resolver.publish(keypair, value)
+        assert result.stored_on > 0
+        assert resolver.resolve(keypair.name) == value
+
+    def test_republish_updates_value(self, small_overlay):
+        resolver = IPNSResolver(small_overlay)
+        keypair = resolver.generate_keypair()
+        resolver.publish(keypair, CID.for_data(b"v1"))
+        resolver.publish(keypair, CID.for_data(b"v2"))
+        assert resolver.resolve(keypair.name) == CID.for_data(b"v2")
+        assert resolver.resolve_record(keypair.name).sequence == 1
+
+    def test_unknown_name_resolves_to_none(self, small_overlay):
+        resolver = IPNSResolver(small_overlay)
+        stranger = IPNSKeyPair.generate(random.Random(4))
+        assert resolver.resolve(stranger.name) is None
+
+    def test_store_rejects_bad_signature(self, small_overlay):
+        resolver = IPNSResolver(small_overlay)
+        owner = resolver.generate_keypair()
+        attacker = resolver.generate_keypair()
+        record = IPNSRecord.create(attacker, CID.for_data(b"evil"), 0, published_at=0.0)
+        assert not resolver.store(record, owner)
+
+    def test_stale_replay_is_ignored(self, small_overlay):
+        """An attacker replaying an old (validly signed) record cannot
+        roll the name back — the sequence rule protects updates."""
+        resolver = IPNSResolver(small_overlay)
+        keypair = resolver.generate_keypair()
+        old = resolver.publish(keypair, CID.for_data(b"v1")).record
+        resolver.publish(keypair, CID.for_data(b"v2"))
+        assert resolver.store(old, keypair)  # accepted (valid signature) …
+        assert resolver.resolve(keypair.name) == CID.for_data(b"v2")  # … but not applied
+
+    def test_resolve_path_ipfs_and_ipns(self, small_overlay):
+        resolver = IPNSResolver(small_overlay)
+        keypair = resolver.generate_keypair()
+        value = CID.for_data(b"page")
+        resolver.publish(keypair, value)
+        assert resolver.resolve_path(f"/ipns/{keypair.name.to_string()}") == value
+        assert resolver.resolve_path(f"/ipfs/{value.to_base32()}") == value
+        assert resolver.resolve_path("/http/nope") is None
+        assert resolver.resolve_path("garbage") is None
+
+    def test_expiry(self, small_overlay):
+        resolver = IPNSResolver(small_overlay)
+        keypair = resolver.generate_keypair()
+        record = IPNSRecord.create(
+            keypair,
+            CID.for_data(b"old"),
+            0,
+            published_at=small_overlay.now - 1e9,
+            validity_seconds=10.0,
+        )
+        assert resolver.store(record, keypair)
+        assert resolver.resolve(keypair.name) is None

@@ -1,0 +1,84 @@
+"""IPv4 address space modelling."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.world.ipspace import IPAllocator, IPBlock, format_ip, parse_ip
+
+
+class TestFormatting:
+    def test_roundtrip_known(self):
+        assert parse_ip("1.10.20.30") == (1 << 24) | (10 << 16) | (20 << 8) | 30
+        assert format_ip(parse_ip("255.255.255.255")) == "255.255.255.255"
+        assert format_ip(0) == "0.0.0.0"
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_roundtrip(self, value):
+        assert parse_ip(format_ip(value)) == value
+
+    def test_rejects_malformed(self):
+        for bad in ("1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", ""):
+            with pytest.raises(ValueError):
+                parse_ip(bad)
+
+    def test_rejects_out_of_range_int(self):
+        with pytest.raises(ValueError):
+            format_ip(1 << 32)
+        with pytest.raises(ValueError):
+            format_ip(-1)
+
+
+class TestIPBlock:
+    def test_contains(self):
+        block = IPBlock(parse_ip("10.0.0.0"), 24, "org", "US", True)
+        assert parse_ip("10.0.0.0") in block
+        assert parse_ip("10.0.0.255") in block
+        assert parse_ip("10.0.1.0") not in block
+
+    def test_size(self):
+        assert IPBlock(0, 16, "o", "US", False).size == 65536
+        assert IPBlock(0, 32, "o", "US", False).size == 1
+
+
+class TestIPAllocator:
+    def test_blocks_are_disjoint_and_aligned(self):
+        allocator = IPAllocator()
+        blocks = [
+            allocator.allocate_block(f"org{i}", "US", True, prefix_len=20) for i in range(10)
+        ]
+        for block in blocks:
+            assert block.base % block.size == 0
+        for a, b in zip(blocks, blocks[1:]):
+            assert a.base + a.size <= b.base
+
+    def test_next_address_unique_until_exhaustion(self):
+        allocator = IPAllocator()
+        block = allocator.allocate_block("org", "DE", False, prefix_len=30)
+        addresses = [allocator.next_address(block) for _ in range(4)]
+        assert len(set(addresses)) == 4
+        assert all(address in block for address in addresses)
+        with pytest.raises(RuntimeError):
+            allocator.next_address(block)
+
+    def test_random_address_within_block(self):
+        allocator = IPAllocator()
+        block = allocator.allocate_block("org", "FR", True, prefix_len=24)
+        rng = random.Random(0)
+        assert all(allocator.random_address(block, rng) in block for _ in range(50))
+
+    def test_find_block(self):
+        allocator = IPAllocator()
+        a = allocator.allocate_block("a", "US", True, prefix_len=24)
+        b = allocator.allocate_block("b", "DE", False, prefix_len=24)
+        assert allocator.find_block(a.base + 5) == a
+        assert allocator.find_block(b.base + 5) == b
+        assert allocator.find_block(1) is None
+
+    def test_mixed_prefix_lengths(self):
+        allocator = IPAllocator()
+        small = allocator.allocate_block("s", "US", True, prefix_len=28)
+        large = allocator.allocate_block("l", "US", True, prefix_len=14)
+        assert small.base + small.size <= large.base
+        assert large.base % large.size == 0

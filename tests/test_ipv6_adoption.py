@@ -1,0 +1,49 @@
+"""The §9 IPv6-adoption what-if."""
+
+import pytest
+
+from repro.world.population import NodeClass, build_world
+from repro.world.profiles import WorldProfile
+
+
+class TestIPv6Adoption:
+    def test_zero_adoption_is_the_paper_reality(self):
+        world = build_world(WorldProfile(online_servers=300, seed=5, ipv6_adoption=0.0))
+        ratio = len(world.nat_specs) / 300
+        assert ratio == pytest.approx(world.profile.nat_client_ratio, rel=0.1)
+
+    def test_full_adoption_removes_nat_clients(self):
+        world = build_world(WorldProfile(online_servers=300, seed=5, ipv6_adoption=1.0))
+        assert len(world.nat_specs) == 0
+
+    def test_partial_adoption_moves_clients_into_the_dht(self):
+        baseline = build_world(WorldProfile(online_servers=300, seed=5, ipv6_adoption=0.0))
+        shifted = build_world(WorldProfile(online_servers=300, seed=5, ipv6_adoption=0.5))
+        assert len(shifted.nat_specs) < 0.7 * len(baseline.nat_specs)
+        extra_servers = len(shifted.server_specs) - len(baseline.server_specs)
+        moved = len(baseline.nat_specs) - len(shifted.nat_specs)
+        assert extra_servers == moved
+
+    def test_adopters_are_noncloud_servers(self):
+        baseline = build_world(WorldProfile(online_servers=300, seed=5, ipv6_adoption=0.0))
+        shifted = build_world(WorldProfile(online_servers=300, seed=5, ipv6_adoption=0.8))
+        baseline_eph = len(baseline.specs_of(NodeClass.RESIDENTIAL_EPHEMERAL))
+        shifted_eph = len(shifted.specs_of(NodeClass.RESIDENTIAL_EPHEMERAL))
+        assert shifted_eph > baseline_eph
+        for spec in shifted.specs_of(NodeClass.RESIDENTIAL_EPHEMERAL):
+            assert not spec.is_cloud_hosted
+
+    def test_adoption_lowers_cloud_share_of_servers(self):
+        """The paper's argument: removing NAT would re-decentralize the
+        DHT server set."""
+        baseline = build_world(WorldProfile(online_servers=400, seed=6, ipv6_adoption=0.0))
+        shifted = build_world(WorldProfile(online_servers=400, seed=6, ipv6_adoption=0.7))
+
+        def expected_cloud_share(world):
+            cloud = sum(
+                spec.behavior.uptime for spec in world.server_specs if spec.is_cloud_hosted
+            )
+            total = sum(spec.behavior.uptime for spec in world.server_specs)
+            return cloud / total
+
+        assert expected_cloud_share(shifted) < expected_cloud_share(baseline) - 0.1

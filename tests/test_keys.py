@@ -1,0 +1,107 @@
+"""The 256-bit keyspace and the XOR metric."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ids.keys import (
+    KEY_BITS,
+    KEY_SPACE,
+    bucket_index,
+    common_prefix_len,
+    key_from_bytes,
+    key_to_hex,
+    random_key_in_bucket,
+    xor_distance,
+)
+
+keys = st.integers(min_value=0, max_value=KEY_SPACE - 1)
+
+
+class TestKeyDerivation:
+    def test_key_from_bytes_is_sha256(self):
+        import hashlib
+
+        assert key_from_bytes(b"abc") == int.from_bytes(hashlib.sha256(b"abc").digest(), "big")
+
+    def test_key_in_range(self):
+        assert 0 <= key_from_bytes(b"x") < KEY_SPACE
+
+    def test_key_to_hex_width(self):
+        assert len(key_to_hex(0)) == 64
+        assert len(key_to_hex(KEY_SPACE - 1)) == 64
+
+
+class TestXorMetric:
+    @given(keys)
+    def test_identity(self, a):
+        assert xor_distance(a, a) == 0
+
+    @given(keys, keys)
+    def test_symmetry(self, a, b):
+        assert xor_distance(a, b) == xor_distance(b, a)
+
+    @given(keys, keys, keys)
+    def test_triangle_inequality(self, a, b, c):
+        # XOR satisfies d(a,c) <= d(a,b) XOR d(b,c) <= d(a,b) + d(b,c).
+        assert xor_distance(a, c) <= xor_distance(a, b) + xor_distance(b, c)
+
+    @given(keys, keys)
+    def test_unidirectionality(self, a, distance):
+        # For any a and distance d there is exactly one b with d(a,b)=d.
+        b = a ^ distance
+        assert xor_distance(a, b) == distance
+
+
+class TestCommonPrefix:
+    def test_equal_keys_share_all_bits(self):
+        assert common_prefix_len(42, 42) == KEY_BITS
+
+    def test_msb_difference(self):
+        assert common_prefix_len(0, 1 << (KEY_BITS - 1)) == 0
+
+    def test_lsb_difference(self):
+        assert common_prefix_len(0, 1) == KEY_BITS - 1
+
+    @given(keys, keys)
+    def test_matches_naive_bit_scan(self, a, b):
+        expected = 0
+        for bit in range(KEY_BITS - 1, -1, -1):
+            if (a >> bit) & 1 == (b >> bit) & 1:
+                expected += 1
+            else:
+                break
+        assert common_prefix_len(a, b) == expected
+
+
+class TestBucketIndex:
+    def test_own_key_rejected(self):
+        with pytest.raises(ValueError):
+            bucket_index(5, 5)
+
+    @given(keys, keys)
+    def test_equals_common_prefix(self, a, b):
+        if a == b:
+            return
+        assert bucket_index(a, b) == common_prefix_len(a, b)
+
+
+class TestRandomKeyInBucket:
+    @given(keys, st.integers(min_value=0, max_value=KEY_BITS - 1), st.integers())
+    def test_lands_in_requested_bucket(self, own, index, seed):
+        rng = random.Random(seed)
+        key = random_key_in_bucket(own, index, rng)
+        assert bucket_index(own, key) == index
+
+    def test_rejects_out_of_range_index(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            random_key_in_bucket(0, KEY_BITS, rng)
+        with pytest.raises(ValueError):
+            random_key_in_bucket(0, -1, rng)
+
+    def test_deepest_bucket(self):
+        rng = random.Random(0)
+        key = random_key_in_bucket(7, KEY_BITS - 1, rng)
+        assert key == 7 ^ 1  # only one key differs in exactly the last bit

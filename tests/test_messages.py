@@ -1,0 +1,85 @@
+"""DHT message layer: classification and envelopes."""
+
+import random
+
+import pytest
+
+from repro.ids.cid import CID
+from repro.ids.multiaddr import Multiaddr
+from repro.ids.peerid import PeerID
+from repro.kademlia.messages import (
+    AddProviderRequest,
+    FindNodeRequest,
+    GetProvidersRequest,
+    MessageEnvelope,
+    MessageType,
+    PeerInfo,
+    PingRequest,
+    TrafficClass,
+    classify_message,
+)
+
+
+class TestClassification:
+    def test_get_providers_is_download(self):
+        assert classify_message(MessageType.GET_PROVIDERS) is TrafficClass.DOWNLOAD
+
+    def test_add_provider_is_advertisement(self):
+        assert classify_message(MessageType.ADD_PROVIDER) is TrafficClass.ADVERTISEMENT
+
+    @pytest.mark.parametrize("mtype", [MessageType.FIND_NODE, MessageType.PING])
+    def test_routing_messages_are_other(self, mtype):
+        assert classify_message(mtype) is TrafficClass.OTHER
+
+
+class TestEnvelope:
+    def test_traffic_class_derived(self):
+        rng = random.Random(1)
+        envelope = MessageEnvelope(
+            timestamp=1.0,
+            sender=PeerID.generate(rng),
+            sender_ip="1.2.3.4",
+            message_type=MessageType.ADD_PROVIDER,
+            target_cid=CID.generate(rng),
+        )
+        assert envelope.traffic_class is TrafficClass.ADVERTISEMENT
+
+    def test_envelope_is_frozen(self):
+        rng = random.Random(2)
+        envelope = MessageEnvelope(
+            timestamp=1.0,
+            sender=PeerID.generate(rng),
+            sender_ip="1.2.3.4",
+            message_type=MessageType.PING,
+        )
+        with pytest.raises(Exception):
+            envelope.timestamp = 2.0
+
+    def test_envelope_slots_block_extra_attributes(self):
+        rng = random.Random(3)
+        envelope = MessageEnvelope(
+            timestamp=1.0,
+            sender=PeerID.generate(rng),
+            sender_ip="1.2.3.4",
+            message_type=MessageType.PING,
+        )
+        with pytest.raises(AttributeError):
+            object.__setattr__(envelope, "surprise", 1)
+
+
+class TestRequests:
+    def test_peer_info_accepts_matching_addrs(self):
+        rng = random.Random(4)
+        peer = PeerID.generate(rng)
+        info = PeerInfo(peer=peer, addrs=(Multiaddr.direct("1.1.1.1", 4001, peer),))
+        assert info.addrs[0].peer == peer
+
+    def test_request_shapes(self):
+        rng = random.Random(5)
+        cid = CID.generate(rng)
+        peer = PeerID.generate(rng)
+        assert FindNodeRequest(target=cid.dht_key).target == cid.dht_key
+        assert GetProvidersRequest(cid=cid).cid == cid
+        provider = PeerInfo(peer=peer, addrs=())
+        assert AddProviderRequest(cid=cid, provider=provider).provider.peer == peer
+        assert PingRequest().nonce == 0

@@ -1,0 +1,146 @@
+"""The measurement instruments: Hydra, Bitswap monitor, provider fetcher."""
+
+import random
+
+import pytest
+
+from repro.ids.cid import CID
+from repro.ids.peerid import PeerID
+from repro.kademlia.messages import MessageType, TrafficClass
+from repro.monitors.bitswap_monitor import BitswapMonitor
+from repro.monitors.hydra import HydraBooster
+from repro.monitors.provider_fetcher import ProviderRecordFetcher
+from repro.netsim.clock import SECONDS_PER_DAY
+
+
+class TestHydra:
+    def test_heads_are_distinct(self):
+        hydra = HydraBooster(num_heads=20)
+        assert len(set(hydra.heads)) == 20
+
+    def test_requires_at_least_one_head(self):
+        with pytest.raises(ValueError):
+            HydraBooster(num_heads=0)
+
+    def test_capture_probability_matches_paper_geometry(self):
+        """§3: 20 heads, 25 000 servers, ~50 contacts per walk → ≈4 %."""
+        hydra = HydraBooster(num_heads=20)
+        per_message = hydra.capture_probability(25_000)
+        assert per_message * 50 == pytest.approx(0.04, abs=0.001)
+
+    def test_capture_count_mean(self):
+        hydra = HydraBooster(num_heads=20)
+        rng = random.Random(0)
+        total = sum(hydra.capture_count(50, 2500, rng) for _ in range(2000))
+        assert total / 2000 == pytest.approx(50 * 20 / 2500, rel=0.1)
+
+    def test_capture_zero_for_empty_network(self):
+        hydra = HydraBooster()
+        assert hydra.capture_count(50, 0, random.Random(0)) == 0
+
+    def test_record_classification(self):
+        hydra = HydraBooster()
+        rng = random.Random(1)
+        sender = PeerID.generate(rng)
+        cid = CID.generate(rng)
+        download = hydra.record(0.0, sender, "1.2.3.4", MessageType.GET_PROVIDERS, cid)
+        advert = hydra.record(1.0, sender, "1.2.3.4", MessageType.ADD_PROVIDER, cid)
+        other = hydra.record(2.0, sender, "1.2.3.4", MessageType.FIND_NODE, target_key=7)
+        assert download.traffic_class is TrafficClass.DOWNLOAD
+        assert advert.traffic_class is TrafficClass.ADVERTISEMENT
+        assert other.traffic_class is TrafficClass.OTHER
+        assert len(hydra) == 3
+        assert len(hydra.entries(TrafficClass.DOWNLOAD)) == 1
+
+    def test_record_derives_target_key_from_cid(self):
+        hydra = HydraBooster()
+        rng = random.Random(2)
+        cid = CID.generate(rng)
+        entry = hydra.record(0.0, PeerID.generate(rng), "1.1.1.1", MessageType.GET_PROVIDERS, cid)
+        assert entry.target_key == cid.dht_key
+
+    def test_cache_lookup_hit_then_miss_after_ttl(self):
+        hydra = HydraBooster(cache_ttl=100.0)
+        cid = CID.generate(random.Random(3))
+        assert not hydra.cache_lookup(cid, now=0.0)   # miss, primes cache
+        assert hydra.cache_lookup(cid, now=50.0)      # hit
+        assert not hydra.cache_lookup(cid, now=200.0)  # expired
+
+
+class TestBitswapMonitor:
+    def test_connection_decision_is_persistent(self, small_overlay):
+        monitor = BitswapMonitor(random.Random(4))
+        node = small_overlay.online_servers()[0]
+        first = monitor.is_connected(node)
+        assert all(monitor.is_connected(node) == first for _ in range(5))
+
+    def test_observe_logs_only_connected(self, small_overlay):
+        monitor = BitswapMonitor(random.Random(5))
+        cid = CID.generate(random.Random(6))
+        logged = 0
+        for node in small_overlay.online_servers()[:60]:
+            if monitor.observe_broadcast(0.0, node, cid):
+                logged += 1
+        assert 0 < logged < 60  # connected to many, not all
+
+    def test_daily_sampled_cids_dedupes(self, small_overlay):
+        monitor = BitswapMonitor(random.Random(7))
+        monitor._connected_specs = {}  # force re-decisions
+        node = next(
+            n for n in small_overlay.online_servers() if monitor.is_connected(n)
+        )
+        rng = random.Random(8)
+        cids = [CID.generate(rng) for _ in range(10)]
+        for cid in cids:
+            monitor.observe_broadcast(100.0, node, cid)
+            monitor.observe_broadcast(200.0, node, cid)  # duplicate request
+        day0 = monitor.daily_sampled_cids(0, sample_size=100)
+        assert sorted(day0, key=lambda c: c.digest) == sorted(cids, key=lambda c: c.digest)
+        sampled = monitor.daily_sampled_cids(0, sample_size=4)
+        assert len(sampled) == 4
+
+    def test_windows(self, small_overlay):
+        monitor = BitswapMonitor(random.Random(9))
+        node = next(
+            n for n in small_overlay.online_servers() if monitor.is_connected(n)
+        )
+        early = CID.generate(random.Random(10))
+        late = CID.generate(random.Random(11))
+        monitor.observe_broadcast(10.0, node, early)
+        monitor.observe_broadcast(SECONDS_PER_DAY + 10.0, node, late)
+        assert monitor.cids_on_day(0) == {early}
+        assert monitor.cids_in_window(SECONDS_PER_DAY, 2 * SECONDS_PER_DAY) == {late}
+
+
+class TestProviderFetcher:
+    def test_fetch_collects_and_verifies(self, small_overlay):
+        overlay = small_overlay
+        rng = random.Random(12)
+        cid = CID.generate(rng)
+        publishers = [n for n in overlay.online_servers() if n.reachable][:5]
+        for node in publishers:
+            overlay.publish_provider_record(node, cid)
+        fetcher = ProviderRecordFetcher(overlay, rng=random.Random(13), timeout=1e9)
+        observation = fetcher.fetch(cid)
+        found = {record.provider for record in observation.records}
+        assert found == {node.peer for node in publishers}
+        assert set(observation.reachable) <= set(observation.records)
+        assert observation.walk_messages > 0
+        assert fetcher.observations == [observation]
+
+    def test_fetch_unprovided_cid(self, small_overlay):
+        fetcher = ProviderRecordFetcher(small_overlay, rng=random.Random(14), timeout=1e9)
+        observation = fetcher.fetch(CID.generate(random.Random(15)))
+        assert observation.records == ()
+        assert observation.resolvers_queried > 0
+
+    def test_unreachable_providers_filtered(self, small_overlay):
+        overlay = small_overlay
+        rng = random.Random(16)
+        cid = CID.generate(rng)
+        unreachable = next(n for n in overlay.online_servers() if not n.reachable)
+        overlay.publish_provider_record(unreachable, cid)
+        fetcher = ProviderRecordFetcher(overlay, rng=random.Random(17), timeout=1e9)
+        observation = fetcher.fetch(cid)
+        assert any(r.provider == unreachable.peer for r in observation.records)
+        assert all(r.provider != unreachable.peer for r in observation.reachable)

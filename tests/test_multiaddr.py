@@ -1,0 +1,78 @@
+"""Multiaddresses, including p2p-circuit relay addresses."""
+
+import random
+
+import pytest
+
+from repro.ids.multiaddr import Multiaddr
+from repro.ids.peerid import PeerID
+
+
+@pytest.fixture()
+def peers():
+    rng = random.Random(9)
+    return PeerID.generate(rng), PeerID.generate(rng)
+
+
+class TestDirect:
+    def test_format(self, peers):
+        peer, _ = peers
+        addr = Multiaddr.direct("1.10.20.30", 29087, peer)
+        assert str(addr) == f"/ip4/1.10.20.30/tcp/29087/p2p/{peer.to_base58()}"
+
+    def test_not_circuit(self, peers):
+        peer, _ = peers
+        assert not Multiaddr.direct("1.2.3.4", 4001, peer).is_circuit
+
+    def test_parse_roundtrip(self, peers):
+        peer, _ = peers
+        addr = Multiaddr.direct("10.0.0.1", 4001, peer)
+        parsed = Multiaddr.parse(str(addr))
+        assert parsed == addr
+
+
+class TestCircuit:
+    def test_format_embeds_relay(self, peers):
+        target, relay = peers
+        addr = Multiaddr.circuit("5.6.7.8", 4001, relay, target)
+        text = str(addr)
+        assert "/p2p-circuit/" in text
+        assert relay.to_base58() in text
+        assert target.to_base58() in text
+
+    def test_transport_ip_is_the_relays(self, peers):
+        """The §6 attribution subtlety: a NAT-ed provider's observable
+        address is its relay's address."""
+        target, relay = peers
+        addr = Multiaddr.circuit("5.6.7.8", 4001, relay, target)
+        assert addr.ip == "5.6.7.8"
+        assert addr.peer == target
+        assert addr.relay == relay
+        assert addr.is_circuit
+
+    def test_parse_roundtrip(self, peers):
+        target, relay = peers
+        addr = Multiaddr.circuit("5.6.7.8", 4001, relay, target)
+        assert Multiaddr.parse(str(addr)) == addr
+
+
+class TestParseErrors:
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Multiaddr.parse("/dns4/example.com/tcp/443")
+
+    def test_rejects_truncated(self):
+        with pytest.raises(ValueError):
+            Multiaddr.parse("/ip4/1.2.3.4/tcp/4001")
+
+    def test_rejects_bad_peer_id(self):
+        with pytest.raises(ValueError):
+            Multiaddr.parse("/ip4/1.2.3.4/tcp/4001/p2p/zzz")
+
+    def test_mismatched_peer_in_constructor(self, peers):
+        peer, other = peers
+        from repro.kademlia.messages import PeerInfo
+
+        addr = Multiaddr.direct("1.2.3.4", 4001, peer)
+        with pytest.raises(ValueError):
+            PeerInfo(peer=other, addrs=(addr,))

@@ -1,0 +1,55 @@
+"""NAT traversal: DCUtR hole punching."""
+
+import random
+
+import pytest
+
+from repro.netsim.nat import DCUtR
+
+
+@pytest.fixture()
+def nat_pair(churned_overlay):
+    overlay = churned_overlay
+    nat = next(iter(overlay.online_nat_clients()))
+    overlay.ensure_relay(nat)
+    dialer = overlay.online_servers()[0]
+    return overlay, dialer, nat
+
+
+class TestDCUtR:
+    def test_successful_holepunch_is_direct(self, nat_pair):
+        _, dialer, nat = nat_pair
+        dcutr = DCUtR(success_prob=1.0, rng=random.Random(1))
+        path = dcutr.connect(dialer, nat)
+        assert path is not None
+        assert path.direct
+        assert path.via_relay is nat.relay
+
+    def test_failed_holepunch_stays_relayed(self, nat_pair):
+        _, dialer, nat = nat_pair
+        dcutr = DCUtR(success_prob=0.0, rng=random.Random(2))
+        path = dcutr.connect(dialer, nat)
+        assert path is not None
+        assert not path.direct
+        assert path.via_relay is not None
+
+    def test_no_relay_no_connection(self, nat_pair):
+        overlay, dialer, nat = nat_pair
+        # Knock every relay offline for this NAT client by monkeying the
+        # selection: point ensure_relay at nothing.
+        nat.relay = None
+        original = overlay.pick_relay
+        overlay.pick_relay = lambda exclude=None: None
+        try:
+            dcutr = DCUtR(success_prob=1.0, rng=random.Random(3))
+            assert dcutr.connect(dialer, nat) is None
+        finally:
+            overlay.pick_relay = original
+
+    def test_success_rate_statistics(self, nat_pair):
+        _, dialer, nat = nat_pair
+        dcutr = DCUtR(success_prob=0.7, rng=random.Random(4))
+        outcomes = [dcutr.connect(dialer, nat) for _ in range(300)]
+        direct = sum(1 for path in outcomes if path and path.direct)
+        total = sum(1 for path in outcomes if path)
+        assert direct / total == pytest.approx(0.7, abs=0.08)

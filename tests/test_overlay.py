@@ -1,0 +1,230 @@
+"""The overlay: join/leave mechanics, stale entries, relays, providers."""
+
+import pytest
+
+from repro.ids.cid import CID
+from repro.netsim.network import Overlay, ProviderRegistry, in_degree_counts
+from repro.netsim.node import Node
+from repro.world.population import NodeClass, build_world
+from repro.world.profiles import WorldProfile
+import random
+
+
+@pytest.fixture()
+def overlay():
+    world = build_world(WorldProfile(online_servers=150, seed=21))
+    overlay = Overlay(world)
+    overlay.bootstrap()
+    return overlay
+
+
+class TestBootstrap:
+    def test_online_population_near_target(self, small_overlay):
+        assert len(small_overlay.oracle) == pytest.approx(300, rel=0.12)
+
+    def test_every_online_server_has_routing_table(self, small_overlay):
+        for node in small_overlay.online_servers():
+            assert node.routing_table is not None
+            assert len(node.routing_table) > 0
+
+    def test_nat_clients_not_in_oracle(self, small_overlay):
+        for node in small_overlay.online_nat_clients():
+            assert node.peer not in small_overlay.oracle
+
+    def test_nat_clients_have_relays(self, small_overlay):
+        with_relay = [
+            node for node in small_overlay.online_nat_clients() if node.relay is not None
+        ]
+        assert len(with_relay) > 0
+        for node in with_relay:
+            assert node.relay.is_dht_server
+
+    def test_routing_tables_reference_only_servers(self, small_overlay):
+        nat_peers = {n.peer for n in small_overlay.online_nat_clients()}
+        for node in list(small_overlay.online_by_peer.values())[:50]:
+            if node.routing_table is None:
+                continue
+            assert not (set(node.routing_table.peers()) & nat_peers)
+
+
+class TestJoinLeave:
+    def test_leave_removes_from_registry_and_oracle(self, overlay):
+        node = overlay.online_servers()[0]
+        peer = node.peer
+        overlay.take_offline(node)
+        assert peer not in overlay.online_by_peer
+        assert peer not in overlay.oracle
+        assert node.routing_table is None
+
+    def test_stale_entries_linger_after_leave(self, overlay):
+        node = overlay.online_servers()[0]
+        peer = node.peer
+        holders_before = len(overlay._holders.get(peer, ()))
+        assert holders_before > 0
+        overlay.take_offline(node)
+        still_referencing = sum(
+            1
+            for holder in overlay.online_by_peer.values()
+            if holder.routing_table is not None and peer in holder.routing_table
+        )
+        assert still_referencing > 0  # ghosts until refresh
+
+    def test_refresh_evicts_dead_entries(self, overlay):
+        node = overlay.online_servers()[0]
+        peer = node.peer
+        overlay.take_offline(node)
+        overlay.stale_detect_prob = 1.0
+        overlay.refresh_all()
+        for holder in overlay.online_by_peer.values():
+            if holder.routing_table is not None:
+                assert peer not in holder.routing_table
+
+    def test_rejoin_reuses_identity_without_rotation(self, overlay):
+        node = overlay.online_servers()[1]
+        peer, ips = node.peer, list(node.ips)
+        overlay.take_offline(node)
+        overlay.bring_online(node)
+        assert node.peer == peer
+        assert node.ips == ips
+
+    def test_rejoin_with_rotation_changes_ips_only(self, overlay):
+        node = overlay.online_servers()[2]
+        peer, ips = node.peer, list(node.ips)
+        overlay.take_offline(node)
+        overlay.bring_online(node, rotate_ip=True)
+        assert node.peer == peer
+        assert node.ips != ips
+
+    def test_rejoin_with_regen_changes_peer_id(self, overlay):
+        node = overlay.online_servers()[3]
+        peer = node.peer
+        overlay.take_offline(node)
+        overlay.bring_online(node, regen_peer=True)
+        assert node.peer != peer
+
+    def test_mid_session_rotation(self, overlay):
+        node = overlay.online_servers()[4]
+        peer, ips = node.peer, list(node.ips)
+        overlay.rotate_addresses(node)
+        assert node.peer == peer
+        assert node.ips != ips
+        # Announced addresses follow.
+        info = overlay.peer_infos([peer])[0]
+        assert {addr.ip for addr in info.addrs} == {node.primary_ip_str} | {
+            addr.ip for addr in info.addrs
+        }
+
+
+class TestQueries:
+    def test_dial_offline_peer_fails(self, overlay):
+        node = overlay.online_servers()[0]
+        peer = node.peer
+        overlay.take_offline(node)
+        assert overlay.dial(peer) is None
+
+    def test_dial_honors_timeout(self, overlay):
+        node = next(n for n in overlay.online_servers() if n.reachable)
+        assert overlay.dial(node.peer, timeout=node.response_latency + 1) is node
+        assert overlay.dial(node.peer, timeout=node.response_latency / 2) is None
+
+    def test_find_node_query_returns_peer_infos(self, overlay):
+        node = next(n for n in overlay.online_servers() if n.reachable)
+        query = overlay.find_node_query(timeout=1e9)
+        result = query(node.peer, node.peer.dht_key)
+        assert result is not None
+        assert all(info.addrs for info in result if info.peer in overlay.online_by_peer)
+
+
+class TestProviders:
+    def test_publish_and_resolve(self, overlay):
+        node = next(n for n in overlay.online_servers() if n.reachable)
+        cid = CID.generate(random.Random(1))
+        record = overlay.publish_provider_record(node, cid)
+        assert record is not None
+        assert overlay.providers.has_records(cid, overlay.now)
+        resolver_peer = overlay.resolvers_for(cid)[0]
+        resolver = overlay.online_by_peer[resolver_peer]
+        records = overlay.provider_records_at(resolver, cid)
+        assert any(r.provider == node.peer for r in records)
+
+    def test_non_resolver_returns_nothing(self, overlay):
+        node = overlay.online_servers()[0]
+        cid = CID.generate(random.Random(2))
+        overlay.publish_provider_record(node, cid)
+        resolvers = set(overlay.resolvers_for(cid))
+        outsider = next(
+            n for n in overlay.online_servers() if n.peer not in resolvers
+        )
+        assert overlay.provider_records_at(outsider, cid) == []
+
+    def test_nat_provider_advertises_circuit_address(self, overlay):
+        nat = next(iter(overlay.online_nat_clients()))
+        cid = CID.generate(random.Random(3))
+        record = overlay.publish_provider_record(nat, cid)
+        assert record is not None
+        assert record.is_relayed
+        assert record.addrs[0].relay == nat.relay.peer
+
+    def test_reachability_of_nat_record_follows_relay(self, overlay):
+        nat = next(iter(overlay.online_nat_clients()))
+        cid = CID.generate(random.Random(4))
+        record = overlay.publish_provider_record(nat, cid)
+        assert overlay.is_provider_reachable(record)
+        overlay.take_offline(nat)
+        assert not overlay.is_provider_reachable(record)
+
+    def test_registry_ttl(self):
+        registry = ProviderRegistry(ttl=10.0)
+        from repro.kademlia.providers import ProviderRecord
+        from repro.ids.multiaddr import Multiaddr
+        from repro.ids.peerid import PeerID
+
+        rng = random.Random(5)
+        provider = PeerID.generate(rng)
+        cid = CID.generate(rng)
+        record = ProviderRecord(
+            cid=cid, provider=provider,
+            addrs=(Multiaddr.direct("1.2.3.4", 4001, provider),), published_at=0.0,
+        )
+        registry.add(record)
+        assert registry.get(cid, now=5.0) == [record]
+        assert registry.get(cid, now=15.0) == []
+
+    def test_registry_caps_providers_per_cid(self):
+        registry = ProviderRegistry(max_per_cid=5)
+        from repro.kademlia.providers import ProviderRecord
+        from repro.ids.multiaddr import Multiaddr
+        from repro.ids.peerid import PeerID
+
+        rng = random.Random(6)
+        cid = CID.generate(rng)
+        for index in range(10):
+            provider = PeerID.generate(rng)
+            registry.add(
+                ProviderRecord(
+                    cid=cid, provider=provider,
+                    addrs=(Multiaddr.direct("1.2.3.4", 4001, provider),),
+                    published_at=float(index),
+                )
+            )
+        records = registry.get(cid, now=1.0)
+        assert len(records) == 5
+        # The oldest were evicted.
+        assert min(r.published_at for r in records) == 5.0
+
+
+class TestInDegree:
+    def test_counts_only_live_holders(self, overlay):
+        counts = in_degree_counts(overlay)
+        assert counts
+        popular = max(counts, key=counts.get)
+        assert counts[popular] > 1
+
+    def test_advertise_presence_raises_in_degree(self, overlay):
+        node = overlay.online_servers()[5]
+        before = in_degree_counts(overlay).get(node.peer, 0)
+        inserted = overlay.advertise_presence(node, attempts=100)
+        after = in_degree_counts(overlay).get(node.peer, 0)
+        assert after >= before
+        assert after - before <= 100
+        assert inserted >= 0

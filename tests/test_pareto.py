@@ -1,0 +1,89 @@
+"""Concentration curves and summary statistics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.pareto import gini_coefficient, pareto_curve, top_share
+
+volumes_strategy = st.dictionaries(
+    st.integers(), st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50
+)
+
+
+class TestTopShare:
+    def test_uniform_distribution(self):
+        volumes = {i: 1.0 for i in range(100)}
+        assert top_share(volumes, 0.05) == pytest.approx(0.05)
+
+    def test_fully_concentrated(self):
+        volumes = {0: 100.0, **{i: 0.0 for i in range(1, 100)}}
+        assert top_share(volumes, 0.01) == 1.0
+
+    def test_pareto_80_20(self):
+        volumes = {i: (80.0 / 20 if i < 20 else 20.0 / 80) for i in range(100)}
+        assert top_share(volumes, 0.20) == pytest.approx(0.8)
+
+    def test_empty(self):
+        assert top_share({}, 0.05) == 0.0
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            top_share({1: 1.0}, 0.0)
+        with pytest.raises(ValueError):
+            top_share({1: 1.0}, 1.5)
+
+    @given(volumes_strategy, st.floats(min_value=0.01, max_value=1.0))
+    def test_bounded(self, volumes, fraction):
+        share = top_share(volumes, fraction)
+        assert 0.0 <= share <= 1.0 + 1e-9
+
+    @given(volumes_strategy)
+    def test_monotone_in_fraction(self, volumes):
+        shares = [top_share(volumes, f) for f in (0.1, 0.5, 1.0)]
+        assert shares == sorted(shares)
+
+    @given(volumes_strategy)
+    def test_full_fraction_is_everything(self, volumes):
+        if sum(volumes.values()) > 0:
+            assert top_share(volumes, 1.0) == pytest.approx(1.0)
+
+
+class TestParetoCurve:
+    def test_endpoints(self):
+        curve = pareto_curve({i: float(i + 1) for i in range(10)})
+        assert curve[-1] == (1.0, pytest.approx(1.0))
+
+    def test_monotone_nondecreasing(self):
+        curve = pareto_curve({i: float((i * 37) % 11 + 1) for i in range(200)})
+        ys = [y for _, y in curve]
+        assert ys == sorted(ys)
+
+    def test_concave_shape_for_skewed_input(self):
+        skewed = {i: 1000.0 if i == 0 else 1.0 for i in range(100)}
+        curve = pareto_curve(skewed, points=100)
+        # After the first actor the curve is already above 90%.
+        assert curve[0][1] > 0.9
+
+    def test_empty(self):
+        assert pareto_curve({}) == []
+
+    def test_zero_volume(self):
+        assert pareto_curve({1: 0.0}) == [(1.0, 0.0)]
+
+
+class TestGini:
+    def test_equal_is_zero(self):
+        assert gini_coefficient({i: 5.0 for i in range(50)}) == pytest.approx(0.0, abs=1e-9)
+
+    def test_concentrated_near_one(self):
+        volumes = {0: 1000.0, **{i: 1e-9 for i in range(1, 1000)}}
+        assert gini_coefficient(volumes) > 0.95
+
+    def test_empty_and_zero(self):
+        assert gini_coefficient({}) == 0.0
+        assert gini_coefficient({1: 0.0}) == 0.0
+
+    @given(volumes_strategy)
+    def test_bounded(self, volumes):
+        gini = gini_coefficient(volumes)
+        assert -1e-9 <= gini < 1.0

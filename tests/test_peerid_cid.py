@@ -1,0 +1,93 @@
+"""Peer IDs and CIDs."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ids.cid import CID, cid_for_data
+from repro.ids.encoding import base58_decode
+from repro.ids.keys import KEY_SPACE
+from repro.ids.peerid import PeerID
+
+
+class TestPeerID:
+    def test_requires_32_byte_digest(self):
+        with pytest.raises(ValueError):
+            PeerID(b"short")
+
+    def test_from_public_key_deterministic(self):
+        key = b"k" * 32
+        assert PeerID.from_public_key(key) == PeerID.from_public_key(key)
+
+    def test_generate_unique(self, rng):
+        peers = {PeerID.generate(rng) for _ in range(200)}
+        assert len(peers) == 200
+
+    def test_multihash_prefix(self):
+        peer = PeerID.generate(random.Random(0))
+        assert peer.multihash[:2] == b"\x12\x20"
+        assert len(peer.multihash) == 34
+
+    def test_base58_roundtrips_through_multihash(self):
+        peer = PeerID.generate(random.Random(1))
+        decoded = base58_decode(peer.to_base58())
+        assert decoded == peer.multihash
+
+    def test_dht_key_in_keyspace(self):
+        peer = PeerID.generate(random.Random(2))
+        assert 0 <= peer.dht_key < KEY_SPACE
+
+    def test_ordering_follows_dht_key(self):
+        rng = random.Random(3)
+        peers = sorted(PeerID.generate(rng) for _ in range(50))
+        keys = [peer.dht_key for peer in peers]
+        assert keys == sorted(keys)
+
+    def test_hashable_and_equality(self):
+        a = PeerID(b"\x01" * 32)
+        b = PeerID(b"\x01" * 32)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+
+class TestCID:
+    def test_content_addressing(self):
+        assert CID.for_data(b"hello") == cid_for_data(b"hello")
+        assert CID.for_data(b"hello") != CID.for_data(b"hello!")
+
+    def test_requires_32_byte_digest(self):
+        with pytest.raises(ValueError):
+            CID(b"\x00" * 31)
+
+    def test_string_form_is_cidv1_base32(self):
+        cid = CID.for_data(b"data")
+        text = cid.to_base32()
+        assert text.startswith("b")
+        assert text == text.lower()
+
+    def test_binary_layout(self):
+        cid = CID.for_data(b"data")
+        assert cid.binary[0] == 0x01  # CIDv1
+        assert cid.binary[1] == 0x55  # raw codec
+        assert cid.binary[2:4] == b"\x12\x20"  # sha2-256 multihash header
+
+    def test_dht_key_differs_from_peer_key_for_same_digest(self):
+        digest = b"\x07" * 32
+        # CID and PeerID hash different multihash framings... actually the
+        # framing is identical; the *dht key* is SHA-256 of the multihash,
+        # so equal digests give equal keys — assert the documented tie.
+        assert CID(digest).dht_key == PeerID(digest).dht_key
+
+    @given(st.binary(max_size=128))
+    def test_deterministic(self, data):
+        assert CID.for_data(data) == CID.for_data(data)
+
+    def test_generate_unique(self, rng):
+        cids = {CID.generate(rng) for _ in range(200)}
+        assert len(cids) == 200
+
+    def test_sortable(self, rng):
+        cids = sorted(CID.generate(rng) for _ in range(20))
+        assert [c.dht_key for c in cids] == sorted(c.dht_key for c in cids)

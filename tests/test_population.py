@@ -1,0 +1,111 @@
+"""Population sampling from the world profile."""
+
+import statistics
+
+import pytest
+
+from repro.world.population import NodeClass, PopulationBuilder, build_world
+from repro.world.profiles import WorldProfile
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world(WorldProfile(online_servers=1000, seed=3))
+
+
+class TestNodeClass:
+    def test_nat_clients_are_not_dht_servers(self):
+        assert not NodeClass.NAT_CLIENT.is_dht_server
+        for cls in NodeClass:
+            if cls is not NodeClass.NAT_CLIENT:
+                assert cls.is_dht_server
+
+    def test_behavior_keys_resolve(self):
+        from repro.world.profiles import BEHAVIORS
+
+        for cls in NodeClass:
+            assert cls.behavior_key in BEHAVIORS
+
+
+class TestPopulationCounts:
+    def test_expected_online_servers(self, world):
+        """Sum of spec uptimes ≈ the configured online target."""
+        expected_online = sum(
+            spec.behavior.uptime for spec in world.server_specs
+        )
+        assert expected_online == pytest.approx(1000, rel=0.08)
+
+    def test_nat_population_ratio(self, world):
+        assert len(world.nat_specs) == pytest.approx(
+            world.profile.nat_client_ratio * 1000, rel=0.05
+        )
+
+    def test_cloud_share_of_expected_online(self, world):
+        cloud = sum(
+            spec.behavior.uptime
+            for spec in world.server_specs
+            if spec.is_cloud_hosted and spec.node_class is not NodeClass.HYBRID
+        )
+        total = sum(spec.behavior.uptime for spec in world.server_specs)
+        assert cloud / total == pytest.approx(0.85, abs=0.05)
+
+    def test_hybrid_specs_have_cloud_and_residential_blocks(self, world):
+        hybrids = world.specs_of(NodeClass.HYBRID)
+        assert hybrids, "profile should produce some hybrid (BOTH) peers"
+        for spec in hybrids:
+            kinds = {block.is_cloud for block in spec.blocks}
+            assert kinds == {True, False}
+            assert spec.num_addrs >= 2
+
+    def test_platforms_present(self, world):
+        platforms = {spec.platform for spec in world.specs_of(NodeClass.PLATFORM)}
+        for expected in ("web3.storage", "nft.storage", "ipfs-bank", "hydra"):
+            assert expected in platforms
+
+
+class TestAttributes:
+    def test_specs_have_unique_indices(self, world):
+        indices = [spec.index for spec in world.specs]
+        assert len(indices) == len(set(indices))
+
+    def test_blocks_match_country(self, world):
+        for spec in world.specs[:500]:
+            assert any(block.country == spec.country for block in spec.blocks)
+
+    def test_activity_weights_mean_near_one(self, world):
+        weights = [
+            spec.activity_weight
+            for spec in world.specs
+            if spec.node_class is NodeClass.CLOUD_STABLE
+        ]
+        # Normalized lognormal: mean 1 (sampling noise allowed).
+        assert statistics.mean(weights) == pytest.approx(1.0, abs=0.35)
+
+    def test_heavy_tail_for_fringe(self, world):
+        nat = sorted(
+            spec.activity_weight for spec in world.nat_specs
+        )
+        top1pct = sum(nat[-len(nat) // 100 :])
+        assert top1pct / sum(nat) > 0.2  # a few users dominate
+
+    def test_num_addrs_range(self, world):
+        assert all(1 <= spec.num_addrs <= 3 for spec in world.specs)
+
+    def test_databases_cover_all_blocks(self, world):
+        for spec in world.specs[:300]:
+            for block in spec.blocks:
+                assert world.geo_db.lookup(block.base) == block.country
+                assert world.cloud_db.is_cloud(block.base) == block.is_cloud
+
+
+class TestDeterminism:
+    def test_same_seed_same_world(self):
+        a = build_world(WorldProfile(online_servers=200, seed=42))
+        b = build_world(WorldProfile(online_servers=200, seed=42))
+        assert len(a.specs) == len(b.specs)
+        assert [s.organisation for s in a.specs[:50]] == [s.organisation for s in b.specs[:50]]
+
+    def test_different_seed_different_world(self):
+        a = build_world(WorldProfile(online_servers=200, seed=1))
+        b = build_world(WorldProfile(online_servers=200, seed=2))
+        assert [s.country for s in a.specs[:50]] != [s.country for s in b.specs[:50]]

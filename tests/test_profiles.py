@@ -1,0 +1,111 @@
+"""Calibration profiles and iterative proportional fitting."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.world.profiles import (
+    BEHAVIORS,
+    EPHEMERAL_COUNTRY_SHARES,
+    ORG_COUNTRY_SEED,
+    PAPER,
+    SNAPSHOT_COUNTRY_SHARES,
+    SNAPSHOT_ORG_SHARES,
+    BehaviorProfile,
+    WorldProfile,
+    iterative_proportional_fit,
+)
+
+
+class TestIPF:
+    def test_fits_both_marginals(self):
+        joint = iterative_proportional_fit(
+            ORG_COUNTRY_SEED, SNAPSHOT_ORG_SHARES, SNAPSHOT_COUNTRY_SHARES
+        )
+        for org, target in SNAPSHOT_ORG_SHARES.items():
+            assert sum(joint[org].values()) == pytest.approx(target, abs=1e-6)
+        for country, target in SNAPSHOT_COUNTRY_SHARES.items():
+            total = sum(joint[org][country] for org in joint)
+            assert total == pytest.approx(target, abs=1e-6)
+
+    def test_zero_seed_cells_stay_zero(self):
+        joint = iterative_proportional_fit(
+            ORG_COUNTRY_SEED, SNAPSHOT_ORG_SHARES, SNAPSHOT_COUNTRY_SHARES
+        )
+        # Hetzner has no Chinese presence in the seed.
+        assert joint["hetzner"]["CN"] == 0.0
+
+    def test_rejects_unsatisfiable_rows(self):
+        with pytest.raises(ValueError):
+            iterative_proportional_fit({"a": {}}, {"a": 0.5}, {"x": 0.5})
+
+    def test_simple_two_by_two(self):
+        joint = iterative_proportional_fit(
+            {"r1": {"c1": 1, "c2": 1}, "r2": {"c1": 1, "c2": 1}},
+            {"r1": 0.6, "r2": 0.4},
+            {"c1": 0.7, "c2": 0.3},
+        )
+        assert joint["r1"]["c1"] == pytest.approx(0.42, abs=1e-6)
+        assert joint["r2"]["c2"] == pytest.approx(0.12, abs=1e-6)
+
+
+class TestMarginals:
+    def test_org_shares_sum_to_one(self):
+        assert sum(SNAPSHOT_ORG_SHARES.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_country_shares_sum_to_one(self):
+        assert sum(SNAPSHOT_COUNTRY_SHARES.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_ephemeral_country_shares_sum_to_one(self):
+        assert sum(EPHEMERAL_COUNTRY_SHARES.values()) == pytest.approx(1.0, abs=2e-2)
+
+    def test_paper_country_targets_present(self):
+        for country in PAPER.an_country_shares:
+            assert country in SNAPSHOT_COUNTRY_SHARES
+
+
+class TestBehaviors:
+    def test_uptime_formula(self):
+        behavior = BehaviorProfile(
+            mean_session_hours=6.0, mean_gap_hours=18.0,
+            ip_rotation_prob=0.0, peerid_regen_prob=0.0,
+        )
+        assert behavior.uptime == pytest.approx(0.25)
+
+    def test_cloud_core_is_stable(self):
+        cloud = BEHAVIORS["cloud_stable"]
+        fringe = BEHAVIORS["residential_ephemeral"]
+        assert cloud.uptime > 0.95
+        assert fringe.uptime < 0.2
+        assert fringe.ip_rotation_prob > cloud.ip_rotation_prob
+        assert fringe.peerid_regen_prob > cloud.peerid_regen_prob
+
+    def test_addr_probs_are_distributions(self):
+        for name, behavior in BEHAVIORS.items():
+            assert sum(behavior.extra_addr_probs) == pytest.approx(1.0, abs=1e-6), name
+
+
+class TestWorldProfile:
+    def test_joint_reflects_profile_marginals(self):
+        profile = WorldProfile()
+        joint = profile.joint_org_country()
+        cloud_total = sum(
+            sum(per_country.values())
+            for org, per_country in joint.items()
+            if org != "residential"
+        )
+        assert cloud_total == pytest.approx(1.0 - profile.org_shares["residential"], abs=1e-6)
+
+    def test_scaled_preserves_everything_else(self):
+        profile = WorldProfile()
+        bigger = profile.scaled(10_000)
+        assert bigger.online_servers == 10_000
+        assert bigger.org_shares == profile.org_shares
+        assert bigger.seed == profile.seed
+
+    def test_paper_scale(self):
+        assert WorldProfile.paper_scale().online_servers == 25772
+
+    def test_paper_calibration_shares_consistent(self):
+        assert PAPER.an_cloud_share + PAPER.an_noncloud_share < 1.0  # BOTH remainder
+        assert PAPER.gip_cloud_share + PAPER.gip_noncloud_share == pytest.approx(1.0)
+        assert PAPER.download_share + PAPER.advertisement_share + PAPER.other_share == pytest.approx(1.0)

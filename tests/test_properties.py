@@ -1,0 +1,180 @@
+"""Property-based tests on core data structures and invariants."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ids.cid import CID
+from repro.ids.multiaddr import Multiaddr
+from repro.ids.peerid import PeerID
+from repro.ipns.records import IPNSKeyPair, IPNSRecord
+from repro.kademlia.providers import ProviderRecord
+from repro.kademlia.routing_table import RoutingTable
+from repro.netsim.network import ProviderRegistry
+from repro.netsim.oracle import KeyspaceOracle
+from repro.core.pareto import pareto_curve, top_share
+
+
+def peer_from_tag(tag: int) -> PeerID:
+    return PeerID((tag % (2**256)).to_bytes(32, "big"))
+
+
+class TestRoutingTableProperties:
+    @settings(max_examples=40)
+    @given(st.lists(st.integers(min_value=1, max_value=10_000), max_size=120),
+           st.integers(min_value=1, max_value=25))
+    def test_bucket_capacity_invariant(self, tags, bucket_size):
+        owner = peer_from_tag(999_999_999)
+        table = RoutingTable(owner, bucket_size=bucket_size)
+        for tag in tags:
+            table.add(peer_from_tag(tag))
+        for index in table.nonempty_buckets():
+            assert len(table.bucket(index)) <= bucket_size
+        # The membership index agrees with the buckets.
+        assert sorted(table.peers(), key=lambda p: p.digest) == sorted(
+            (peer for index in table.nonempty_buckets() for peer in table.bucket(index)),
+            key=lambda p: p.digest,
+        )
+
+    @settings(max_examples=40)
+    @given(st.lists(st.tuples(st.booleans(), st.integers(min_value=1, max_value=40)),
+                    max_size=150))
+    def test_add_remove_sequences_match_reference_set(self, operations):
+        owner = peer_from_tag(123_456)
+        table = RoutingTable(owner, bucket_size=1000)  # capacity never binds
+        reference = set()
+        for is_add, tag in operations:
+            peer = peer_from_tag(tag)
+            if peer == owner:
+                continue
+            if is_add:
+                table.add(peer)
+                reference.add(peer)
+            else:
+                table.remove(peer)
+                reference.discard(peer)
+        assert set(table.peers()) == reference
+
+
+class TestOracleProperties:
+    @settings(max_examples=30)
+    @given(st.lists(st.tuples(st.booleans(), st.integers(min_value=1, max_value=60)),
+                    max_size=120),
+           st.integers(min_value=0, max_value=2**256 - 1))
+    def test_membership_and_closest_consistency(self, operations, target):
+        oracle = KeyspaceOracle()
+        reference = set()
+        for is_add, tag in operations:
+            peer = peer_from_tag(tag)
+            if is_add:
+                oracle.add(peer)
+                reference.add(peer)
+            else:
+                oracle.remove(peer)
+                reference.discard(peer)
+        assert set(oracle.peers()) == reference
+        expected = sorted(reference, key=lambda p: p.dht_key ^ target)[:5]
+        assert oracle.closest(target, 5) == expected
+
+
+class TestProviderRegistryProperties:
+    @settings(max_examples=30)
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=5),
+                              st.integers(min_value=0, max_value=30),
+                              st.floats(min_value=0, max_value=100)),
+                    min_size=1, max_size=80),
+           st.floats(min_value=0, max_value=200))
+    def test_get_never_returns_expired_and_respects_cap(self, adds, now):
+        registry = ProviderRegistry(ttl=50.0, max_per_cid=8)
+        cids = [CID((i + 1).to_bytes(32, "big")) for i in range(6)]
+        for cid_index, provider_tag, published_at in adds:
+            provider = peer_from_tag(provider_tag + 1)
+            record = ProviderRecord(
+                cid=cids[cid_index],
+                provider=provider,
+                addrs=(Multiaddr.direct("1.2.3.4", 4001, provider),),
+                published_at=published_at,
+            )
+            registry.add(record)
+        for cid in cids:
+            records = registry.get(cid, now)
+            assert len(records) <= 8
+            assert all(now - record.published_at < 50.0 for record in records)
+            providers = [record.provider for record in records]
+            assert len(providers) == len(set(providers))
+
+
+class TestIPNSProperties:
+    @settings(max_examples=30)
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=50),
+                              st.floats(min_value=0, max_value=1000)),
+                    min_size=1, max_size=30))
+    def test_supersedes_selects_max_sequence_then_time(self, versions):
+        keypair = IPNSKeyPair.generate(random.Random(1))
+        records = [
+            IPNSRecord.create(keypair, CID.for_data(bytes([seq % 256])), seq, published_at=ts)
+            for seq, ts in versions
+        ]
+        winner = None
+        for record in records:
+            if record.supersedes(winner):
+                winner = record
+        best = max(records, key=lambda r: (r.sequence, r.published_at))
+        assert winner.sequence == best.sequence
+        assert winner.published_at == best.published_at
+
+    @settings(max_examples=20)
+    @given(st.binary(min_size=1, max_size=40), st.integers(min_value=0, max_value=100))
+    def test_signatures_bind_value_and_sequence(self, payload, sequence):
+        keypair = IPNSKeyPair.generate(random.Random(2))
+        record = IPNSRecord.create(keypair, CID.for_data(payload), sequence, published_at=0.0)
+        assert record.verify(keypair)
+        other_key = IPNSKeyPair.generate(random.Random(3))
+        assert not record.verify(other_key)
+
+
+class TestParetoProperties:
+    volumes = st.dictionaries(
+        st.integers(), st.floats(min_value=0.001, max_value=1e6), min_size=2, max_size=40
+    )
+
+    @settings(max_examples=40)
+    @given(volumes)
+    def test_curve_endpoint_matches_top_share(self, volumes):
+        curve = pareto_curve(volumes, points=len(volumes))
+        assert curve[-1][1] == pytest.approx(1.0)
+        # The curve at the first sampled fraction equals top_share there.
+        fraction, share = curve[0]
+        assert share == pytest.approx(top_share(volumes, fraction), rel=1e-9)
+
+    @settings(max_examples=40)
+    @given(volumes)
+    def test_concentration_dominates_uniform(self, volumes):
+        """For every fraction f, the top-f share is at least f."""
+        for fraction in (0.1, 0.25, 0.5, 0.9):
+            assert top_share(volumes, fraction) >= fraction - 1e-9
+
+
+class TestIdentifierProperties:
+    @settings(max_examples=40)
+    @given(st.binary(min_size=32, max_size=32))
+    def test_peerid_base58_roundtrip(self, digest):
+        peer = PeerID(digest)
+        assert PeerID.from_base58(peer.to_base58()) == peer
+
+    @settings(max_examples=40)
+    @given(st.binary(min_size=32, max_size=32))
+    def test_cid_base32_roundtrip(self, digest):
+        cid = CID(digest)
+        assert CID.from_base32(cid.to_base32()) == cid
+
+    @settings(max_examples=40)
+    @given(st.binary(min_size=32, max_size=32), st.binary(min_size=32, max_size=32))
+    def test_multiaddr_roundtrip_direct_and_circuit(self, d1, d2):
+        peer, relay = PeerID(d1), PeerID(d2)
+        direct = Multiaddr.direct("10.1.2.3", 4001, peer)
+        assert Multiaddr.parse(str(direct)) == direct
+        if peer != relay:
+            circuit = Multiaddr.circuit("10.9.9.9", 4001, relay, peer)
+            assert Multiaddr.parse(str(circuit)) == circuit

@@ -1,0 +1,88 @@
+"""Provider-record storage with expiry."""
+
+import random
+
+import pytest
+
+from repro.ids.cid import CID
+from repro.ids.multiaddr import Multiaddr
+from repro.ids.peerid import PeerID
+from repro.kademlia.providers import DEFAULT_RECORD_TTL, ProviderRecord, ProviderStore
+
+
+def make_record(cid=None, provider=None, published_at=0.0, circuit=False, seed=0):
+    rng = random.Random(seed)
+    cid = cid or CID.generate(rng)
+    provider = provider or PeerID.generate(rng)
+    if circuit:
+        relay = PeerID.generate(rng)
+        addrs = (Multiaddr.circuit("9.9.9.9", 4001, relay, provider),)
+    else:
+        addrs = (Multiaddr.direct("8.8.8.8", 4001, provider),)
+    return ProviderRecord(cid=cid, provider=provider, addrs=addrs, published_at=published_at)
+
+
+class TestProviderRecord:
+    def test_is_relayed_detects_circuit_only(self):
+        assert make_record(circuit=True).is_relayed
+        assert not make_record(circuit=False).is_relayed
+
+    def test_mixed_addresses_not_relayed(self):
+        rng = random.Random(3)
+        provider = PeerID.generate(rng)
+        relay = PeerID.generate(rng)
+        record = ProviderRecord(
+            cid=CID.generate(rng),
+            provider=provider,
+            addrs=(
+                Multiaddr.circuit("9.9.9.9", 4001, relay, provider),
+                Multiaddr.direct("8.8.8.8", 4001, provider),
+            ),
+            published_at=0.0,
+        )
+        assert not record.is_relayed
+
+
+class TestProviderStore:
+    def test_add_and_get(self):
+        store = ProviderStore()
+        record = make_record()
+        store.add(record)
+        assert store.get(record.cid, now=10.0) == [record]
+
+    def test_expiry(self):
+        store = ProviderStore(ttl=100.0)
+        record = make_record(published_at=0.0)
+        store.add(record)
+        assert store.get(record.cid, now=99.0) == [record]
+        assert store.get(record.cid, now=100.0) == []
+        assert record.cid not in store.cids()
+
+    def test_reprovide_refreshes(self):
+        store = ProviderStore(ttl=100.0)
+        first = make_record(published_at=0.0)
+        store.add(first)
+        refreshed = ProviderRecord(
+            cid=first.cid, provider=first.provider, addrs=first.addrs, published_at=90.0
+        )
+        store.add(refreshed)
+        assert store.get(first.cid, now=150.0) == [refreshed]
+
+    def test_multiple_providers_per_cid(self):
+        store = ProviderStore()
+        cid = CID.generate(random.Random(5))
+        records = [make_record(cid=cid, seed=s) for s in range(5)]
+        for record in records:
+            store.add(record)
+        assert len(store.get(cid, now=1.0)) == 5
+        assert len(store) == 5
+
+    def test_prune_counts_removals(self):
+        store = ProviderStore(ttl=50.0)
+        store.add(make_record(published_at=0.0, seed=1))
+        store.add(make_record(published_at=40.0, seed=2))
+        assert store.prune(now=60.0) == 1
+        assert len(store) == 1
+
+    def test_default_ttl_is_24h(self):
+        assert DEFAULT_RECORD_TTL == 24 * 3600.0

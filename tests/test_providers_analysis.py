@@ -1,0 +1,178 @@
+"""Provider classification and per-CID cloud reliance (§6)."""
+
+import random
+
+import pytest
+
+from repro.core.providers_analysis import (
+    ProviderClass,
+    cid_cloud_reliance,
+    classify_addrs,
+    classify_providers,
+    provider_popularity,
+)
+from repro.ids.cid import CID
+from repro.ids.multiaddr import Multiaddr
+from repro.ids.peerid import PeerID
+from repro.kademlia.providers import ProviderRecord
+from repro.monitors.provider_fetcher import ProviderObservation
+from repro.world.clouddb import CloudIPDatabase
+from repro.world.ipspace import IPAllocator, format_ip
+
+
+@pytest.fixture(scope="module")
+def env():
+    rng = random.Random(99)
+    allocator = IPAllocator()
+    cloud = allocator.allocate_block("vultr", "US", True, 24)
+    isp = allocator.allocate_block("isp-de", "DE", False, 24)
+    return {
+        "rng": rng,
+        "db": CloudIPDatabase(allocator.blocks),
+        "cloud_ip": format_ip(cloud.base + 1),
+        "cloud_ip2": format_ip(cloud.base + 2),
+        "isp_ip": format_ip(isp.base + 1),
+    }
+
+
+def record(env, cid=None, provider=None, kind="cloud", relay_ip=None):
+    rng = env["rng"]
+    cid = cid or CID.generate(rng)
+    provider = provider or PeerID.generate(rng)
+    if kind == "nat":
+        relay = PeerID.generate(rng)
+        addrs = (Multiaddr.circuit(relay_ip or env["cloud_ip"], 4001, relay, provider),)
+    elif kind == "cloud":
+        addrs = (Multiaddr.direct(env["cloud_ip"], 4001, provider),)
+    elif kind == "noncloud":
+        addrs = (Multiaddr.direct(env["isp_ip"], 4001, provider),)
+    else:  # hybrid
+        addrs = (
+            Multiaddr.direct(env["cloud_ip"], 4001, provider),
+            Multiaddr.direct(env["isp_ip"], 4001, provider),
+        )
+    return ProviderRecord(cid=cid, provider=provider, addrs=addrs, published_at=0.0)
+
+
+def observation(env, records):
+    return ProviderObservation(
+        cid=records[0].cid if records else CID.generate(env["rng"]),
+        collected_at=0.0,
+        records=tuple(records),
+        reachable=tuple(records),
+        resolvers_queried=20,
+        walk_messages=30,
+    )
+
+
+class TestClassification:
+    def test_four_classes(self, env):
+        assert classify_addrs([record(env, kind="cloud")], env["db"]) is ProviderClass.CLOUD
+        assert classify_addrs([record(env, kind="noncloud")], env["db"]) is ProviderClass.NON_CLOUD
+        assert classify_addrs([record(env, kind="nat")], env["db"]) is ProviderClass.NAT_ED
+        assert classify_addrs([record(env, kind="hybrid")], env["db"]) is ProviderClass.HYBRID
+
+    def test_circuit_plus_direct_is_not_nat(self, env):
+        rng = env["rng"]
+        provider = PeerID.generate(rng)
+        relay = PeerID.generate(rng)
+        records = [
+            ProviderRecord(
+                cid=CID.generate(rng),
+                provider=provider,
+                addrs=(
+                    Multiaddr.circuit(env["cloud_ip"], 4001, relay, provider),
+                    Multiaddr.direct(env["isp_ip"], 4001, provider),
+                ),
+                published_at=0.0,
+            )
+        ]
+        assert classify_addrs(records, env["db"]) is ProviderClass.NON_CLOUD
+
+    def test_shares_and_relays(self, env):
+        records = (
+            [record(env, kind="cloud") for _ in range(5)]
+            + [record(env, kind="nat", relay_ip=env["cloud_ip"]) for _ in range(3)]
+            + [record(env, kind="nat", relay_ip=env["isp_ip"])]
+            + [record(env, kind="noncloud")]
+        )
+        result = classify_providers([observation(env, records)], env["db"])
+        assert result.total_providers == 10
+        assert result.class_shares["cloud"] == pytest.approx(0.5)
+        assert result.class_shares["nat-ed"] == pytest.approx(0.4)
+        # 3 of 4 NAT providers relay through the cloud.
+        assert result.relay_cloud_share == pytest.approx(0.75)
+        assert result.relay_provider_shares["vultr"] == pytest.approx(0.75)
+
+    def test_reachable_only_filter(self, env):
+        reachable = record(env, kind="cloud")
+        unreachable = record(env, kind="noncloud")
+        obs = ProviderObservation(
+            cid=reachable.cid,
+            collected_at=0.0,
+            records=(reachable, unreachable),
+            reachable=(reachable,),
+            resolvers_queried=20,
+            walk_messages=30,
+        )
+        strict = classify_providers([obs], env["db"], reachable_only=True)
+        loose = classify_providers([obs], env["db"], reachable_only=False)
+        assert strict.total_providers == 1
+        assert loose.total_providers == 2
+
+
+class TestPopularity:
+    def test_appearances_counted_across_cids(self, env):
+        rng = env["rng"]
+        star = PeerID.generate(rng)
+        observations = []
+        for _ in range(10):
+            records = [record(env, provider=star, kind="cloud"), record(env, kind="noncloud")]
+            observations.append(observation(env, records))
+        result = provider_popularity(observations, env["db"])
+        # The star provider holds 10 of 20 record appearances.
+        assert result.record_shares_by_class["cloud"] == pytest.approx(0.5)
+        assert result.curve[-1][1] == pytest.approx(1.0)
+
+    def test_empty(self, env):
+        result = provider_popularity([], env["db"])
+        assert result.top1pct_record_share == 0.0
+
+
+class TestCidCloudReliance:
+    def test_aggregates(self, env):
+        observations = [
+            observation(env, [record(env, kind="cloud")]),                      # cloud-only
+            observation(env, [record(env, kind="cloud"), record(env, kind="noncloud")]),
+            observation(env, [record(env, kind="noncloud")]),                   # no cloud
+            observation(env, [record(env, kind="nat"), record(env, kind="cloud")]),
+        ]
+        result = cid_cloud_reliance(observations, env["db"])
+        assert result.total_cids == 4
+        assert result.at_least_one_cloud == pytest.approx(0.75)
+        assert result.cloud_only == pytest.approx(0.25)
+        assert result.at_least_one_noncloud == pytest.approx(0.75)
+
+    def test_nat_counts_as_noncloud(self, env):
+        """Fig. 16 note: NAT-ed providers count as non-cloud."""
+        observations = [observation(env, [record(env, kind="nat")])]
+        result = cid_cloud_reliance(observations, env["db"])
+        assert result.at_least_one_cloud == 0.0
+
+    def test_hybrid_counts_as_cloud(self, env):
+        observations = [observation(env, [record(env, kind="hybrid")])]
+        result = cid_cloud_reliance(observations, env["db"])
+        assert result.cloud_only == 1.0
+
+    def test_distribution_is_monotone(self, env):
+        observations = [
+            observation(env, [record(env, kind="cloud"), record(env, kind="noncloud")])
+            for _ in range(5)
+        ]
+        result = cid_cloud_reliance(observations, env["db"])
+        ys = [y for _, y in result.cloud_share_distribution]
+        assert ys == sorted(ys, reverse=True)
+
+    def test_empty_observations_skipped(self, env):
+        result = cid_cloud_reliance([observation(env, [])], env["db"])
+        assert result.total_cids == 0

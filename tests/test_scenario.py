@@ -1,0 +1,180 @@
+"""End-to-end campaign integration: the paper's findings at smoke scale.
+
+These tests assert the *directional* findings of the paper — orderings,
+majorities and divergences — on a complete small campaign.  Exact
+magnitudes are the benchmarks' business.
+"""
+
+import pytest
+
+from repro.core.counting import CountingMethod
+from repro.scenario import report as R
+from repro.scenario.config import ScenarioConfig
+
+
+class TestConfig:
+    def test_num_crawls(self):
+        assert ScenarioConfig(days=38, crawls_per_day=101 / 38).num_crawls == 101
+
+    def test_presets(self):
+        assert ScenarioConfig.smoke().profile.online_servers == 400
+        assert ScenarioConfig.paper_scale().profile.online_servers == 25772
+        horizon = ScenarioConfig.paper_horizon()
+        assert horizon.num_crawls == 101
+        assert not horizon.traffic_enabled
+
+    def test_scaled(self):
+        assert ScenarioConfig().scaled(5000).profile.online_servers == 5000
+
+
+class TestCampaignDatasets:
+    def test_crawl_count(self, smoke_campaign):
+        assert len(smoke_campaign.crawls) == smoke_campaign.config.num_crawls
+
+    def test_logs_populated(self, smoke_campaign):
+        assert len(smoke_campaign.hydra) > 1000
+        assert len(smoke_campaign.bitswap_monitor) > 1000
+
+    def test_provider_observations_collected(self, smoke_campaign):
+        assert len(smoke_campaign.provider_observations) > 50
+        with_records = [o for o in smoke_campaign.provider_observations if o.records]
+        assert with_records
+
+    def test_gateway_probe_results(self, smoke_campaign):
+        reports = smoke_campaign.gateway_probe_reports
+        functional = sum(1 for r in reports.values() if r.functional)
+        assert len(reports) == 83
+        assert functional == 22
+
+    def test_dns_scan_found_adopters(self, smoke_campaign):
+        assert len(smoke_campaign.dns_scan.dnslink_records) == 120
+
+    def test_ens_scrape_found_records(self, smoke_campaign):
+        assert len(smoke_campaign.ens_scrape.records) == 150
+        assert len(smoke_campaign.ens_observations) == 150
+
+
+class TestPaperFindings:
+    """Directional §4-§7 findings."""
+
+    def test_f3_cloud_majority_under_a_n(self, smoke_campaign):
+        f3 = R.fig3_report(smoke_campaign)
+        assert f3["A-N"]["cloud"] > 0.6
+        assert f3["A-N"]["cloud"] > f3["A-N"]["non-cloud"]
+
+    def test_f3_methodologies_diverge(self, smoke_campaign):
+        f3 = R.fig3_report(smoke_campaign)
+        assert f3["G-IP"]["non-cloud"] > f3["A-N"]["non-cloud"]
+
+    def test_f4_gip_ratio_falls_an_stays(self, smoke_campaign):
+        f4 = R.fig4_report(smoke_campaign)
+        gip = [ratio for _, ratio in f4["G-IP"]]
+        an = [ratio for _, ratio in f4["A-N"]]
+        assert gip[-1] < gip[0]
+        assert abs(an[-1] - an[0]) / an[0] < 0.5
+
+    def test_f5_choopa_leads(self, smoke_campaign):
+        f5 = R.fig5_report(smoke_campaign)
+        cloud_only = {
+            org: share for org, share in f5["A-N"].items() if org != "non-cloud"
+        }
+        assert max(cloud_only, key=cloud_only.get) == "choopa"
+
+    def test_f6_us_and_de_lead(self, smoke_campaign):
+        f6 = R.fig6_report(smoke_campaign)
+        ranked = sorted(f6["A-N"].items(), key=lambda kv: -kv[1])
+        assert ranked[0][0] == "US"
+        assert ranked[1][0] == "DE"
+
+    def test_f7_in_degree_tail_exceeds_out_band(self, smoke_campaign):
+        f7 = R.fig7_report(smoke_campaign)
+        assert f7["in_max"] > f7["out_p90"]
+
+    def test_f8_targeted_beats_random(self, smoke_campaign):
+        f8 = R.fig8_report(smoke_campaign, repetitions=3)
+        assert f8["random_lcc_at_90pct"] > 0.8
+        assert f8["targeted_partition_point"] < 0.95
+
+    def test_s5_downloads_and_adverts_dominate(self, smoke_campaign):
+        s5 = R.sec5_report(smoke_campaign)
+        assert s5["download_share"] > s5["other_share"]
+        assert s5["advertisement_share"] > s5["other_share"]
+
+    def test_f9_one_day_cids_form_large_group(self, smoke_campaign):
+        """At smoke scale the observation window (4 days) is too short for
+        the paper's 1-3-day dominance to emerge cleanly; assert the
+        structure instead: a large single-day population exists and
+        all-days (persistent platform) CIDs do not dominate."""
+        f9 = R.fig9_report(smoke_campaign)
+        cid_days = f9["cid_days"]
+        total = sum(cid_days.values())
+        assert cid_days.get(1, 0) / total > 0.15
+        assert cid_days.get(max(cid_days), 0) / total < 0.5
+
+    def test_f10_concentration_beyond_pareto(self, smoke_campaign):
+        f10 = R.fig10_report(smoke_campaign)
+        assert f10["dht_top5pct_share"] > 0.5  # far beyond uniform
+
+    def test_f10_gateways_bitswap_heavy_dht_light(self, smoke_campaign):
+        f10 = R.fig10_report(smoke_campaign)
+        assert f10["bitswap_gateway_share"] > f10["dht_gateway_share"]
+
+    def test_f11_cloud_generates_most_dht_traffic(self, smoke_campaign):
+        f11 = R.fig11_report(smoke_campaign)
+        assert f11["dht_cloud_share"] > 0.5
+        assert f11["dht_cloud_share"] > f11["bitswap_cloud_share"]
+
+    def test_f12_volume_exceeds_count_share(self, smoke_campaign):
+        f12 = R.fig12_report(smoke_campaign)
+        assert f12["overall_cloud_by_volume"] > f12["overall_cloud_by_ip_count"]
+
+    def test_f13_hydra_dominates_downloads(self, smoke_campaign):
+        f13 = R.fig13_report(smoke_campaign)
+        assert f13["dht_download"].get("hydra", 0) > 0.25
+
+    def test_f13_storage_platforms_dominate_adverts(self, smoke_campaign):
+        f13 = R.fig13_report(smoke_campaign)
+        adverts = f13["dht_advertisement"]
+        assert adverts.get("web3-storage", 0) + adverts.get("nft-storage", 0) > 0.25
+
+    def test_f14_nat_significant_and_relays_cloudy(self, smoke_campaign):
+        f14 = R.fig14_report(smoke_campaign)
+        assert f14["class_shares"].get("nat-ed", 0) > 0.15
+        assert f14["relay_cloud_share"] > 0.6
+
+    def test_f16_cloud_reliance(self, smoke_campaign):
+        f16 = R.fig16_report(smoke_campaign)
+        assert f16["at_least_one_cloud"] > 0.8
+        assert f16["majority_cloud"] <= f16["at_least_one_cloud"]
+        assert f16["cloud_only"] <= f16["majority_cloud"]
+
+    def test_f17_cloudflare_leads_dnslink(self, smoke_campaign):
+        f17 = R.fig17_report(smoke_campaign)
+        assert f17["cloudflare_share"] > 0.3
+        assert 0 < f17["public_gateway_ip_share"] < 1
+
+    def test_f18_cloudflare_heavy_both_sides(self, smoke_campaign):
+        f18 = R.fig18_19_report(smoke_campaign)
+        assert f18["frontend_provider_shares"].get("cloudflare", 0) > 0.3
+        assert f18["overlay_provider_shares"].get("cloudflare", 0) > 0.2
+        assert f18["num_listed_endpoints"] == 83
+        assert f18["num_functional_endpoints"] == 22
+
+    def test_f19_us_de_majority(self, smoke_campaign):
+        f18 = R.fig18_19_report(smoke_campaign)
+        geo = f18["overlay_country_shares"]
+        assert geo.get("US", 0) + geo.get("DE", 0) > 0.5
+
+    def test_f20_ens_content_cloudy(self, smoke_campaign):
+        f20 = R.fig20_report(smoke_campaign)
+        assert f20["cloud_share"] > 0.5
+        assert f20["num_provider_records"] > 0
+
+    def test_full_report_bundles_everything(self, smoke_campaign):
+        bundle = R.full_report(smoke_campaign, resilience_reps=2)
+        expected = {
+            "crawl_stats", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+            "sec5", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+            "fig15", "fig16", "fig17", "fig18_19", "fig20",
+        }
+        assert set(bundle) == expected

@@ -1,0 +1,97 @@
+"""Terminal charts and the command-line interface."""
+
+import pytest
+
+from repro.viz import bar_chart, cdf_chart, comparison_table, line_chart
+from repro.cli import build_parser, main
+
+
+class TestBarChart:
+    def test_renders_sorted_bars(self):
+        chart = bar_chart({"a": 0.7, "b": 0.3}, "title:")
+        lines = chart.splitlines()
+        assert lines[0] == "title:"
+        assert lines[1].strip().startswith("a")
+        assert "70.0%" in lines[1]
+
+    def test_limit(self):
+        chart = bar_chart({str(i): float(i) for i in range(30)}, limit=5, percent=False)
+        assert len(chart.splitlines()) == 5
+
+    def test_empty(self):
+        assert bar_chart({}, "nothing") == "nothing"
+
+    def test_non_percent_mode(self):
+        chart = bar_chart({"x": 1234.5}, percent=False)
+        assert "1234.50" in chart
+
+
+class TestLineChart:
+    def test_contains_points_and_axes(self):
+        chart = line_chart([(0, 0), (1, 1)], "t:", width=20, height=5)
+        assert "•" in chart
+        assert "t:" in chart
+
+    def test_empty(self):
+        assert line_chart([], "t") == "t"
+
+    def test_cdf_chart(self):
+        chart = cdf_chart([1, 2, 3, 4], "cdf:")
+        assert "P[X<=x]" in chart
+
+    def test_flat_series(self):
+        # A constant series must not divide by zero.
+        chart = line_chart([(0, 5.0), (1, 5.0)])
+        assert "•" in chart
+
+
+class TestComparisonTable:
+    def test_rows(self):
+        table = comparison_table([("m", 0.5, 0.6)], "t")
+        assert "measured" in table and "0.500" in table and "0.600" in table
+
+    def test_empty(self):
+        assert comparison_table([], "t") == "t"
+
+
+class TestCLI:
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table1_command(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "DE': 0.5" in out or "DE': 0.5" in out.replace('"', "'")
+
+    def test_crawl_command(self, capsys):
+        assert main(["crawl", "--servers", "150", "--crawls", "1", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "crawl 0: discovered" in out
+
+    def test_campaign_command_with_export(self, capsys, tmp_path):
+        exit_code = main(
+            [
+                "campaign",
+                "--preset", "smoke",
+                "--servers", "150",
+                "--days", "1",
+                "--seed", "9",
+                "--figures", "crawl_stats", "fig3",
+                "--export", str(tmp_path / "data"),
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "## fig3" in out
+        assert "exported to" in out
+        assert (tmp_path / "data" / "crawls.csv").exists()
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_rejects_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "--figures", "fig99"])

@@ -1,0 +1,115 @@
+"""The Figure-1 end-to-end path: DNSLink site through a gateway."""
+
+import random
+
+import pytest
+
+from repro.dns.records import ResourceRecord, RRType, ZoneRegistry, make_dnslink_txt
+from repro.dns.resolver import Resolver
+from repro.gateway.operators import default_operators, install_gateway_specs
+from repro.gateway.service import GatewayService
+from repro.gateway.web import WebClient
+from repro.ids.cid import CID
+from repro.ipns.resolver import IPNSResolver
+from repro.netsim.network import Overlay
+from repro.world.population import NodeClass, build_world
+from repro.world.profiles import WorldProfile
+
+
+@pytest.fixture(scope="module")
+def web_setup():
+    world = build_world(WorldProfile(online_servers=200, seed=71))
+    install_gateway_specs(world)
+    overlay = Overlay(world)
+    overlay.bootstrap()
+
+    operators = {op.name: op for op in default_operators()}
+    nodes = [
+        node
+        for node in overlay.nodes
+        if node.spec.platform == "cloudflare" and node.spec.node_class is NodeClass.GATEWAY
+    ]
+    service = GatewayService(operators["cloudflare"], nodes, overlay)
+
+    registry = ZoneRegistry()
+    gateway_zone = registry.create_zone("cloudflare-ipfs.com")
+    gateway_zone.add(ResourceRecord("cloudflare-ipfs.com", RRType.A, "9.9.9.9"))
+
+    # Published content, provided by a reachable server.
+    publisher = next(n for n in overlay.online_servers() if n.reachable)
+    site_cid = CID.for_data(b"<html>decentralized-ish</html>")
+    overlay.publish_provider_record(publisher, site_cid)
+
+    # An /ipfs/ site wired via ALIAS to the public gateway.
+    site = registry.create_zone("cool-site.io")
+    site.add(make_dnslink_txt("cool-site.io", site_cid.to_base32(), "ipfs"))
+    site.add(ResourceRecord("cool-site.io", RRType.ALIAS, "cloudflare-ipfs.com."))
+
+    # An /ipns/ site pointing at a mutable name.
+    ipns = IPNSResolver(overlay, random.Random(72))
+    keypair = ipns.generate_keypair()
+    ipns.publish(keypair, site_cid)
+    mutable = registry.create_zone("mutable-site.io")
+    mutable.add(make_dnslink_txt("mutable-site.io", keypair.name.to_string(), "ipns"))
+    mutable.add(ResourceRecord("mutable-site.io", RRType.A, "9.9.9.9"))
+
+    # A site whose DNSLink points at rotten content.
+    rotten = registry.create_zone("rotten-site.io")
+    rotten.add(make_dnslink_txt("rotten-site.io", CID.generate(random.Random(73)).to_base32(), "ipfs"))
+    rotten.add(ResourceRecord("rotten-site.io", RRType.A, "9.9.9.9"))
+
+    # A plain domain without DNSLink.
+    registry.create_zone("plain.io")
+
+    client = WebClient(
+        Resolver(registry),
+        services_by_ip={"9.9.9.9": service},
+        services_by_domain={"cloudflare-ipfs.com": service},
+        ipns=ipns,
+    )
+    return client, site_cid, keypair, ipns
+
+
+class TestFigure1Path:
+    def test_ipfs_site_fetches_end_to_end(self, web_setup):
+        client, site_cid, _, _ = web_setup
+        result = client.fetch("cool-site.io")
+        assert result.ok
+        assert result.cid == site_cid
+        assert result.dnslink_kind == "ipfs"
+        assert result.gateway_domain == "cloudflare-ipfs.com"
+
+    def test_ipns_site_resolves_through_name_layer(self, web_setup):
+        client, site_cid, _, _ = web_setup
+        result = client.fetch("mutable-site.io")
+        assert result.ok
+        assert result.cid == site_cid
+        assert result.dnslink_kind == "ipns"
+
+    def test_ipns_update_changes_served_content(self, web_setup):
+        client, _, keypair, ipns = web_setup
+        new_cid = CID.for_data(b"<html>v2</html>")
+        # v2 must actually be retrievable on the overlay.
+        overlay = ipns.overlay
+        publisher = next(n for n in overlay.online_servers() if n.reachable)
+        overlay.publish_provider_record(publisher, new_cid)
+        ipns.publish(keypair, new_cid)
+        result = client.fetch("mutable-site.io")
+        assert result.ok
+        assert result.cid == new_cid
+
+    def test_nxdomain(self, web_setup):
+        client, _, _, _ = web_setup
+        assert client.fetch("never-registered.io").status == 523
+
+    def test_no_dnslink_is_404(self, web_setup):
+        client, _, _, _ = web_setup
+        result = client.fetch("plain.io")
+        assert result.status == 404
+        assert "no DNSLink" in result.detail
+
+    def test_rotten_content_is_404_from_gateway(self, web_setup):
+        client, _, _, _ = web_setup
+        result = client.fetch("rotten-site.io")
+        assert result.status == 404
+        assert result.cid is not None  # DNSLink resolved; content did not
