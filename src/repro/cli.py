@@ -2,7 +2,10 @@
 
     python -m repro campaign --preset smoke --figures fig3 fig14
     python -m repro campaign --servers 800 --days 4 --export out/
+    python -m repro campaign --storage sqlite:out/logs --figures sec5
     python -m repro crawl --servers 500 --crawls 3
+    python -m repro store stats out/hydra.jsonl --kind hydra
+    python -m repro store convert out/hydra.jsonl out/hydra.sqlite
     python -m repro table1
 
 The CLI is a thin shell over :mod:`repro.scenario`; everything it prints
@@ -13,6 +16,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro import __version__
@@ -74,6 +78,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--render", nargs="*", metavar="FIG", default=[],
         help="render figures as terminal charts (fig3 … fig20)",
     )
+    campaign.add_argument(
+        "--storage", metavar="SPEC", default="memory",
+        help="monitor-log storage spec: memory (default), sqlite:DIR, "
+        "jsonl:DIR, or sharded:N:sqlite:DIR",
+    )
+
+    store = commands.add_parser(
+        "store", help="inspect or convert stored monitor logs"
+    )
+    store_commands = store.add_subparsers(dest="store_command", required=True)
+    stats = store_commands.add_parser("stats", help="summarize a stored log")
+    stats.add_argument("path", help="log file (.jsonl, .sqlite or .db)")
+    stats.add_argument(
+        "--kind", choices=("hydra", "bitswap"), default="hydra",
+        help="which log type the file holds",
+    )
+    convert = store_commands.add_parser(
+        "convert", help="convert a log between storage formats"
+    )
+    convert.add_argument("source", help="existing log file")
+    convert.add_argument("destination", help="target log file (format by suffix)")
+    convert.add_argument(
+        "--kind", choices=("hydra", "bitswap"), default="hydra",
+        help="which log type the files hold",
+    )
 
     crawl = commands.add_parser("crawl", help="crawl a freshly bootstrapped overlay")
     crawl.add_argument("--servers", type=int, default=500)
@@ -106,6 +135,10 @@ def _config_from_args(args) -> ScenarioConfig:
             seed=args.seed,
             profile=dataclasses.replace(config.profile, seed=args.seed),
         )
+    if getattr(args, "storage", "memory") != "memory":
+        import dataclasses
+
+        config = dataclasses.replace(config, storage=args.storage)
     return config
 
 
@@ -170,6 +203,51 @@ def _run_crawl_command(args) -> int:
     return 0
 
 
+def _run_store_command(args) -> int:
+    from repro.store import BITSWAP_CODEC, HYDRA_CODEC, EventLog, open_file_backend
+
+    codec = HYDRA_CODEC if args.kind == "hydra" else BITSWAP_CODEC
+    # Opening a sqlite/jsonl backend creates the file, so a typo'd path
+    # would silently report an empty log; reject missing inputs first.
+    source = args.source if args.store_command == "convert" else args.path
+    if not Path(source).exists():
+        print(f"error: no such log file: {source}", file=sys.stderr)
+        return 2
+    if args.store_command == "convert":
+        from repro.core.datasets import convert_log
+
+        copied = convert_log(args.source, args.destination, codec)
+        print(f"converted {copied} {args.kind} records -> {args.destination}")
+        return 0
+
+    log = EventLog(codec, open_file_backend(args.path))
+    print(f"{args.kind} log at {args.path}: {len(log)} records")
+    if args.kind == "hydra":
+        from repro.core.traffic import summarize_traffic
+
+        summary = summarize_traffic(log)
+        print(f"  unique peer IDs: {len(summary.peerid_volumes)}")
+        print(f"  unique IPs: {len(summary.ip_volumes)}")
+        print(f"  unique CIDs: {summary.unique_cids}")
+        if summary.first_timestamp is not None:
+            span = (summary.last_timestamp - summary.first_timestamp) / 86400.0
+            print(f"  time span: {span:.2f} days")
+        for label, share in sorted(summary.class_shares.items()):
+            print(f"  {label}: {share:.3f}")
+    else:
+        senders = set()
+        ips = set()
+        cids = set()
+        for entry in log:
+            senders.add(entry.sender)
+            ips.add(entry.sender_ip)
+            cids.add(entry.cid)
+        print(f"  unique peer IDs: {len(senders)}")
+        print(f"  unique IPs: {len(ips)}")
+        print(f"  unique CIDs: {len(cids)}")
+    return 0
+
+
 def _run_table1_command() -> int:
     from repro.core.counting import CrawlRow, a_n_counts, g_ip_counts
     from repro.ids.peerid import PeerID
@@ -192,6 +270,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_campaign_command(args)
     if args.command == "crawl":
         return _run_crawl_command(args)
+    if args.command == "store":
+        return _run_store_command(args)
     if args.command == "table1":
         return _run_table1_command()
     return 2  # pragma: no cover - argparse enforces the choices

@@ -19,10 +19,11 @@ from repro.core.crawler import CrawlDataset, CrawlObservation, CrawlSnapshot
 from repro.ids.cid import CID
 from repro.ids.multiaddr import Multiaddr
 from repro.ids.peerid import PeerID
-from repro.kademlia.messages import MessageEnvelope, MessageType
+from repro.kademlia.messages import MessageEnvelope
 from repro.kademlia.providers import ProviderRecord
 from repro.monitors.bitswap_monitor import BitswapLogEntry
 from repro.monitors.provider_fetcher import ProviderObservation
+from repro.store.codecs import BITSWAP_CODEC, HYDRA_CODEC
 
 # ---------------------------------------------------------------------------
 # Crawl datasets (CSV rows + JSONL edges)
@@ -118,82 +119,54 @@ def read_crawl_jsonl(path) -> CrawlDataset:
 # ---------------------------------------------------------------------------
 
 
-def write_hydra_jsonl(log: Iterable[MessageEnvelope], path) -> int:
+def _write_log_jsonl(log: Iterable, codec, path) -> int:
     count = 0
     with open(path, "w") as handle:
         for entry in log:
-            handle.write(
-                json.dumps(
-                    {
-                        "ts": entry.timestamp,
-                        "sender": entry.sender.to_base58(),
-                        "ip": entry.sender_ip,
-                        "type": entry.message_type.value,
-                        "cid": entry.target_cid.to_base32() if entry.target_cid else None,
-                        "via_relay": entry.via_relay.to_base58() if entry.via_relay else None,
-                    }
-                )
-                + "\n"
-            )
+            handle.write(json.dumps(codec.encode(entry)) + "\n")
             count += 1
     return count
+
+
+def _read_log_jsonl(path, codec) -> List:
+    with open(path) as handle:
+        return [codec.decode(json.loads(line)) for line in handle if line.strip()]
+
+
+def write_hydra_jsonl(log: Iterable[MessageEnvelope], path) -> int:
+    return _write_log_jsonl(log, HYDRA_CODEC, path)
 
 
 def read_hydra_jsonl(path) -> List[MessageEnvelope]:
-    entries: List[MessageEnvelope] = []
-    with open(path) as handle:
-        for line in handle:
-            payload = json.loads(line)
-            entries.append(
-                MessageEnvelope(
-                    timestamp=payload["ts"],
-                    sender=PeerID.from_base58(payload["sender"]),
-                    sender_ip=payload["ip"],
-                    message_type=MessageType(payload["type"]),
-                    target_cid=CID.from_base32(payload["cid"]) if payload["cid"] else None,
-                    via_relay=(
-                        PeerID.from_base58(payload["via_relay"])
-                        if payload["via_relay"]
-                        else None
-                    ),
-                )
-            )
-    return entries
+    return _read_log_jsonl(path, HYDRA_CODEC)
 
 
 def write_bitswap_jsonl(log: Iterable[BitswapLogEntry], path) -> int:
-    count = 0
-    with open(path, "w") as handle:
-        for entry in log:
-            handle.write(
-                json.dumps(
-                    {
-                        "ts": entry.timestamp,
-                        "sender": entry.sender.to_base58(),
-                        "ip": entry.sender_ip,
-                        "cid": entry.cid.to_base32(),
-                    }
-                )
-                + "\n"
-            )
-            count += 1
-    return count
+    return _write_log_jsonl(log, BITSWAP_CODEC, path)
 
 
 def read_bitswap_jsonl(path) -> List[BitswapLogEntry]:
-    entries: List[BitswapLogEntry] = []
-    with open(path) as handle:
-        for line in handle:
-            payload = json.loads(line)
-            entries.append(
-                BitswapLogEntry(
-                    timestamp=payload["ts"],
-                    sender=PeerID.from_base58(payload["sender"]),
-                    sender_ip=payload["ip"],
-                    cid=CID.from_base32(payload["cid"]),
-                )
-            )
-    return entries
+    return _read_log_jsonl(path, BITSWAP_CODEC)
+
+
+def convert_log(source_path, destination_path, codec) -> int:
+    """Convert a stored log between backends (by file suffix).
+
+    Streams through the codec, so e.g. a published ``hydra.jsonl`` can be
+    loaded into an indexed ``hydra.sqlite`` (or back) without ever
+    materialising the log in memory.  Returns the records copied.
+    """
+    from repro.store import EventLog, open_file_backend
+
+    source = EventLog(codec, open_file_backend(source_path))
+    destination = EventLog(codec, open_file_backend(destination_path))
+    count = 0
+    for entry in source:
+        destination.append(entry)
+        count += 1
+    destination.close()
+    source.close()
+    return count
 
 
 # ---------------------------------------------------------------------------

@@ -7,6 +7,7 @@ activity they account for.  Shared by the traffic and provider analyses.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Hashable, List, Sequence, Tuple
 
 
@@ -48,7 +49,10 @@ def top_share(volumes: Dict[Hashable, float], fraction: float) -> float:
     total = sum(ordered)
     if total <= 0:
         return 0.0
-    top_count = max(1, round(fraction * len(ordered)))
+    # Ceil (with a float-noise guard), not round: "the top f of actors"
+    # must cover at least f·n of them, otherwise a uniform distribution
+    # would report top_share(f) < f.
+    top_count = max(1, math.ceil(fraction * len(ordered) - 1e-9))
     return sum(ordered[:top_count]) / total
 
 

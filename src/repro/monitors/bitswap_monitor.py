@@ -15,12 +15,16 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import TYPE_CHECKING, Dict, List, Optional, Set
 
 from repro.ids.cid import CID
 from repro.ids.peerid import PeerID
 from repro.netsim.node import Node
 from repro.world.population import NodeClass
+
+if TYPE_CHECKING:  # pragma: no cover - the store imports us for the codec
+    from repro.store.backend import StorageBackend
+    from repro.store.eventlog import EventLog
 
 #: Probability that a node of a class holds a connection to the monitor.
 CONNECTION_PROBABILITY = {
@@ -47,9 +51,17 @@ class BitswapLogEntry:
 class BitswapMonitor:
     """Logs want-have broadcasts from connected peers."""
 
-    def __init__(self, rng: Optional[random.Random] = None) -> None:
+    def __init__(
+        self,
+        rng: Optional[random.Random] = None,
+        store: Optional["StorageBackend"] = None,
+    ) -> None:
+        # Imported here: repro.store's codecs need this module, so a
+        # module-level import would be circular.
+        from repro.store import BITSWAP_CODEC, EventLog
+
         self.rng = rng or random.Random(0xB17)
-        self.log: List[BitswapLogEntry] = []
+        self.log: "EventLog" = EventLog(BITSWAP_CODEC, store)
         self._connected_specs: Dict[int, bool] = {}
 
     def is_connected(self, node: Node) -> bool:
@@ -86,17 +98,11 @@ class BitswapMonitor:
 
         low = day * SECONDS_PER_DAY
         high = low + SECONDS_PER_DAY
-        return {entry.cid for entry in self.log if low <= entry.timestamp < high}
+        return {entry.cid for entry in self.log.window(low, high)}
 
     def cids_in_window(self, start: float, end: float) -> Set[CID]:
         """Distinct CIDs requested in a time window (newest log suffix)."""
-        cids: Set[CID] = set()
-        for entry in reversed(self.log):
-            if entry.timestamp < start:
-                break
-            if entry.timestamp < end:
-                cids.add(entry.cid)
-        return cids
+        return {entry.cid for entry in self.log.window(start, end)}
 
     def sampled_cids_in_window(
         self, start: float, end: float, sample_size: int, rng: Optional[random.Random] = None

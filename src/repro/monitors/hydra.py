@@ -16,27 +16,41 @@ with probability ``heads / servers``; the workload engine asks
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterable, List, Optional
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional
 
 from repro.ids.cid import CID
 from repro.ids.peerid import PeerID
 from repro.kademlia.messages import MessageEnvelope, MessageType, TrafficClass
 
+if TYPE_CHECKING:  # pragma: no cover - the store imports us for the codec
+    from repro.store.backend import StorageBackend
+    from repro.store.eventlog import EventLog
+
 
 class HydraBooster:
-    """A multi-headed DHT server that logs every incoming request."""
+    """A multi-headed DHT server that logs every incoming request.
+
+    The log lives in an :class:`~repro.store.eventlog.EventLog`; pass a
+    ``store`` backend (e.g. from :func:`repro.store.open_backend`) to
+    spill it to disk instead of RAM.
+    """
 
     def __init__(
         self,
         num_heads: int = 20,
         rng: Optional[random.Random] = None,
         cache_ttl: float = 24 * 3600.0,
+        store: Optional["StorageBackend"] = None,
     ) -> None:
+        # Imported here: repro.store's codecs need the monitor modules,
+        # so a module-level import would be circular.
+        from repro.store import HYDRA_CODEC, EventLog
+
         if num_heads < 1:
             raise ValueError("a Hydra needs at least one head")
         self.rng = rng or random.Random(0x47D2A)
         self.heads: List[PeerID] = [PeerID.generate(self.rng) for _ in range(num_heads)]
-        self.log: List[MessageEnvelope] = []
+        self.log: "EventLog" = EventLog(HYDRA_CODEC, store)
         self.cache_ttl = cache_ttl
         #: provider-record cache: CID -> last refresh time.  A miss is what
         #: triggers the proactive lookups of Protocol Labs' hydra fleet.

@@ -41,6 +41,11 @@ class ScenarioConfig:
     #: disable the content workload for crawl-only campaigns (the cheap
     #: way to run the paper's full 38-day / 101-crawl temporal design).
     traffic_enabled: bool = True
+    #: storage spec for the monitor logs (see :mod:`repro.store`):
+    #: ``memory`` (default), or e.g. ``sqlite:out/run1`` / ``jsonl:out/run1``
+    #: / ``sharded:4:sqlite:out/run1`` to spill logs to disk, with the
+    #: path used as a directory holding one log file per monitor.
+    storage: str = "memory"
     seed: int = 2023
 
     @property

@@ -196,13 +196,11 @@ def fig11_report(result: CampaignResult) -> Dict[str, object]:
 
 def fig12_report(result: CampaignResult) -> Dict[str, object]:
     cloud_db = result.world.cloud_db
-    overall = traffic.cloud_traffic_report(result.hydra.log, cloud_db)
-    downloads = traffic.cloud_traffic_report(
-        result.hydra.log, cloud_db, TrafficClass.DOWNLOAD
-    )
-    adverts = traffic.cloud_traffic_report(
-        result.hydra.log, cloud_db, TrafficClass.ADVERTISEMENT
-    )
+    reports = traffic.cloud_traffic_reports_by_class(result.hydra.log, cloud_db)
+    empty = traffic.CloudTrafficReport(0.0, 0.0)
+    overall = reports.get(None, empty)
+    downloads = reports.get(TrafficClass.DOWNLOAD, empty)
+    adverts = reports.get(TrafficClass.ADVERTISEMENT, empty)
     return {
         "overall_cloud_by_ip_count": overall.cloud_share_by_ip_count,
         "download_cloud_by_ip_count": downloads.cloud_share_by_ip_count,

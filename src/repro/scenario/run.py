@@ -33,6 +33,7 @@ from repro.netsim.clock import SECONDS_PER_DAY
 from repro.netsim.network import Overlay
 from repro.netsim.node import Node
 from repro.scenario.config import ScenarioConfig
+from repro.store import campaign_stores
 from repro.world.population import NodeClass, NodeSpec, PopulationBuilder, World
 
 
@@ -93,8 +94,16 @@ class MeasurementCampaign:
         self.rotation = DailyAddressRotation(self.overlay)
         self.rotation.start()
         self.catalog = ContentCatalog(random.Random(config.seed + 101))
-        self.hydra = HydraBooster(num_heads=config.hydra_heads)
-        self.monitor = BitswapMonitor(random.Random(config.seed + 102))
+        stores = campaign_stores(config.storage)
+        for store in stores.values():
+            # A campaign starts at simulated t=0; records left over from a
+            # previous run into the same path would silently skew every
+            # share the analyses compute.
+            store.clear()
+        self.hydra = HydraBooster(num_heads=config.hydra_heads, store=stores["hydra"])
+        self.monitor = BitswapMonitor(
+            random.Random(config.seed + 102), store=stores["bitswap"]
+        )
         self.engine = TrafficEngine(
             self.overlay, self.catalog, self.hydra, self.monitor, config.workload
         )
@@ -225,6 +234,11 @@ class MeasurementCampaign:
         ens_scrape = scraper.scrape()
         ens_fetcher = ProviderRecordFetcher(overlay)
         ens_observations = ens_fetcher.fetch_many(ens_scrape.cids())
+
+        # Disk-backed logs buffer writes; make the stored state complete
+        # before handing the datasets to the analyses.
+        self.hydra.log.flush()
+        self.monitor.log.flush()
 
         return CampaignResult(
             config=config,

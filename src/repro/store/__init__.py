@@ -1,0 +1,153 @@
+"""Storage subsystem: pluggable, shardable event-log backends.
+
+``open_backend`` turns a spec string into a backend::
+
+    memory                      # Python objects in RAM (the default)
+    jsonl:/data/hydra.jsonl     # append-only JSON lines
+    sqlite:/data/hydra.sqlite   # stdlib sqlite3, WAL, indexed timestamps
+    sqlite::memory:             # sqlite without a file
+    sharded:4:sqlite:/data/hydra.sqlite   # round-robin over 4 shards
+
+``campaign_stores`` maps one spec onto the per-log backends a
+measurement campaign needs (treating the spec's path as a directory).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Tuple
+
+from repro.store.backend import (
+    JsonlBackend,
+    MemoryBackend,
+    Record,
+    SqliteBackend,
+    StorageBackend,
+)
+from repro.store.codecs import BITSWAP_CODEC, HYDRA_CODEC, BitswapEntryCodec, HydraMessageCodec
+from repro.store.eventlog import EventLog
+from repro.store.shard import ShardedBackend
+
+__all__ = [
+    "BITSWAP_CODEC",
+    "BitswapEntryCodec",
+    "EventLog",
+    "HYDRA_CODEC",
+    "HydraMessageCodec",
+    "JsonlBackend",
+    "MemoryBackend",
+    "Record",
+    "ShardedBackend",
+    "SqliteBackend",
+    "StorageBackend",
+    "campaign_stores",
+    "copy_records",
+    "open_backend",
+]
+
+#: File suffixes understood by path-based auto-detection.
+_SUFFIX_KINDS = {".jsonl": "jsonl", ".sqlite": "sqlite", ".db": "sqlite"}
+
+
+def _sharded_path(path: str, shard: int) -> str:
+    pure = Path(path)
+    return str(pure.with_name(f"{pure.stem}-shard{shard}{pure.suffix}"))
+
+
+def open_backend(spec: str) -> StorageBackend:
+    """Build a storage backend from a spec string (see module docs)."""
+    kind, _, rest = spec.partition(":")
+    if kind == "memory":
+        if rest:
+            raise ValueError(f"memory backend takes no path: {spec!r}")
+        return MemoryBackend()
+    if kind == "jsonl":
+        if not rest:
+            raise ValueError(f"jsonl backend needs a path: {spec!r}")
+        return JsonlBackend(rest)
+    if kind == "sqlite":
+        if not rest:
+            raise ValueError(f"sqlite backend needs a path or :memory:: {spec!r}")
+        return SqliteBackend(rest)
+    if kind == "sharded":
+        count_text, _, inner = rest.partition(":")
+        try:
+            shards = int(count_text)
+        except ValueError:
+            raise ValueError(f"sharded spec needs a shard count: {spec!r}") from None
+        if shards < 1 or not inner:
+            raise ValueError(f"bad sharded spec: {spec!r}")
+        inner_kind, _, inner_path = inner.partition(":")
+        if inner_kind == "sqlite" and inner_path == ":memory:":
+            return ShardedBackend([SqliteBackend(":memory:") for _ in range(shards)])
+        if inner_kind in ("jsonl", "sqlite") and inner_path:
+            opener = JsonlBackend if inner_kind == "jsonl" else SqliteBackend
+            return ShardedBackend(
+                [opener(_sharded_path(inner_path, i)) for i in range(shards)]
+            )
+        raise ValueError(f"cannot shard backend spec: {inner!r}")
+    raise ValueError(f"unknown storage backend spec: {spec!r}")
+
+
+def open_file_backend(path) -> StorageBackend:
+    """Open an existing log file, picking the backend from its suffix."""
+    suffix = Path(path).suffix.lower()
+    kind = _SUFFIX_KINDS.get(suffix)
+    if kind is None:
+        raise ValueError(
+            f"cannot infer backend from suffix {suffix!r} (expected one of "
+            f"{sorted(_SUFFIX_KINDS)})"
+        )
+    return open_backend(f"{kind}:{path}")
+
+
+def campaign_stores(spec: str, names: Tuple[str, ...] = ("hydra", "bitswap")) -> Dict[str, StorageBackend]:
+    """Per-log backends for a campaign from a single storage spec.
+
+    ``memory`` yields independent in-memory backends; for disk specs the
+    path is a *directory* and each log gets its own file in it, e.g.
+    ``sqlite:out/run1`` → ``out/run1/hydra.sqlite`` and
+    ``out/run1/bitswap.sqlite``.
+    """
+    kind, _, rest = spec.partition(":")
+    if kind == "memory":
+        return {name: MemoryBackend() for name in names}
+    if kind in ("jsonl", "sqlite"):
+        if not rest or rest == ":memory:":
+            if kind == "sqlite" and rest == ":memory:":
+                return {name: SqliteBackend(":memory:") for name in names}
+            raise ValueError(f"campaign storage spec needs a directory: {spec!r}")
+        suffix = "jsonl" if kind == "jsonl" else "sqlite"
+        return {
+            name: open_backend(f"{kind}:{Path(rest) / f'{name}.{suffix}'}")
+            for name in names
+        }
+    if kind == "sharded":
+        count_text, _, inner = rest.partition(":")
+        inner_kind, _, inner_path = inner.partition(":")
+        if inner_kind not in ("jsonl", "sqlite") or not inner_path:
+            raise ValueError(f"bad sharded campaign spec: {spec!r}")
+        suffix = "jsonl" if inner_kind == "jsonl" else "sqlite"
+        return {
+            name: open_backend(
+                f"sharded:{count_text}:{inner_kind}:{Path(inner_path) / f'{name}.{suffix}'}"
+            )
+            for name in names
+        }
+    raise ValueError(f"unknown storage backend spec: {spec!r}")
+
+
+def copy_records(source: StorageBackend, destination: StorageBackend) -> int:
+    """Stream every record from one backend into another; returns count."""
+    copied = 0
+    batch = []
+    for record in source.scan():
+        batch.append(record)
+        copied += 1
+        if len(batch) >= 4096:
+            destination.extend(batch)
+            batch.clear()
+    if batch:
+        destination.extend(batch)
+    destination.flush()
+    return copied

@@ -1,0 +1,279 @@
+"""Pluggable append-only storage backends for event logs.
+
+A campaign's hottest data structures are the monitor logs: the Hydra
+DHT log and the Bitswap log grow by one record per captured message and
+are then scanned (sometimes many times) by the §5 analyses.  The seed
+kept them as Python lists, which caps campaigns at RAM.  A
+:class:`StorageBackend` abstracts the storage so the same
+:class:`~repro.store.eventlog.EventLog` facade can keep records
+
+* in memory (the default — as fast as the original list),
+* in an append-only JSONL file (streaming, human-inspectable, the same
+  format :mod:`repro.core.datasets` publishes), or
+* in a SQLite database (stdlib ``sqlite3``, WAL, batched inserts,
+  indexed timestamps for time-window pushdown).
+
+Backends store flat JSON-compatible dict records; object encoding and
+decoding lives in :mod:`repro.store.codecs`.  All backends preserve
+append order, which the analyses rely on (logs are time-ordered).
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from abc import ABC, abstractmethod
+from itertools import islice
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional
+
+Record = Dict[str, object]
+
+#: Records buffered before a disk backend flushes a batch.
+DEFAULT_BATCH_SIZE = 2048
+
+
+class StorageBackend(ABC):
+    """Append-only ordered record storage."""
+
+    #: True when the backend keeps Python objects verbatim (no codec
+    #: round-trip needed).  Only the in-memory backend does.
+    stores_objects = False
+
+    @abstractmethod
+    def append(self, record: Record) -> None:
+        """Append one record."""
+
+    def extend(self, records: Iterable[Record]) -> None:
+        for record in records:
+            self.append(record)
+
+    @abstractmethod
+    def scan(self) -> Iterator[Record]:
+        """Iterate all records in append order."""
+
+    def scan_reversed(self) -> Iterator[Record]:
+        """Iterate all records newest-first (default: materialises)."""
+        return iter(reversed(list(self.scan())))
+
+    def scan_range(self, start: float, end: float) -> Iterator[Record]:
+        """Records with ``start <= record["ts"] < end`` in append order.
+
+        Backends with a timestamp index push the filter down.
+        """
+        for record in self.scan():
+            ts = record.get("ts")
+            if isinstance(ts, (int, float)) and start <= ts < end:
+                yield record
+
+    def slice(self, start: int, stop: Optional[int]) -> List[Record]:
+        """Records ``start:stop`` (non-negative indices, append order)."""
+        return list(islice(self.scan(), start, stop))
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of records stored (including any unflushed buffer)."""
+
+    def flush(self) -> None:
+        """Persist any buffered records."""
+
+    def close(self) -> None:
+        self.flush()
+
+    def clear(self) -> None:
+        raise NotImplementedError(f"{type(self).__name__} cannot be cleared")
+
+
+class MemoryBackend(StorageBackend):
+    """A plain list — the seed's behaviour, kept as the zero-cost default."""
+
+    stores_objects = True
+
+    def __init__(self) -> None:
+        self.records: List[Record] = []
+
+    def append(self, record: Record) -> None:
+        self.records.append(record)
+
+    def extend(self, records: Iterable[Record]) -> None:
+        self.records.extend(records)
+
+    def scan(self) -> Iterator[Record]:
+        return iter(self.records)
+
+    def scan_reversed(self) -> Iterator[Record]:
+        return reversed(self.records)
+
+    def slice(self, start: int, stop: Optional[int]) -> List[Record]:
+        return self.records[start:stop]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+
+class JsonlBackend(StorageBackend):
+    """Append-only JSON-lines file with a buffered writer.
+
+    Opening an existing file resumes appending to it; the line format is
+    exactly what :mod:`repro.core.datasets` publishes, so a campaign's
+    live log *is* its published dataset.
+    """
+
+    def __init__(self, path, batch_size: int = DEFAULT_BATCH_SIZE) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.batch_size = max(1, batch_size)
+        self._buffer: List[str] = []
+        self._count = 0
+        if self.path.exists():
+            with open(self.path, "rb") as handle:
+                self._count = sum(1 for _ in handle)
+
+    def append(self, record: Record) -> None:
+        self._buffer.append(json.dumps(record))
+        self._count += 1
+        if len(self._buffer) >= self.batch_size:
+            self.flush()
+
+    def scan(self) -> Iterator[Record]:
+        self.flush()
+        with open(self.path) as handle:
+            for line in handle:
+                if line.strip():
+                    yield json.loads(line)
+
+    def scan_reversed(self) -> Iterator[Record]:
+        self.flush()
+        offsets: List[int] = []
+        with open(self.path, "rb") as handle:
+            position = 0
+            for line in handle:
+                offsets.append(position)
+                position += len(line)
+            for offset in reversed(offsets):
+                handle.seek(offset)
+                line = handle.readline().decode()
+                if line.strip():
+                    yield json.loads(line)
+
+    def __len__(self) -> int:
+        return self._count
+
+    def flush(self) -> None:
+        if not self._buffer:
+            return
+        with open(self.path, "a") as handle:
+            handle.write("\n".join(self._buffer) + "\n")
+        self._buffer.clear()
+
+    def clear(self) -> None:
+        self._buffer.clear()
+        self._count = 0
+        if self.path.exists():
+            self.path.unlink()
+
+
+class SqliteBackend(StorageBackend):
+    """SQLite-backed log: one table of ``(seq, ts, payload)`` rows.
+
+    The payload is the JSON record; the timestamp is mirrored into an
+    indexed column so time-window scans are pushed down to the engine.
+    Inserts are buffered and written with ``executemany``.
+    """
+
+    def __init__(
+        self,
+        path=":memory:",
+        table: str = "events",
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> None:
+        self.path = str(path)
+        if not table.replace("_", "").isalnum():
+            raise ValueError(f"invalid table name: {table!r}")
+        self.table = table
+        self.batch_size = max(1, batch_size)
+        self._buffer: List[tuple] = []
+        if self.path != ":memory:":
+            Path(self.path).parent.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(self.path)
+        if self.path != ":memory:":
+            self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.execute(
+            f"CREATE TABLE IF NOT EXISTS {self.table} "
+            "(seq INTEGER PRIMARY KEY AUTOINCREMENT, ts REAL, payload TEXT NOT NULL)"
+        )
+        self._conn.execute(
+            f"CREATE INDEX IF NOT EXISTS {self.table}_ts ON {self.table} (ts)"
+        )
+        self._count = self._conn.execute(
+            f"SELECT COUNT(*) FROM {self.table}"
+        ).fetchone()[0]
+
+    def append(self, record: Record) -> None:
+        ts = record.get("ts")
+        self._buffer.append(
+            (ts if isinstance(ts, (int, float)) else None, json.dumps(record))
+        )
+        self._count += 1
+        if len(self._buffer) >= self.batch_size:
+            self.flush()
+
+    def scan(self) -> Iterator[Record]:
+        self.flush()
+        cursor = self._conn.execute(
+            f"SELECT payload FROM {self.table} ORDER BY seq"
+        )
+        for (payload,) in cursor:
+            yield json.loads(payload)
+
+    def scan_reversed(self) -> Iterator[Record]:
+        self.flush()
+        cursor = self._conn.execute(
+            f"SELECT payload FROM {self.table} ORDER BY seq DESC"
+        )
+        for (payload,) in cursor:
+            yield json.loads(payload)
+
+    def scan_range(self, start: float, end: float) -> Iterator[Record]:
+        self.flush()
+        cursor = self._conn.execute(
+            f"SELECT payload FROM {self.table} WHERE ts >= ? AND ts < ? ORDER BY seq",
+            (start, end),
+        )
+        for (payload,) in cursor:
+            yield json.loads(payload)
+
+    def slice(self, start: int, stop: Optional[int]) -> List[Record]:
+        self.flush()
+        limit = -1 if stop is None else max(0, stop - start)
+        cursor = self._conn.execute(
+            f"SELECT payload FROM {self.table} ORDER BY seq LIMIT ? OFFSET ?",
+            (limit, start),
+        )
+        return [json.loads(payload) for (payload,) in cursor]
+
+    def __len__(self) -> int:
+        return self._count
+
+    def flush(self) -> None:
+        if not self._buffer:
+            return
+        with self._conn:
+            self._conn.executemany(
+                f"INSERT INTO {self.table} (ts, payload) VALUES (?, ?)", self._buffer
+            )
+        self._buffer.clear()
+
+    def close(self) -> None:
+        self.flush()
+        self._conn.close()
+
+    def clear(self) -> None:
+        self._buffer.clear()
+        self._count = 0
+        with self._conn:
+            self._conn.execute(f"DELETE FROM {self.table}")

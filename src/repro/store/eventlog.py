@@ -1,0 +1,117 @@
+"""The typed, list-compatible facade over a storage backend.
+
+The monitors (and everything downstream of them) treat their logs as
+ordered sequences: ``len(log)``, ``log[pos:]``, ``for e in log``,
+``reversed(log)``, ``log.append(e)``.  :class:`EventLog` keeps exactly
+that contract while delegating storage to any
+:class:`~repro.store.backend.StorageBackend` — in memory the objects are
+stored verbatim (zero overhead versus the seed's plain list); on disk
+they round-trip through the log's codec.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+from typing import Iterator, List, Optional
+
+from repro.store.backend import MemoryBackend, StorageBackend
+
+
+class EventLog:
+    """Sequence-like append-only log of typed events."""
+
+    def __init__(self, codec, backend: Optional[StorageBackend] = None) -> None:
+        self.codec = codec
+        self.backend = backend if backend is not None else MemoryBackend()
+        self._native = self.backend.stores_objects
+
+    # -- writes -------------------------------------------------------------
+
+    def append(self, event) -> None:
+        if self._native:
+            self.backend.append(event)
+        else:
+            self.backend.append(self.codec.encode(event))
+
+    def extend(self, events) -> None:
+        if self._native:
+            self.backend.extend(events)
+        else:
+            self.backend.extend(self.codec.encode(event) for event in events)
+
+    # -- reads --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.backend)
+
+    def __iter__(self) -> Iterator:
+        if self._native:
+            return iter(self.backend.scan())
+        return (self.codec.decode(record) for record in self.backend.scan())
+
+    def __reversed__(self) -> Iterator:
+        if self._native:
+            return iter(self.backend.scan_reversed())
+        return (self.codec.decode(record) for record in self.backend.scan_reversed())
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            if index.step not in (None, 1):
+                return list(self)[index]
+            start, stop, _ = index.indices(len(self))
+            rows = self.backend.slice(start, stop)
+            if self._native:
+                return list(rows)
+            return [self.codec.decode(record) for record in rows]
+        length = len(self)
+        if index < 0:
+            index += length
+        if not 0 <= index < length:
+            raise IndexError("EventLog index out of range")
+        rows = self.backend.slice(index, index + 1)
+        if not rows:
+            raise IndexError("EventLog index out of range")
+        return rows[0] if self._native else self.codec.decode(rows[0])
+
+    def window(self, start: float, end: float) -> Iterator:
+        """Events with ``start <= timestamp < end``.
+
+        Disk backends push the filter down to their timestamp index; the
+        in-memory log walks backwards from the tail and stops early,
+        matching the seed's hot loop (logs are append-ordered by time).
+        """
+        if not self._native:
+            return (
+                self.codec.decode(record)
+                for record in self.backend.scan_range(start, end)
+            )
+
+        def backwards() -> Iterator:
+            collected: List = []
+            for event in self.backend.scan_reversed():
+                ts = self.codec.timestamp(event)
+                if ts < start:
+                    break
+                if ts < end:
+                    collected.append(event)
+            return iter(reversed(collected))
+
+        return backwards()
+
+    def tail(self, count: int) -> List:
+        """The newest ``count`` events, oldest-first."""
+        if count <= 0:
+            return []
+        newest = list(islice(self.backend.scan_reversed(), count))
+        if not self._native:
+            newest = [self.codec.decode(record) for record in newest]
+        newest.reverse()
+        return newest
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def flush(self) -> None:
+        self.backend.flush()
+
+    def close(self) -> None:
+        self.backend.close()

@@ -1,0 +1,82 @@
+"""End-to-end: a campaign with disk-backed monitor logs is equivalent
+to the in-memory default."""
+
+import pytest
+
+from repro.core import datasets
+from repro.core.traffic import summarize_traffic, traffic_class_shares
+from repro.scenario.config import ScenarioConfig
+from repro.scenario.run import run_campaign
+from repro.world.profiles import WorldProfile
+
+
+def tiny_config(storage: str) -> ScenarioConfig:
+    return ScenarioConfig(
+        profile=WorldProfile(online_servers=150),
+        days=2,
+        daily_cid_sample=60,
+        provider_fetch_days=1,
+        gateway_probes_per_endpoint=4,
+        storage=storage,
+    )
+
+
+@pytest.fixture(scope="module")
+def memory_result():
+    return run_campaign(tiny_config("memory"))
+
+
+@pytest.fixture(scope="module")
+def sqlite_result(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("campaign-store")
+    return run_campaign(tiny_config(f"sqlite:{directory}"))
+
+
+class TestStorageParity:
+    def test_same_log_sizes(self, memory_result, sqlite_result):
+        assert len(memory_result.hydra.log) == len(sqlite_result.hydra.log) > 0
+        assert (
+            len(memory_result.bitswap_monitor.log)
+            == len(sqlite_result.bitswap_monitor.log)
+            > 0
+        )
+
+    def test_same_log_contents(self, memory_result, sqlite_result):
+        assert memory_result.hydra.log[:100] == sqlite_result.hydra.log[:100]
+        assert (
+            memory_result.bitswap_monitor.log[:100]
+            == sqlite_result.bitswap_monitor.log[:100]
+        )
+
+    def test_same_traffic_analysis(self, memory_result, sqlite_result):
+        assert traffic_class_shares(memory_result.hydra.log) == traffic_class_shares(
+            sqlite_result.hydra.log
+        )
+
+    def test_summary_matches_multi_pass_analysis(self, memory_result):
+        from repro.core import traffic
+
+        log = memory_result.hydra.log
+        summary = summarize_traffic(log)
+        assert summary.total == len(log)
+        assert summary.class_shares == traffic.traffic_class_shares(log)
+        assert dict(summary.peerid_volumes) == traffic.peerid_volumes(log)
+        assert dict(summary.ip_volumes) == traffic.ip_volumes(log)
+
+    def test_single_pass_cloud_reports_match(self, memory_result):
+        from repro.core import traffic
+        from repro.kademlia.messages import TrafficClass
+
+        log = memory_result.hydra.log
+        cloud_db = memory_result.world.cloud_db
+        combined = traffic.cloud_traffic_reports_by_class(log, cloud_db)
+        for traffic_class in (None, TrafficClass.DOWNLOAD, TrafficClass.ADVERTISEMENT):
+            if traffic_class not in combined:
+                continue
+            separate = traffic.cloud_traffic_report(log, cloud_db, traffic_class)
+            assert combined[traffic_class] == separate
+
+    def test_export_works_from_disk_backed_logs(self, sqlite_result, tmp_path):
+        counts = datasets.export_campaign(sqlite_result, tmp_path / "out")
+        assert counts["hydra_messages"] == len(sqlite_result.hydra.log)
+        assert counts["bitswap_messages"] == len(sqlite_result.bitswap_monitor.log)
