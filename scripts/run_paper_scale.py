@@ -5,10 +5,14 @@ gigabytes of RAM.  The default bench scale (see benchmarks/conftest.py)
 reproduces every share-level result in minutes; run this only to verify
 absolute counts at the paper's dimensions.
 
-Usage: python scripts/run_paper_scale.py [output_dir]
+``--workers N`` fans the 101 DHT crawls out over N worker processes
+(see repro.exec); the datasets are bit-identical at any worker count.
+
+Usage: python scripts/run_paper_scale.py [output_dir] [--workers N]
 """
 
-import sys
+import argparse
+import dataclasses
 import time
 from pathlib import Path
 
@@ -19,18 +23,33 @@ from repro.scenario.report import full_report
 
 
 def main() -> None:
-    out_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("paper_scale_output")
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "output_dir", nargs="?", default="paper_scale_output", type=Path
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the crawl phase (same results at any count)",
+    )
+    args = parser.parse_args()
+
     config = ScenarioConfig.paper_scale()
+    if args.workers > 1:
+        config = dataclasses.replace(config, workers=args.workers)
     print(
         f"paper-scale campaign: {config.profile.online_servers} online servers, "
         f"{config.days} days, {config.num_crawls} crawls, "
-        f"{config.daily_cid_sample} CIDs sampled per day"
+        f"{config.daily_cid_sample} CIDs sampled per day, "
+        f"{config.workers} crawl worker(s)"
     )
     started = time.time()
     result = run_campaign(config)
     print(f"campaign finished in {(time.time() - started) / 3600:.1f} h")
+    for error in result.exec_errors:
+        print(f"warning: {error}")
 
     report = full_report(result, resilience_reps=10)
+    out_dir = args.output_dir
     out_dir.mkdir(parents=True, exist_ok=True)
     import json
 

@@ -3,6 +3,8 @@
     python -m repro campaign --preset smoke --figures fig3 fig14
     python -m repro campaign --servers 800 --days 4 --export out/
     python -m repro campaign --storage sqlite:out/logs --figures sec5
+    python -m repro campaign --preset paper-horizon --workers 4
+    python -m repro sweep --seeds 1 2 3 --servers 300 500 --workers 4
     python -m repro crawl --servers 500 --crawls 3
     python -m repro store stats out/hydra.jsonl --kind hydra
     python -m repro store convert out/hydra.jsonl out/hydra.sqlite
@@ -83,6 +85,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="monitor-log storage spec: memory (default), sqlite:DIR, "
         "jsonl:DIR, or sharded:N:sqlite:DIR",
     )
+    campaign.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the crawl phase (same results at any count)",
+    )
+
+    sweep = commands.add_parser(
+        "sweep", help="run a grid of campaign configs, one worker process each"
+    )
+    sweep.add_argument(
+        "--preset", choices=("smoke", "default", "paper-horizon"), default="smoke"
+    )
+    sweep.add_argument(
+        "--servers", type=int, nargs="*", default=[],
+        help="online-server axis of the grid",
+    )
+    sweep.add_argument(
+        "--seeds", type=int, nargs="*", default=[],
+        help="seed axis of the grid",
+    )
+    sweep.add_argument(
+        "--days", type=int, nargs="*", default=[],
+        help="measurement-days axis of the grid",
+    )
+    sweep.add_argument("--workers", type=int, default=1, help="concurrent campaigns")
+    sweep.add_argument(
+        "--storage", metavar="SPEC", default=None,
+        help="disk storage spec; each campaign gets its own task-N subdirectory",
+    )
+    sweep.add_argument(
+        "--full-reports", action="store_true",
+        help="compute every figure report inside each worker (slower)",
+    )
+    sweep.add_argument("--json", metavar="PATH", help="write all summaries as JSON")
 
     store = commands.add_parser(
         "store", help="inspect or convert stored monitor logs"
@@ -135,10 +170,14 @@ def _config_from_args(args) -> ScenarioConfig:
             seed=args.seed,
             profile=dataclasses.replace(config.profile, seed=args.seed),
         )
-    if getattr(args, "storage", "memory") != "memory":
+    if getattr(args, "storage", "memory") not in (None, "memory"):
         import dataclasses
 
         config = dataclasses.replace(config, storage=args.storage)
+    if getattr(args, "workers", 1) > 1:
+        import dataclasses
+
+        config = dataclasses.replace(config, workers=args.workers)
     return config
 
 
@@ -163,6 +202,8 @@ def _run_campaign_command(args) -> int:
         f"{config.days} days, {config.num_crawls} crawls..."
     )
     result = run_campaign(config)
+    for error in result.exec_errors:
+        print(f"warning: {error}", file=sys.stderr)
     for figure in args.figures:
         _print_report(figure, _REPORT_FUNCTIONS[figure](result))
     if args.render:
@@ -179,6 +220,53 @@ def _run_campaign_command(args) -> int:
         for artifact, count in counts.items():
             print(f"  {artifact}: {count}")
     return 0
+
+
+def _run_sweep_command(args) -> int:
+    from repro.exec.sweep import run_sweep, sweep_grid
+
+    if args.preset == "smoke":
+        base = ScenarioConfig.smoke()
+    elif args.preset == "paper-horizon":
+        base = ScenarioConfig.paper_horizon()
+    else:
+        base = ScenarioConfig()
+    configs = sweep_grid(base, servers=args.servers, seeds=args.seeds, days=args.days)
+    print(
+        f"sweep: {len(configs)} campaign(s), {args.workers} worker(s), "
+        f"preset {args.preset}"
+    )
+    outcome = run_sweep(
+        configs,
+        workers=args.workers,
+        full_reports=args.full_reports,
+        storage_spec=args.storage,
+    )
+    header = f"{'servers':>8} {'days':>5} {'seed':>6} {'crawls':>7} {'discovered':>11} {'an_cloud':>9} {'gip_cloud':>10} {'dht_msgs':>9}"
+    print(header)
+    for config, summary in zip(outcome.configs, outcome.summaries):
+        if summary is None:
+            print(
+                f"{config.profile.online_servers:>8} {config.days:>5} "
+                f"{config.seed:>6}  FAILED"
+            )
+            continue
+        stats = summary["crawl_stats"]
+        print(
+            f"{summary['servers']:>8} {summary['days']:>5} {summary['seed']:>6} "
+            f"{int(stats['num_crawls']):>7} {stats['avg_discovered']:>11.1f} "
+            f"{summary['an_cloud_share']:>9.3f} {summary['gip_cloud_share']:>10.3f} "
+            f"{summary['dht_messages']:>9}"
+        )
+    for error in outcome.errors:
+        print(f"error: {error}", file=sys.stderr)
+    if args.json:
+        import json
+
+        with open(args.json, "w") as handle:
+            json.dump(outcome.summaries, handle, default=str, indent=2)
+        print(f"summaries written to {args.json}")
+    return 1 if outcome.num_failed else 0
 
 
 def _run_crawl_command(args) -> int:
@@ -268,6 +356,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "campaign":
         return _run_campaign_command(args)
+    if args.command == "sweep":
+        return _run_sweep_command(args)
     if args.command == "crawl":
         return _run_crawl_command(args)
     if args.command == "store":

@@ -7,16 +7,31 @@ every connectable peer it sweeps each k-bucket with a crafted key and
 unions the responses, yielding the peer's complete outbound DHT view.
 Unconnectable peers remain in the snapshot as discovered-but-uncrawlable
 leaves.
+
+The crawl itself is factored into two halves so that repeated crawls can
+run on a process pool (see :mod:`repro.exec`):
+
+* :func:`freeze_crawl_task` captures the overlay state a crawl can
+  observe into a compact, picklable :class:`CrawlTask` (peers are
+  interned to integer indices; only digests, DHT keys, addresses,
+  dialability and routing-table edges travel);
+* :func:`execute_crawl_task` is a *pure function* of that task.  All
+  randomness comes from the task's own derived seed, and every internal
+  set holds ``int`` indices (whose iteration order, unlike ``bytes``
+  hashes, does not depend on ``PYTHONHASHSEED``), so the resulting
+  snapshot is bit-identical no matter which process executes it.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
 import random
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
+from repro.exec.seeds import derive_seed
 from repro.ids.keys import KEY_BITS, random_key_in_bucket
 from repro.ids.peerid import PeerID
 from repro.netsim.network import Overlay
@@ -76,6 +91,19 @@ class CrawlDataset:
     def add(self, snapshot: CrawlSnapshot) -> None:
         self.snapshots.append(snapshot)
 
+    @classmethod
+    def merge(cls, shards: Iterable[Sequence[CrawlSnapshot]]) -> "CrawlDataset":
+        """K-way merge of per-worker snapshot shards into crawl order.
+
+        Each shard must be internally ordered by ``crawl_id`` (true for
+        any worker that processed tasks in submission order); the merge
+        then restores the global campaign order exactly, mirroring the
+        sequence-number heap-merge of
+        :class:`repro.store.shard.ShardedBackend`.
+        """
+        merged = heapq.merge(*shards, key=lambda snapshot: snapshot.crawl_id)
+        return cls(snapshots=list(merged))
+
     def rows(self) -> Iterator[Tuple[int, PeerID, str]]:
         for snapshot in self.snapshots:
             yield from snapshot.peer_ip_rows()
@@ -117,8 +145,201 @@ class CrawlDataset:
         return sum(len(ips) for ips in per_peer.values()) / len(per_peer)
 
 
+# ---------------------------------------------------------------------------
+# the pure crawl task
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CrawlTask:
+    """Everything one crawl can observe, frozen into picklable plain data.
+
+    Peers are interned: index ``i`` everywhere refers to the peer with
+    digest ``peer_digests[i]`` and Kademlia key ``dht_keys[i]``.
+    """
+
+    crawl_id: int
+    #: per-crawl derived seed (never shared RNG state).
+    seed: int
+    started_at: float
+    timeout: float
+    bootstrap_size: int
+    k: int
+    #: online DHT-server count at freeze time (drives the sweep depth).
+    oracle_size: int
+    peer_digests: Tuple[bytes, ...]
+    dht_keys: Tuple[int, ...]
+    #: last-announced non-circuit IPs per peer (stale peers keep theirs).
+    ips: Tuple[Tuple[str, ...], ...]
+    #: online DHT servers: index -> (reachable, response latency).
+    servers: Dict[int, Tuple[bool, float]]
+    #: routing-table contents of every online DHT server.
+    tables: Dict[int, Tuple[int, ...]]
+    #: bootstrap candidates: stable (platform) servers, and all servers.
+    stable_pool: Tuple[int, ...]
+    server_pool: Tuple[int, ...]
+
+
+def freeze_crawl_task(
+    overlay: Overlay,
+    crawl_id: int,
+    *,
+    seed: int,
+    timeout: float = DEFAULT_TIMEOUT,
+    bootstrap_size: int = 8,
+) -> CrawlTask:
+    """Capture the crawl-observable overlay state at the current instant.
+
+    Pure read — the overlay is not mutated and no shared RNG is drawn,
+    so freezing is insensitive to how many crawls ran before.
+    """
+    index_of: Dict[PeerID, int] = {}
+    peers: List[PeerID] = []
+
+    def intern(peer: PeerID) -> int:
+        index = index_of.get(peer)
+        if index is None:
+            index = len(peers)
+            index_of[peer] = index
+            peers.append(peer)
+        return index
+
+    servers: Dict[int, Tuple[bool, float]] = {}
+    tables: Dict[int, Tuple[int, ...]] = {}
+    stable_pool: List[int] = []
+    server_pool: List[int] = []
+    for node in overlay.online_by_peer.values():
+        if not node.is_dht_server:
+            continue
+        index = intern(node.peer)
+        server_pool.append(index)
+        if node.spec.platform is not None:
+            stable_pool.append(index)
+        servers[index] = (node.reachable, node.response_latency)
+        table = node.routing_table
+        tables[index] = (
+            tuple(intern(peer) for peer in table.peers()) if table is not None else ()
+        )
+
+    # ``peers`` keeps growing while tables intern stale entries, so the
+    # address pass runs over the final interning.
+    ips: List[Tuple[str, ...]] = []
+    for peer in peers:
+        info = overlay._last_infos.get(peer)
+        if info is None:
+            ips.append(())
+        else:
+            ips.append(
+                tuple(sorted({addr.ip for addr in info.addrs if not addr.is_circuit}))
+            )
+
+    return CrawlTask(
+        crawl_id=crawl_id,
+        seed=seed,
+        started_at=overlay.now,
+        timeout=timeout,
+        bootstrap_size=bootstrap_size,
+        k=overlay.k,
+        oracle_size=len(overlay.oracle),
+        peer_digests=tuple(peer.digest for peer in peers),
+        dht_keys=tuple(peer.dht_key for peer in peers),
+        ips=tuple(ips),
+        servers=servers,
+        tables=tables,
+        stable_pool=tuple(stable_pool),
+        server_pool=tuple(server_pool),
+    )
+
+
+def execute_crawl_task(task: CrawlTask) -> CrawlSnapshot:
+    """Run one crawl as a pure function of its frozen task.
+
+    BFS and bucket sweeps operate entirely on integer peer indices;
+    :class:`PeerID` objects are only materialised for the final snapshot.
+    """
+    rng = random.Random(task.seed)
+    keys = task.dht_keys
+    pool = (
+        task.stable_pool
+        if len(task.stable_pool) >= task.bootstrap_size
+        else task.server_pool
+    )
+    bootstrap = rng.sample(pool, min(task.bootstrap_size, len(pool))) if pool else []
+
+    queue = deque(bootstrap)
+    seen: Set[int] = set(bootstrap)
+    #: index -> crawlable, in BFS discovery order.
+    observations: Dict[int, bool] = {}
+    edges: Dict[int, Tuple[int, ...]] = {}
+    requests_sent = 0
+    responsive_work = 0.0
+    had_unresponsive = False
+    depth = int(math.log2(max(task.oracle_size, 2))) + 6
+
+    while queue:
+        index = queue.popleft()
+        requests_sent += 1
+        server = task.servers.get(index)
+        if server is None or not server[0] or server[1] > task.timeout:
+            had_unresponsive = True
+            observations[index] = False
+            continue
+        responsive_work += server[1]
+        own_key = keys[index]
+        table = task.tables.get(index, ())
+        neighbors: Set[int] = set()
+        previous_size = -1
+        for bucket_idx in range(min(depth, KEY_BITS)):
+            crafted = random_key_in_bucket(own_key, bucket_idx, rng)
+            for neighbor in sorted(table, key=lambda t: keys[t] ^ crafted)[: task.k]:
+                neighbors.add(neighbor)
+            if len(neighbors) == previous_size and bucket_idx > depth - 4:
+                break
+            previous_size = len(neighbors)
+        neighbors.discard(index)
+        requests_sent += max(1, len(neighbors) // task.k)
+        observations[index] = True
+        edges[index] = tuple(neighbors)
+        for neighbor in edges[index]:
+            if neighbor not in seen:
+                seen.add(neighbor)
+                queue.append(neighbor)
+
+    snapshot = CrawlSnapshot(crawl_id=task.crawl_id, started_at=task.started_at)
+    peer_cache: Dict[int, PeerID] = {}
+
+    def peer_at(index: int) -> PeerID:
+        peer = peer_cache.get(index)
+        if peer is None:
+            peer = PeerID(task.peer_digests[index])
+            peer_cache[index] = peer
+        return peer
+
+    for index, crawlable in observations.items():
+        peer = peer_at(index)
+        snapshot.observations[peer] = CrawlObservation(peer, task.ips[index], crawlable)
+    for index, neighbor_indices in edges.items():
+        snapshot.edges[peer_at(index)] = tuple(
+            peer_at(neighbor) for neighbor in neighbor_indices
+        )
+    snapshot.requests_sent = requests_sent
+    # Duration model: responsive work spreads over the worker pool; the
+    # final worker batch waits out one full timeout on unresponsive
+    # peers (matching the paper's "latter half spent waiting").
+    snapshot.duration = responsive_work / CRAWL_PARALLELISM + (
+        task.timeout if had_unresponsive else 0.0
+    )
+    return snapshot
+
+
 class DHTCrawler:
-    """Crawls the simulated overlay exactly like the trudi-group crawler."""
+    """Crawls the simulated overlay exactly like the trudi-group crawler.
+
+    Every crawl draws from its own RNG stream derived as
+    ``derive_seed(root_seed, crawl_id)``, so crawl ``i`` is independent
+    of how many crawls ran before it — the property that lets a campaign
+    fan crawls out over worker processes without changing the science.
+    """
 
     def __init__(
         self,
@@ -126,71 +347,34 @@ class DHTCrawler:
         timeout: float = DEFAULT_TIMEOUT,
         bootstrap_size: int = 8,
         rng: Optional[random.Random] = None,
+        seed: Optional[int] = None,
     ) -> None:
         self.overlay = overlay
         self.timeout = timeout
         self.bootstrap_size = bootstrap_size
-        self.rng = rng or random.Random(overlay.world.profile.seed + 9)
+        if seed is None:
+            # Back-compat: callers that passed an rng get a root seed
+            # drawn from it once; the default ties to the world seed.
+            seed = (
+                rng.getrandbits(64)
+                if rng is not None
+                else overlay.world.profile.seed + 9
+            )
+        self.seed = seed
 
-    def _bootstrap_peers(self) -> List[PeerID]:
-        servers = self.overlay.online_servers()
-        if not servers:
-            return []
-        # Bootstrap via stable, well-known nodes when available.
-        stable = [node for node in servers if node.spec.platform is not None]
-        pool = stable if len(stable) >= self.bootstrap_size else servers
-        sample = self.rng.sample(pool, min(self.bootstrap_size, len(pool)))
-        return [node.peer for node in sample]
-
-    def _sweep_buckets(self, peer: PeerID, node) -> Set[PeerID]:
-        """Enumerate the target's table with crafted per-bucket keys."""
-        own_key = peer.dht_key
-        depth = int(math.log2(max(len(self.overlay.oracle), 2))) + 6
-        neighbors: Set[PeerID] = set()
-        previous_size = -1
-        for bucket_idx in range(min(depth, KEY_BITS)):
-            crafted = random_key_in_bucket(own_key, bucket_idx, self.rng)
-            for info in node.handle_find_node(crafted, self.overlay.k):
-                neighbors.add(info.peer)
-            if len(neighbors) == previous_size and bucket_idx > depth - 4:
-                break
-            previous_size = len(neighbors)
-        neighbors.discard(peer)
-        return neighbors
+    def task(self, crawl_id: int) -> CrawlTask:
+        """Freeze the crawl task for ``crawl_id`` at the current instant."""
+        return freeze_crawl_task(
+            self.overlay,
+            crawl_id,
+            seed=derive_seed(self.seed, "crawl", crawl_id),
+            timeout=self.timeout,
+            bootstrap_size=self.bootstrap_size,
+        )
 
     def crawl(self, crawl_id: int) -> CrawlSnapshot:
         """One snapshot: BFS from the bootstrap peers."""
-        snapshot = CrawlSnapshot(crawl_id=crawl_id, started_at=self.overlay.now)
-        queue = deque(self._bootstrap_peers())
-        seen: Set[PeerID] = set(queue)
-        responsive_work = 0.0
-        had_unresponsive = False
-        while queue:
-            peer = queue.popleft()
-            infos = self.overlay.peer_infos([peer])
-            ips = tuple(sorted({addr.ip for addr in infos[0].addrs if not addr.is_circuit}))
-            node = self.overlay.dial(peer, self.timeout)
-            snapshot.requests_sent += 1
-            if node is None:
-                had_unresponsive = True
-                snapshot.observations[peer] = CrawlObservation(peer, ips, crawlable=False)
-                continue
-            responsive_work += node.response_latency
-            neighbors = self._sweep_buckets(peer, node)
-            snapshot.requests_sent += max(1, len(neighbors) // self.overlay.k)
-            snapshot.observations[peer] = CrawlObservation(peer, ips, crawlable=True)
-            snapshot.edges[peer] = tuple(neighbors)
-            for neighbor in neighbors:
-                if neighbor not in seen:
-                    seen.add(neighbor)
-                    queue.append(neighbor)
-        # Duration model: responsive work spreads over the worker pool; the
-        # final worker batch waits out one full timeout on unresponsive
-        # peers (matching the paper's "latter half spent waiting").
-        snapshot.duration = responsive_work / CRAWL_PARALLELISM + (
-            self.timeout if had_unresponsive else 0.0
-        )
-        return snapshot
+        return execute_crawl_task(self.task(crawl_id))
 
     def campaign(
         self, num_crawls: int, interval_seconds: float, run_between=None

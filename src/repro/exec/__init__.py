@@ -1,0 +1,22 @@
+"""Parallel execution engine (process pool + deterministic seeding).
+
+The subsystem has three layers:
+
+* :mod:`repro.exec.seeds` — per-task seed derivation; the contract that
+  makes ``workers=1`` and ``workers=N`` bit-identical.
+* :mod:`repro.exec.engine` — the process-pool engine with inline
+  fallback, retries and structured :class:`ExecError` reporting.
+* :mod:`repro.exec.sweep` — multi-config campaign sweeps built on the
+  engine (imported explicitly; it pulls in the whole scenario stack).
+"""
+
+from repro.exec.engine import ExecError, ParallelExecutor, run_tasks
+from repro.exec.seeds import derive_rng, derive_seed
+
+__all__ = [
+    "ExecError",
+    "ParallelExecutor",
+    "derive_rng",
+    "derive_seed",
+    "run_tasks",
+]

@@ -46,6 +46,12 @@ class ScenarioConfig:
     #: / ``sharded:4:sqlite:out/run1`` to spill logs to disk, with the
     #: path used as a directory holding one log file per monitor.
     storage: str = "memory"
+    #: worker processes for the crawl phase (see :mod:`repro.exec`).
+    #: ``1`` runs everything inline; any value produces bit-identical
+    #: datasets because every crawl derives its own seed.  Disk-backed
+    #: monitor logs are automatically sharded ``workers`` ways (merged
+    #: back through the order-preserving ShardedBackend heap-merge).
+    workers: int = 1
     seed: int = 2023
 
     @property

@@ -15,7 +15,8 @@ from typing import Dict, List, Optional, Set
 
 from repro.content.catalog import ContentCatalog
 from repro.content.workload import TrafficEngine
-from repro.core.crawler import CrawlDataset, DHTCrawler
+from repro.core.crawler import CrawlDataset, DHTCrawler, execute_crawl_task
+from repro.exec.engine import ExecError, ParallelExecutor
 from repro.dns.scanner import ActiveScanner, DNSLinkScanResult
 from repro.dns.seeding import DNSWorld, seed_dns_world
 from repro.ens.scraper import ENSContenthashScraper, ENSScrapeResult
@@ -58,6 +59,9 @@ class CampaignResult:
     ens_observations: List[ProviderObservation]
     gateway_peers: Set[PeerID]
     hydra_peers: Set[PeerID]
+    #: crawl tasks that failed even after a retry (empty on clean runs);
+    #: their snapshots are missing from ``crawls``.
+    exec_errors: List[ExecError] = field(default_factory=list)
 
     @property
     def crawl_rows(self):
@@ -94,7 +98,7 @@ class MeasurementCampaign:
         self.rotation = DailyAddressRotation(self.overlay)
         self.rotation.start()
         self.catalog = ContentCatalog(random.Random(config.seed + 101))
-        stores = campaign_stores(config.storage)
+        stores = campaign_stores(config.storage, workers=config.workers)
         for store in stores.values():
             # A campaign starts at simulated t=0; records left over from a
             # previous run into the same path would silently skew every
@@ -171,7 +175,6 @@ class MeasurementCampaign:
             persistent_items=persistent_items,
         )
 
-        crawl_dataset = CrawlDataset()
         provider_observations: List[ProviderObservation] = []
         crawl_interval = SECONDS_PER_DAY / config.crawls_per_day
         warmup = config.warmup_days
@@ -180,6 +183,14 @@ class MeasurementCampaign:
         total_days = warmup + config.days
         fetch_from_day = total_days - config.provider_fetch_days
         tick_seconds = SECONDS_PER_DAY / config.ticks_per_day
+
+        # Crawls fan out over the execution engine: the sim loop freezes
+        # each crawl's observable state (a cheap pure read) and the BFS
+        # bucket sweeps — the expensive part — run on worker processes
+        # while the simulation advances.  ``workers=1`` executes the
+        # identical pure function inline, so the dataset is bit-identical
+        # either way (each crawl's randomness is derived, never shared).
+        crawl_engine = ParallelExecutor(workers=config.workers, retries=1)
 
         for day in range(total_days):
             self.catalog.build_day_index(day)
@@ -192,7 +203,9 @@ class MeasurementCampaign:
                     and overlay.now >= next_crawl
                     and crawl_id < config.num_crawls
                 ):
-                    crawl_dataset.add(self.crawler.crawl(crawl_id))
+                    crawl_engine.submit(
+                        crawl_id, execute_crawl_task, self.crawler.task(crawl_id)
+                    )
                     crawl_id += 1
                     next_crawl += crawl_interval
                 tick_start = overlay.now
@@ -208,6 +221,12 @@ class MeasurementCampaign:
                     )
                     provider_observations.extend(self.fetcher.fetch_many(sampled))
                 overlay.scheduler.run_until(day * SECONDS_PER_DAY + (tick + 1) * tick_seconds)
+
+        crawl_results, exec_errors = crawl_engine.drain()
+        crawl_engine.close()
+        crawl_dataset = CrawlDataset(
+            snapshots=[crawl_results[i] for i in sorted(crawl_results)]
+        )
 
         # Provider records expire after 24 h; refresh them so the one-shot
         # entry-point measurements below resolve live content.
@@ -262,6 +281,7 @@ class MeasurementCampaign:
                 for node in overlay.nodes
                 if node.spec.platform == "hydra" and node.peer is not None
             },
+            exec_errors=exec_errors,
         )
 
     def _seed_persistent_user_content(self, count: int):

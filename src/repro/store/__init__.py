@@ -43,6 +43,7 @@ __all__ = [
     "campaign_stores",
     "copy_records",
     "open_backend",
+    "task_storage_spec",
 ]
 
 #: File suffixes understood by path-based auto-detection.
@@ -101,15 +102,56 @@ def open_file_backend(path) -> StorageBackend:
     return open_backend(f"{kind}:{path}")
 
 
-def campaign_stores(spec: str, names: Tuple[str, ...] = ("hydra", "bitswap")) -> Dict[str, StorageBackend]:
+def task_storage_spec(spec: str, task: object) -> str:
+    """Rebase a campaign storage spec into a per-task subdirectory.
+
+    A sweep runs many campaigns against one storage spec; writing them
+    all into the same directory would interleave unrelated logs.  Each
+    task therefore gets ``<dir>/task-<id>``::
+
+        task_storage_spec("sqlite:out/run", 3)  ->  "sqlite:out/run/task-3"
+
+    ``memory`` passes through unchanged (nothing to collide on).
+    """
+    kind, _, rest = spec.partition(":")
+    if kind == "memory":
+        return spec
+    if kind == "sharded":
+        count_text, _, inner = rest.partition(":")
+        inner_kind, _, inner_path = inner.partition(":")
+        if inner_kind not in ("jsonl", "sqlite") or not inner_path or inner_path == ":memory:":
+            raise ValueError(f"cannot rebase storage spec per task: {spec!r}")
+        return f"sharded:{count_text}:{inner_kind}:{Path(inner_path) / f'task-{task}'}"
+    if kind in ("jsonl", "sqlite") and rest and rest != ":memory:":
+        return f"{kind}:{Path(rest) / f'task-{task}'}"
+    raise ValueError(f"cannot rebase storage spec per task: {spec!r}")
+
+
+def campaign_stores(
+    spec: str, names: Tuple[str, ...] = ("hydra", "bitswap"), workers: int = 1
+) -> Dict[str, StorageBackend]:
     """Per-log backends for a campaign from a single storage spec.
 
     ``memory`` yields independent in-memory backends; for disk specs the
     path is a *directory* and each log gets its own file in it, e.g.
     ``sqlite:out/run1`` → ``out/run1/hydra.sqlite`` and
     ``out/run1/bitswap.sqlite``.
+
+    ``workers > 1`` shards each disk-backed log ``workers`` ways (one
+    file per worker slot); readers see the single ordered log through
+    the :class:`~repro.store.shard.ShardedBackend` heap-merge, so a
+    parallel campaign's stored state is indistinguishable from a serial
+    one.  Already-sharded and in-memory specs are left untouched.
     """
     kind, _, rest = spec.partition(":")
+    if (
+        workers > 1
+        and kind in ("jsonl", "sqlite")
+        and rest
+        and rest != ":memory:"
+    ):
+        spec = f"sharded:{workers}:{spec}"
+        kind, _, rest = spec.partition(":")
     if kind == "memory":
         return {name: MemoryBackend() for name in names}
     if kind in ("jsonl", "sqlite"):

@@ -34,6 +34,20 @@ class TestDeterminism:
         snap_a = first.crawls.snapshots[0]
         snap_b = second.crawls.snapshots[0]
         assert set(snap_a.observations) == set(snap_b.observations)
+        assert snap_a.edges == snap_b.edges
+        assert snap_a.requests_sent == snap_b.requests_sent
+
+    def test_crawl_rng_is_derived_per_crawl(self, twin_campaigns):
+        """Crawl ``i`` draws from ``derive_seed(seed, "crawl", i)``, not a
+        shared RNG stream — the invariant that makes the determinism above
+        hold at any worker count (see test_parallel_determinism)."""
+        from repro.core.crawler import DHTCrawler
+        from repro.exec.seeds import derive_seed
+
+        first, _ = twin_campaigns
+        crawler = DHTCrawler(first.overlay, seed=123)
+        for crawl_id in (0, 5):
+            assert crawler.task(crawl_id).seed == derive_seed(123, "crawl", crawl_id)
 
     def test_logs_identical(self, twin_campaigns):
         first, second = twin_campaigns

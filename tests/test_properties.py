@@ -5,6 +5,8 @@ import random
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.exec.seeds import derive_seed
+from repro.ids import encoding, keys
 from repro.ids.cid import CID
 from repro.ids.multiaddr import Multiaddr
 from repro.ids.peerid import PeerID
@@ -178,3 +180,148 @@ class TestIdentifierProperties:
         if peer != relay:
             circuit = Multiaddr.circuit("10.9.9.9", 4001, relay, peer)
             assert Multiaddr.parse(str(circuit)) == circuit
+
+
+class TestEncodingProperties:
+    """Round-trip laws for the raw base58/base32 codecs."""
+
+    @settings(max_examples=60)
+    @given(st.binary(max_size=64))
+    def test_base58_roundtrip(self, data):
+        assert encoding.base58_decode(encoding.base58_encode(data)) == data
+
+    @settings(max_examples=60)
+    @given(st.binary(max_size=64))
+    def test_base32_roundtrip(self, data):
+        assert encoding.base32_decode(encoding.base32_encode(data)) == data
+
+    @settings(max_examples=40)
+    @given(st.integers(min_value=0, max_value=16), st.binary(max_size=16))
+    def test_base58_preserves_leading_zeros(self, zeros, tail):
+        data = b"\x00" * zeros + tail
+        assert encoding.base58_decode(encoding.base58_encode(data)) == data
+
+    def test_invalid_characters_rejected(self):
+        for bad in ("0OIl", "not base58 at all!"):
+            with pytest.raises(ValueError):
+                encoding.base58_decode(bad)
+        with pytest.raises(ValueError):
+            encoding.base32_decode("b01189!")
+
+
+KEYS = st.integers(min_value=0, max_value=keys.KEY_SPACE - 1)
+
+
+class TestXorMetricProperties:
+    """Metric-space axioms of the Kademlia XOR distance."""
+
+    @settings(max_examples=60)
+    @given(KEYS, KEYS, KEYS)
+    def test_metric_axioms(self, a, b, c):
+        assert keys.xor_distance(a, a) == 0
+        assert (keys.xor_distance(a, b) == 0) == (a == b)
+        assert keys.xor_distance(a, b) == keys.xor_distance(b, a)
+        assert keys.xor_distance(a, c) <= (
+            keys.xor_distance(a, b) + keys.xor_distance(b, c)
+        )
+
+    @settings(max_examples=60)
+    @given(KEYS, KEYS)
+    def test_prefix_and_bucket_consistency(self, own, other):
+        prefix = keys.common_prefix_len(own, other)
+        if own == other:
+            assert prefix == keys.KEY_BITS
+            return
+        assert keys.bucket_index(own, other) == prefix
+        # Bucket i holds distances in [2^(255-i), 2^(256-i)).
+        distance = keys.xor_distance(own, other)
+        assert 1 << (keys.KEY_BITS - prefix - 1) <= distance < (
+            1 << (keys.KEY_BITS - prefix)
+        )
+
+    @settings(max_examples=40)
+    @given(KEYS, st.integers(min_value=0, max_value=keys.KEY_BITS - 1),
+           st.integers(min_value=0))
+    def test_random_key_lands_in_requested_bucket(self, own, index, seed):
+        crafted = keys.random_key_in_bucket(own, index, random.Random(seed))
+        assert keys.common_prefix_len(own, crafted) == index
+
+    @settings(max_examples=40)
+    @given(st.lists(st.integers(min_value=1, max_value=5000), min_size=1,
+                    max_size=60, unique=True), st.binary(min_size=32, max_size=32))
+    def test_routing_table_closest_is_true_xor_order(self, tags, target_digest):
+        owner = peer_from_tag(777_777_777)
+        table = RoutingTable(owner, bucket_size=10_000)
+        peers = [peer_from_tag(tag) for tag in tags]
+        for peer in peers:
+            table.add(peer)
+        target = PeerID(target_digest).dht_key
+        expected = sorted(peers, key=lambda p: keys.xor_distance(p.dht_key, target))
+        assert table.closest(target, 7) == expected[:7]
+
+
+class TestShardMergeProperties:
+    """The sharded store is indistinguishable from a single log."""
+
+    records = st.lists(
+        st.tuples(st.floats(min_value=0, max_value=100), st.integers()),
+        max_size=80,
+    )
+
+    @settings(max_examples=30)
+    @given(records, st.integers(min_value=1, max_value=5))
+    def test_scan_restores_append_order(self, entries, num_shards):
+        from repro.store.backend import SqliteBackend
+        from repro.store.shard import ShardedBackend
+
+        sharded = ShardedBackend([SqliteBackend() for _ in range(num_shards)])
+        appended = []
+        for ts, value in entries:
+            record = {"ts": ts, "value": value}
+            sharded.append(record)
+            appended.append(record)
+        sharded.flush()
+        assert list(sharded.scan()) == appended
+        assert list(sharded.scan_reversed()) == appended[::-1]
+        assert len(sharded) == len(appended)
+        sharded.close()
+
+    @settings(max_examples=20)
+    @given(records, st.integers(min_value=1, max_value=4),
+           st.floats(min_value=0, max_value=100), st.floats(min_value=0, max_value=100))
+    def test_scan_range_matches_reference_filter(self, entries, num_shards, lo, hi):
+        from repro.store.backend import SqliteBackend
+        from repro.store.shard import ShardedBackend
+
+        start, end = min(lo, hi), max(lo, hi)
+        sharded = ShardedBackend([SqliteBackend() for _ in range(num_shards)])
+        appended = []
+        for ts, value in entries:
+            record = {"ts": ts, "value": value}
+            sharded.append(record)
+            appended.append(record)
+        sharded.flush()
+        expected = [r for r in appended if start <= r["ts"] < end]
+        assert list(sharded.scan_range(start, end)) == expected
+        sharded.close()
+
+
+class TestSeedDerivationProperties:
+    components = st.lists(
+        st.one_of(st.integers(), st.text(max_size=12), st.binary(max_size=12)),
+        max_size=4,
+    )
+
+    @settings(max_examples=60)
+    @given(st.integers(min_value=-(2**63), max_value=2**63 - 1), components)
+    def test_derivation_is_a_pure_function(self, root, parts):
+        seed = derive_seed(root, *parts)
+        assert seed == derive_seed(root, *parts)
+        assert 0 <= seed < 2**64
+
+    @settings(max_examples=60)
+    @given(st.integers(min_value=0, max_value=2**32), st.integers(min_value=0, max_value=10_000),
+           st.integers(min_value=0, max_value=10_000))
+    def test_distinct_tasks_get_distinct_streams(self, root, i, j):
+        if i != j:
+            assert derive_seed(root, "crawl", i) != derive_seed(root, "crawl", j)
