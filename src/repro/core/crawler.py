@@ -208,9 +208,7 @@ def freeze_crawl_task(
     tables: Dict[int, Tuple[int, ...]] = {}
     stable_pool: List[int] = []
     server_pool: List[int] = []
-    for node in overlay.online_by_peer.values():
-        if not node.is_dht_server:
-            continue
+    for node in overlay.online_servers():
         index = intern(node.peer)
         server_pool.append(index)
         if node.spec.platform is not None:
@@ -225,7 +223,7 @@ def freeze_crawl_task(
     # address pass runs over the final interning.
     ips: List[Tuple[str, ...]] = []
     for peer in peers:
-        info = overlay._last_infos.get(peer)
+        info = overlay.last_info(peer)
         if info is None:
             ips.append(())
         else:

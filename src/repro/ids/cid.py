@@ -30,11 +30,14 @@ class CID:
 
     digest: bytes
     _dht_key: Key = field(init=False, repr=False, compare=False)
+    _hash: int = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if len(self.digest) != 32:
             raise ValueError("CID digest must be 32 bytes")
         object.__setattr__(self, "_dht_key", key_from_bytes(self.multihash))
+        # CIDs key provider registries and workload maps; hash once.
+        object.__setattr__(self, "_hash", hash(self.digest))
 
     @classmethod
     def for_data(cls, data: bytes) -> "CID":
@@ -93,7 +96,17 @@ class CID:
         return self.to_base32()
 
     def __hash__(self) -> int:
-        return hash(self.digest)
+        return self._hash
+
+    def __getstate__(self):
+        # ``hash(bytes)`` is salted per process: a cached hash must never
+        # cross a pickle boundary (worker pools ship CIDs around).
+        return self.digest
+
+    def __setstate__(self, digest: bytes) -> None:
+        object.__setattr__(self, "digest", digest)
+        object.__setattr__(self, "_dht_key", key_from_bytes(_MULTIHASH_SHA256 + digest))
+        object.__setattr__(self, "_hash", hash(digest))
 
     def __lt__(self, other: object) -> bool:
         if not isinstance(other, CID):

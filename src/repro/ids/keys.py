@@ -12,6 +12,7 @@ the derived quantities that the routing table and crawler need.
 from __future__ import annotations
 
 import hashlib
+from bisect import bisect_left
 
 #: Width of the keyspace in bits (SHA-256 output).
 KEY_BITS = 256
@@ -59,6 +60,38 @@ def bucket_index(own: Key, other: Key) -> int:
     if own == other:
         raise ValueError("a node does not occupy a bucket of its own table")
     return common_prefix_len(own, other)
+
+
+def select_closest(sorted_keys, target: Key, count: int):
+    """The ``count`` keys XOR-closest to ``target``, from a sorted list.
+
+    Exploits a property of the metric: every key sharing at least ``p``
+    leading bits with the target is strictly closer (XOR) than any key
+    sharing fewer, so the smallest *aligned binary subtree* (prefix
+    range) around the target still holding ``count`` keys is guaranteed
+    to contain the true closest set — and prefix ranges are contiguous
+    in sorted order, so the subtree is one slice.
+
+    :param sorted_keys: keys in ascending order (no duplicates).
+    :returns: the closest ``count`` keys, ordered by XOR distance.
+    """
+    keys = sorted_keys
+    if not keys or count <= 0:
+        return []
+    want = min(len(keys), count)
+    low, high = 0, len(keys)
+    # Shrink the aligned range while it still holds enough keys.
+    for prefix_len in range(1, KEY_BITS + 1):
+        shift = KEY_BITS - prefix_len
+        range_base = (target >> shift) << shift
+        new_low = bisect_left(keys, range_base, low, high)
+        new_high = bisect_left(keys, range_base + (1 << shift), low, high)
+        if new_high - new_low < want:
+            break
+        low, high = new_low, new_high
+    candidates = keys[low:high]
+    candidates.sort(key=target.__xor__)
+    return candidates[:count]
 
 
 def key_to_hex(key: Key) -> str:

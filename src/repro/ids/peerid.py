@@ -32,11 +32,14 @@ class PeerID:
 
     digest: bytes
     _dht_key: Key = field(init=False, repr=False, compare=False)
+    _hash: int = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if len(self.digest) != 32:
             raise ValueError("peer ID digest must be 32 bytes")
         object.__setattr__(self, "_dht_key", key_from_bytes(self.multihash))
+        # Peer IDs are dict keys on every hot path; hash once at mint time.
+        object.__setattr__(self, "_hash", hash(self.digest))
 
     @classmethod
     def from_public_key(cls, public_key: bytes) -> "PeerID":
@@ -84,7 +87,17 @@ class PeerID:
         return self.to_base58()
 
     def __hash__(self) -> int:
-        return hash(self.digest)
+        return self._hash
+
+    def __getstate__(self):
+        # ``hash(bytes)`` is salted per process: a cached hash must never
+        # cross a pickle boundary (worker pools ship peer IDs around).
+        return self.digest
+
+    def __setstate__(self, digest: bytes) -> None:
+        object.__setattr__(self, "digest", digest)
+        object.__setattr__(self, "_dht_key", key_from_bytes(_MULTIHASH_SHA256 + digest))
+        object.__setattr__(self, "_hash", hash(digest))
 
     def __lt__(self, other: object) -> bool:
         if not isinstance(other, PeerID):

@@ -19,6 +19,7 @@ models an unreachable peer.
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
@@ -65,7 +66,16 @@ class ProviderLookupResult(LookupResult):
 
 
 class _Walk:
-    """Shared machinery of the iterative walks."""
+    """Shared machinery of the iterative walks.
+
+    The frontier is an *incremental* sorted structure: each absorbed peer
+    has its XOR distance to the target computed exactly once and is
+    inserted into a distance-ordered list, instead of re-sorting every
+    known peer on every round.  Ties on distance are impossible for
+    distinct DHT keys, and equal-distance duplicates are broken by
+    absorption order via a per-peer sequence number — exactly the order a
+    stable full sort over the insertion-ordered pool would produce.
+    """
 
     def __init__(self, target_key: int, start: Sequence[PeerInfo], k: int, alpha: int) -> None:
         self.target_key = target_key
@@ -76,17 +86,21 @@ class _Walk:
         self.failed: Set[PeerID] = set()
         self.contacted: List[PeerID] = []
         self.messages = 0
-        for info in start:
-            self.known.setdefault(info.peer, info)
+        #: (distance, seq, info) for every known, live-so-far peer, in
+        #: ascending distance order; ``seq`` is unique so ``info`` never
+        #: gets compared.
+        self._frontier: List[Tuple[int, int, PeerInfo]] = []
+        #: peer -> its frontier item, for removal on failure.
+        self._entries: Dict[PeerID, Tuple[int, int, PeerInfo]] = {}
+        self._seq = 0
+        self.absorb(start)
 
     def _distance(self, peer: PeerID) -> int:
         return peer.dht_key ^ self.target_key
 
     def candidates(self) -> List[PeerInfo]:
         """Known, live-so-far peers ordered by distance to the target."""
-        pool = [info for peer, info in self.known.items() if peer not in self.failed]
-        pool.sort(key=lambda info: self._distance(info.peer))
-        return pool
+        return [info for _, _, info in self._frontier]
 
     def next_batch(self) -> List[PeerInfo]:
         """Up to ``alpha`` unqueried peers among the ``k`` closest known.
@@ -94,17 +108,54 @@ class _Walk:
         Empty when the ``k`` closest known live peers have all been
         queried — the walk's termination condition.
         """
-        frontier = [info for info in self.candidates()[: self.k] if info.peer not in self.queried]
-        return frontier[: self.alpha]
+        queried = self.queried
+        batch = []
+        for _, _, info in self._frontier[: self.k]:
+            if info.peer not in queried:
+                batch.append(info)
+                if len(batch) >= self.alpha:
+                    break
+        return batch
 
     def absorb(self, closer_peers: Sequence[PeerInfo]) -> None:
+        known = self.known
+        entries = self._entries
+        frontier = self._frontier
+        target_key = self.target_key
+        seq = self._seq
         for info in closer_peers:
-            self.known.setdefault(info.peer, info)
+            peer = info.peer
+            if peer in known:
+                continue
+            known[peer] = info
+            item = (peer.dht_key ^ target_key, seq, info)
+            seq += 1
+            entries[peer] = item
+            insort(frontier, item)
+        self._seq = seq
+
+    def mark_failed(self, peer: PeerID) -> None:
+        """Record a non-responding peer and drop it from the frontier."""
+        self.failed.add(peer)
+        item = self._entries.pop(peer, None)
+        if item is None:
+            return
+        # ``(distance, seq)`` is unique, so bisect lands exactly on the
+        # item without ever comparing the PeerInfo payloads.
+        position = bisect_left(self._frontier, item)
+        if position < len(self._frontier) and self._frontier[position] is item:
+            del self._frontier[position]
 
     def closest_live(self) -> List[PeerInfo]:
         """The ``k`` closest peers that answered a query."""
-        live = [info for info in self.candidates() if info.peer in self.queried]
-        return live[: self.k]
+        queried = self.queried
+        live = []
+        for _, _, info in self._frontier:
+            if info.peer in queried:
+                live.append(info)
+                if len(live) >= self.k:
+                    break
+        return live
 
 
 def iterative_find_node(
@@ -134,7 +185,7 @@ def iterative_find_node(
             walk.messages += 1
             response = query(info.peer, target_key)
             if response is None:
-                walk.failed.add(info.peer)
+                walk.mark_failed(info.peer)
                 continue
             walk.contacted.append(info.peer)
             walk.absorb(response)
@@ -180,7 +231,7 @@ def iterative_find_providers(
             walk.messages += 1
             response = query(info.peer, cid)
             if response is None:
-                walk.failed.add(info.peer)
+                walk.mark_failed(info.peer)
                 continue
             walk.contacted.append(info.peer)
             records, closer_peers = response

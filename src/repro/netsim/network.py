@@ -5,12 +5,22 @@ keyspace oracle, the provider-record registry and the routing-table
 book-keeping (including *stale entries*: peers that went offline but are
 still referenced in other peers' k-buckets, which is why DHT crawls
 discover more peers than are crawlable — paper §3).
+
+Hot-path note: the overlay maintains *incremental* indexes alongside the
+``online_by_peer`` registry — the online DHT servers, the NAT clients and
+the relay-capable servers, each in registration order.  Every index is a
+strict subsequence of ``online_by_peer``'s insertion order, so list-valued
+queries (``online_servers``, ``pick_relay``) return exactly what a filter
+over the full registry would, without the O(N) scan — and, crucially, the
+RNG draws made against those lists are bit-identical to the scan-based
+implementation.
 """
 
 from __future__ import annotations
 
 import math
 import random
+from bisect import bisect_left, insort
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.ids.cid import CID
@@ -34,6 +44,10 @@ class ProviderRegistry:
     for the analyses, so the registry keeps one logical copy and answers
     "is this node currently a resolver for that CID?" via the keyspace
     oracle at query time (see DESIGN.md, fast-path substitutions).
+
+    Pruning is lazy and per-CID: ``_oldest`` tracks the earliest
+    ``published_at`` per CID so ``get`` can skip the expiry sweep entirely
+    while nothing can have expired yet.
     """
 
     def __init__(self, ttl: float = DEFAULT_RECORD_TTL, max_per_cid: int = 200) -> None:
@@ -53,6 +67,12 @@ class ProviderRegistry:
         if len(by_provider) > self.max_per_cid:
             victim = min(by_provider.values(), key=lambda rec: rec.published_at)
             del by_provider[victim.provider]
+            # The eviction may have removed the record behind ``_oldest``;
+            # a stale floor would force a futile full prune on every
+            # subsequent ``get``, so recompute it from the survivors.
+            self._oldest[record.cid] = min(
+                rec.published_at for rec in by_provider.values()
+            )
 
     def _prune(self, cid: CID, now: float) -> None:
         by_provider = self._records.get(cid)
@@ -80,7 +100,13 @@ class ProviderRegistry:
         return list(by_provider.values())
 
     def has_records(self, cid: CID, now: float) -> bool:
-        return bool(self.get(cid, now))
+        by_provider = self._records.get(cid)
+        if not by_provider:
+            return False
+        if now - self._oldest.get(cid, now) >= self.ttl:
+            self._prune(cid, now)
+            by_provider = self._records.get(cid)
+        return bool(by_provider)
 
     def cids(self) -> List[CID]:
         return list(self._records)
@@ -122,6 +148,45 @@ class Overlay:
         #: whether a spec offers the circuit-relay service (stable trait).
         self._relay_capable: Dict[int, bool] = {}
 
+        # -- incremental indexes (registration order) ----------------------
+        #: online DHT servers / NAT clients, each a subsequence of
+        #: ``online_by_peer`` insertion order.
+        self._online_servers: Dict[PeerID, Node] = {}
+        self._online_clients: Dict[PeerID, Node] = {}
+        #: monotonic per-session sequence number of every online server —
+        #: the sort key that keeps ``_relay_known`` in registration order.
+        self._server_seq: Dict[PeerID, int] = {}
+        self._session_counter = 0
+        #: online servers known relay-capable, sorted by session sequence.
+        self._relay_known: List[Tuple[int, Node]] = []
+        #: online servers whose relay capability has not been sampled yet
+        #: (capability RNG is drawn lazily at the next ``pick_relay``, in
+        #: registration order — exactly when and where the scan-based
+        #: implementation drew it).
+        self._relay_unsampled: Dict[PeerID, Tuple[int, Node]] = {}
+        #: static membership index (specs never change class at runtime).
+        self._nodes_by_class: Dict[NodeClass, List[Node]] = {}
+        for node in self.nodes:
+            self._nodes_by_class.setdefault(node.node_class, []).append(node)
+
+        # -- refresh-skip bookkeeping --------------------------------------
+        #: maintenance passes are skipped for nodes whose last refresh was
+        #: provably a no-op (zero RNG draws, zero table changes) and whose
+        #: observable inputs have not changed since; see ``refresh_node``.
+        self.refresh_skip_enabled = True
+        self._refresh_clean: Set[Node] = set()
+        #: (prefix_len -> prefix_base -> clean nodes whose under-full
+        #: buckets cover that subtree): a server joining inside a watched
+        #: range invalidates the watchers.
+        self._watch_index: Dict[int, Dict[int, Set[Node]]] = {}
+        self._node_watches: Dict[Node, List[Tuple[int, int]]] = {}
+        self._refresh_depth = self._expected_depth()
+
+        #: one-slot resolver cache, valid for a single oracle generation —
+        #: a FindProviders walk asks for the same CID's resolvers ~k times
+        #: with no membership change in between.
+        self._resolver_cache: Optional[Tuple[int, CID, List[PeerID]]] = None
+
     # ------------------------------------------------------------------
     # clock helpers
     # ------------------------------------------------------------------
@@ -131,13 +196,13 @@ class Overlay:
         return self.scheduler.clock.now
 
     def nodes_of_class(self, node_class: NodeClass) -> List[Node]:
-        return [node for node in self.nodes if node.node_class is node_class]
+        return list(self._nodes_by_class.get(node_class, ()))
 
     def online_servers(self) -> List[Node]:
-        return [node for node in self.online_by_peer.values() if node.is_dht_server]
+        return list(self._online_servers.values())
 
     def online_nat_clients(self) -> List[Node]:
-        return [node for node in self.online_by_peer.values() if not node.is_dht_server]
+        return list(self._online_clients.values())
 
     # ------------------------------------------------------------------
     # join / leave mechanics
@@ -159,6 +224,37 @@ class Overlay:
                     ips.append(allocator.random_address(block, self.rng))
             self._persistent_ips[spec.index] = ips
         node.ips = list(self._persistent_ips[spec.index])
+        node.invalidate_addr_cache()
+
+    def _register_server(self, node: Node) -> None:
+        """Index an online DHT server (registration order) and join the
+        keyspace oracle."""
+        seq = self._session_counter
+        self._session_counter += 1
+        self._server_seq[node.peer] = seq
+        self._online_servers[node.peer] = node
+        capable = self._relay_capable.get(node.spec.index)
+        if capable is None:
+            self._relay_unsampled[node.peer] = (seq, node)
+        elif capable:
+            # ``seq`` is the largest so far: appending keeps the sort.
+            self._relay_known.append((seq, node))
+        self.oracle.add(node.peer)
+        self._note_oracle_change(added_key=node.peer.dht_key)
+
+    def _unregister_server(self, node: Node) -> None:
+        self.oracle.remove(node.peer)
+        seq = self._server_seq.pop(node.peer, None)
+        self._online_servers.pop(node.peer, None)
+        self._relay_unsampled.pop(node.peer, None)
+        if seq is not None and self._relay_capable.get(node.spec.index):
+            position = bisect_left(self._relay_known, (seq,))
+            if (
+                position < len(self._relay_known)
+                and self._relay_known[position][0] == seq
+            ):
+                del self._relay_known[position]
+        self._note_oracle_change()
 
     def bring_online(
         self, node: Node, rotate_ip: bool = False, regen_peer: bool = False
@@ -177,9 +273,10 @@ class Overlay:
             self._assign_identity(node, rotate_ip, regen_peer=True)
         self.online_by_peer[node.peer] = node
         if not node.is_dht_server:
+            self._online_clients[node.peer] = node
             node.relay = self.pick_relay(exclude=node)
         else:
-            self.oracle.add(node.peer)
+            self._register_server(node)
         self._last_infos[node.peer] = node.peer_info()
         if node.is_dht_server:
             self._join_dht(node)
@@ -200,6 +297,7 @@ class Overlay:
                 ips.append(allocator.random_address(block, self.rng))
         self._persistent_ips[spec.index] = ips
         node.ips = list(ips)
+        node.invalidate_addr_cache()
         self._last_infos[node.peer] = node.peer_info()
 
     def take_offline(self, node: Node) -> None:
@@ -210,7 +308,15 @@ class Overlay:
         if node.peer is not None:
             self.online_by_peer.pop(node.peer, None)
             if node.is_dht_server:
-                self.oracle.remove(node.peer)
+                self._unregister_server(node)
+            else:
+                self._online_clients.pop(node.peer, None)
+            # Everyone referencing the departed peer now has a stale table
+            # entry: their next maintenance pass is no longer a no-op.
+            holders = self._holders.get(node.peer)
+            if holders:
+                for holder in list(holders):
+                    self._mark_refresh_dirty(holder)
         node.relay = None
         # Routing-table state of the departed node is dropped; peers that
         # reference it keep a stale entry until their next refresh.
@@ -220,6 +326,7 @@ class Overlay:
                 if holders is not None:
                     holders.discard(node)
             node.routing_table = None
+        self._mark_refresh_dirty(node)
 
     # ------------------------------------------------------------------
     # DHT join, refresh, stale handling
@@ -295,11 +402,15 @@ class Overlay:
                 oldest not in self.online_by_peer or self.rng.random() < force_prob
             ):
                 table.remove(oldest)
+                self._mark_refresh_dirty(holder)
                 holders = self._holders.get(oldest)
                 if holders is not None:
                     holders.discard(holder)
+        newly_stored = peer not in table
         if table.add(peer):
             self._holders.setdefault(peer, set()).add(holder)
+            if newly_stored:
+                self._mark_refresh_dirty(holder)
             return True
         return False
 
@@ -319,18 +430,81 @@ class Overlay:
                 inserted += 1
         return inserted
 
+    # -- refresh-skip bookkeeping --------------------------------------
+
+    def _mark_refresh_dirty(self, node: Node) -> None:
+        """Forget that ``node``'s next maintenance pass would be a no-op."""
+        if node not in self._refresh_clean:
+            return
+        self._refresh_clean.discard(node)
+        for prefix_len, base in self._node_watches.pop(node, ()):
+            by_base = self._watch_index.get(prefix_len)
+            if by_base is None:
+                continue
+            watchers = by_base.get(base)
+            if watchers is None:
+                continue
+            watchers.discard(node)
+            if not watchers:
+                del by_base[base]
+                if not by_base:
+                    del self._watch_index[prefix_len]
+
+    def _note_oracle_change(self, added_key: Optional[int] = None) -> None:
+        """React to oracle membership changes.
+
+        A change of the expected trie depth alters which buckets a refresh
+        pass inspects, so every no-op certificate is voided.  A *join*
+        additionally invalidates the clean nodes whose under-full buckets
+        cover the newcomer's subtree (their next top-up would store it).
+        Departures need no extra handling: a clean node's under-full
+        buckets contain *every* server of their subtree, so a departure
+        from such a range is always a departure of a held peer — covered
+        by the holder invalidation in :meth:`take_offline`.
+        """
+        depth = self._expected_depth()
+        if depth != self._refresh_depth:
+            self._refresh_depth = depth
+            if self._refresh_clean:
+                self._refresh_clean.clear()
+                self._node_watches.clear()
+                self._watch_index.clear()
+        if added_key is not None and self._watch_index:
+            for prefix_len, by_base in list(self._watch_index.items()):
+                shift = KEY_BITS - prefix_len
+                base = (added_key >> shift) << shift
+                watchers = by_base.get(base)
+                if watchers:
+                    for watcher in list(watchers):
+                        self._mark_refresh_dirty(watcher)
+
     def refresh_node(self, node: Node) -> None:
-        """One maintenance pass: evict dead entries, top up buckets."""
+        """One maintenance pass: evict dead entries, top up buckets.
+
+        The pass also determines whether it was a *no-op* — no RNG drawn,
+        no table change.  If so, the node is marked clean and its
+        under-full bucket ranges are registered as watches; until churn
+        touches the node's table, its depth assumptions or a watched
+        range, ``refresh_all`` may skip it without perturbing either the
+        network state or the shared RNG stream.
+        """
         if not node.online or node.routing_table is None:
             return
+        self._mark_refresh_dirty(node)
         table = node.routing_table
+        online = self.online_by_peer
+        rng = self.rng
+        clean = True
         for peer in table.peers():
-            if peer not in self.online_by_peer and self.rng.random() < self.stale_detect_prob:
-                table.remove(peer)
-                holders = self._holders.get(peer)
-                if holders is not None:
-                    holders.discard(node)
+            if peer not in online:
+                clean = False
+                if rng.random() < self.stale_detect_prob:
+                    table.remove(peer)
+                    holders = self._holders.get(peer)
+                    if holders is not None:
+                        holders.discard(node)
         own = node.peer.dht_key
+        watches: List[Tuple[int, int]] = []
         for bucket_idx in range(min(self._expected_depth() + 4, KEY_BITS)):
             bucket = table.bucket(bucket_idx)
             missing = self.k - len(bucket)
@@ -338,15 +512,38 @@ class Overlay:
                 continue
             shift = KEY_BITS - bucket_idx - 1
             prefix_base = (((own >> shift) ^ 1) << shift)
-            for peer in self.oracle.sample_range(prefix_base, bucket_idx + 1, missing * 2, self.rng):
+            peers, consumed_rng = self.oracle.sample_range_info(
+                prefix_base, bucket_idx + 1, missing * 2, rng
+            )
+            if consumed_rng:
+                clean = False
+            for peer in peers:
                 if peer != node.peer and peer not in bucket and table.add(peer):
                     self._holders.setdefault(peer, set()).add(node)
+                    clean = False
+            if len(bucket) < self.k:
+                watches.append((bucket_idx + 1, prefix_base))
+        if clean and self.refresh_skip_enabled:
+            self._refresh_clean.add(node)
+            self._node_watches[node] = watches
+            for prefix_len, base in watches:
+                self._watch_index.setdefault(prefix_len, {}).setdefault(
+                    base, set()
+                ).add(node)
 
     def refresh_all(self) -> None:
-        """A network-wide maintenance pass (run periodically by scenarios)."""
-        for node in list(self.online_by_peer.values()):
-            if node.is_dht_server:
-                self.refresh_node(node)
+        """A network-wide maintenance pass (run periodically by scenarios).
+
+        Nodes whose previous pass was certified a no-op (see
+        :meth:`refresh_node`) are skipped; skipping them changes neither
+        the network state nor the RNG stream, so the simulation stays
+        bit-identical to an unconditional full pass.
+        """
+        clean = self._refresh_clean if self.refresh_skip_enabled else ()
+        for node in self.online_servers():
+            if node in clean:
+                continue
+            self.refresh_node(node)
 
     def schedule_periodic_refresh(self) -> None:
         interval = self.refresh_interval_hours * SECONDS_PER_HOUR
@@ -380,16 +577,48 @@ class Overlay:
             self._relay_capable[node.spec.index] = self.rng.random() < probability
         return self._relay_capable[node.spec.index]
 
+    def _drain_relay_unsampled(self, exclude: Optional[Node]) -> None:
+        """Sample relay capability for pending servers, in registration
+        order — the draw order of the scan-based implementation.  The
+        excluded node is left pending: the old scan short-circuited on it
+        before sampling."""
+        remaining: Dict[PeerID, Tuple[int, Node]] = {}
+        for peer, entry in self._relay_unsampled.items():
+            seq, node = entry
+            if node is exclude:
+                remaining[peer] = entry
+                continue
+            if self._is_relay_capable(node):
+                insort(self._relay_known, entry)
+        self._relay_unsampled = remaining
+
+    def _relay_pool(self) -> List[Node]:
+        """The current relay candidates, in registration order (no RNG is
+        drawn for servers whose capability is already sampled)."""
+        if self._relay_unsampled:
+            self._drain_relay_unsampled(exclude=None)
+        return [node for _, node in self._relay_known]
+
     def pick_relay(self, exclude: Optional[Node] = None) -> Optional[Node]:
         """A NAT-ed peer connects to a random relay-capable DHT server."""
-        servers = [
-            node
-            for node in self.online_by_peer.values()
-            if node.is_dht_server and node is not exclude and self._is_relay_capable(node)
-        ]
-        if not servers:
+        if self._relay_unsampled:
+            self._drain_relay_unsampled(exclude)
+        known = self._relay_known
+        if not known:
             return None
-        return self.rng.choice(servers)
+        if (
+            exclude is not None
+            and exclude.online
+            and exclude.peer is not None
+            and self._relay_capable.get(exclude.spec.index)
+            and exclude.peer in self._server_seq
+        ):
+            excluded_seq = self._server_seq[exclude.peer]
+            pool = [node for seq, node in known if seq != excluded_seq]
+            if not pool:
+                return None
+            return self.rng.choice(pool)
+        return self.rng.choice(known)[1]
 
     def ensure_relay(self, node: Node) -> Optional[Node]:
         """NAT clients re-select their relay when it disappears."""
@@ -403,15 +632,19 @@ class Overlay:
     # queries (used by the measurement tooling)
     # ------------------------------------------------------------------
 
+    def last_info(self, peer: PeerID) -> Optional[PeerInfo]:
+        """The last-announced :class:`PeerInfo` for ``peer``, if any
+        (stale peers keep their final announcement)."""
+        return self._last_infos.get(peer)
+
     def peer_infos(self, peers: List[PeerID]) -> List[PeerInfo]:
         """Last-announced PeerInfo for each peer (stale peers included —
         their old addresses are what the DHT still hands out)."""
-        infos = []
-        for peer in peers:
-            info = self._last_infos.get(peer)
+        get = self._last_infos.get
+        infos = [get(peer) for peer in peers]
+        for position, info in enumerate(infos):
             if info is None:
-                info = PeerInfo(peer=peer, addrs=())
-            infos.append(info)
+                infos[position] = PeerInfo(peer=peers[position], addrs=())
         return infos
 
     def dial(self, peer: PeerID, timeout: float = 180.0) -> Optional[Node]:
@@ -448,13 +681,40 @@ class Overlay:
         (the k closest servers to the CID) hold them."""
         if node.peer is None:
             return []
-        resolvers = self.oracle.closest(cid.dht_key, self.k)
+        resolvers = self.resolvers_for(cid)
         if node.peer not in resolvers:
             return []
         return self.providers.get(cid, self.now)
 
     def resolvers_for(self, cid: CID) -> List[PeerID]:
-        return self.oracle.closest(cid.dht_key, self.k)
+        cache = self._resolver_cache
+        generation = self.oracle.generation
+        if cache is not None and cache[0] == generation and cache[1] == cid:
+            return cache[2]
+        resolvers = self.oracle.closest(cid.dht_key, self.k)
+        self._resolver_cache = (generation, cid, resolvers)
+        return resolvers
+
+    # ------------------------------------------------------------------
+    # in-degree (public surface over the holder book-keeping)
+    # ------------------------------------------------------------------
+
+    def in_degree(self, peer: PeerID) -> int:
+        """How many online nodes currently reference ``peer`` in their
+        routing table (the paper's §4 in-degree estimate)."""
+        holders = self._holders.get(peer)
+        if not holders:
+            return 0
+        return sum(1 for holder in holders if holder.online)
+
+    def in_degrees(self) -> Dict[PeerID, int]:
+        """In-degree for every peer with at least one live holder."""
+        counts: Dict[PeerID, int] = {}
+        for peer, holders in self._holders.items():
+            live_holders = sum(1 for holder in holders if holder.online)
+            if live_holders:
+                counts[peer] = live_holders
+        return counts
 
     # ------------------------------------------------------------------
     # provide / content plumbing
@@ -515,9 +775,4 @@ class Overlay:
 def in_degree_counts(overlay: Overlay) -> Dict[PeerID, int]:
     """How often each peer appears in other peers' buckets (the estimate
     of in-degree the paper uses, §4)."""
-    counts: Dict[PeerID, int] = {}
-    for peer, holders in overlay._holders.items():
-        live_holders = sum(1 for holder in holders if holder.online)
-        if live_holders:
-            counts[peer] = live_holders
-    return counts
+    return overlay.in_degrees()

@@ -67,6 +67,7 @@ class Node:
         "sessions_seen",
         "provided_cids",
         "bitswap_neighbors_weight",
+        "_addrs_cache",
     )
 
     def __init__(self, spec: NodeSpec, overlay: "Overlay") -> None:
@@ -86,6 +87,7 @@ class Node:
         # Relative likelihood of holding a Bitswap connection to any given
         # peer; gateways/platforms keep hundreds of connections.
         self.bitswap_neighbors_weight = 1.0
+        self._addrs_cache: Optional[List[Multiaddr]] = None
 
     # -- identity -----------------------------------------------------------
 
@@ -100,7 +102,12 @@ class Node:
     def mint_peer_id(self, rng) -> PeerID:
         """Generate and adopt a fresh peer ID (new key pair)."""
         self.peer = PeerID.generate(rng)
+        self._addrs_cache = None
         return self.peer
+
+    def invalidate_addr_cache(self) -> None:
+        """Drop the memoized multiaddr list (peer ID or IPs changed)."""
+        self._addrs_cache = None
 
     def sample_session_traits(self, rng) -> None:
         """Draw this session's reachability and latency."""
@@ -119,15 +126,24 @@ class Node:
         if self.peer is None:
             return []
         if self.node_class is NodeClass.NAT_CLIENT:
+            # Circuit addresses embed the relay's *current* address, which
+            # can change behind our back (relay DHCP re-lease) — never
+            # cached.
             if self.relay is None or self.relay.peer is None:
                 return []
             relay = self.relay
             return [
                 Multiaddr.circuit(relay.primary_ip_str, relay.port, relay.peer, self.peer)
             ]
-        from repro.world.ipspace import format_ip
+        cached = self._addrs_cache
+        if cached is None:
+            from repro.world.ipspace import format_ip
 
-        return [Multiaddr.direct(format_ip(ip), self.port, self.peer) for ip in self.ips]
+            cached = [
+                Multiaddr.direct(format_ip(ip), self.port, self.peer) for ip in self.ips
+            ]
+            self._addrs_cache = cached
+        return list(cached)
 
     @property
     def primary_ip(self) -> Optional[int]:

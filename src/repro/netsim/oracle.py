@@ -9,18 +9,19 @@ the set this index returns.  The exact walk remains available in
 (crawler, provider fetcher); the oracle is the fast path for *network-side*
 behaviour.  DESIGN.md documents this substitution.
 
-The XOR-closest query exploits a property of the metric: the k closest
-keys to a target all lie inside the smallest *aligned binary subtree*
-(prefix range) around the target containing at least k keys, and prefix
-ranges are contiguous in sorted order.
+The XOR-closest query (shared with :func:`repro.ids.keys.select_closest`)
+exploits a property of the metric: the k closest keys to a target all lie
+inside the smallest *aligned binary subtree* (prefix range) around the
+target containing at least k keys, and prefix ranges are contiguous in
+sorted order.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_left, insort
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
-from repro.ids.keys import KEY_BITS
+from repro.ids.keys import KEY_BITS, select_closest
 from repro.ids.peerid import PeerID
 
 
@@ -30,6 +31,9 @@ class KeyspaceOracle:
     def __init__(self) -> None:
         self._keys: List[int] = []
         self._by_key: Dict[int, PeerID] = {}
+        #: bumped on every membership change; callers may cache query
+        #: results keyed on this counter (e.g. per-CID resolver sets).
+        self.generation = 0
 
     def __len__(self) -> int:
         return len(self._keys)
@@ -45,6 +49,7 @@ class KeyspaceOracle:
             return
         self._by_key[key] = peer
         insort(self._keys, key)
+        self.generation += 1
 
     def remove(self, peer: PeerID) -> None:
         key = peer.dht_key
@@ -54,59 +59,48 @@ class KeyspaceOracle:
         index = bisect_left(self._keys, key)
         if index < len(self._keys) and self._keys[index] == key:
             del self._keys[index]
+        self.generation += 1
 
     def peers(self) -> List[PeerID]:
         return [self._by_key[key] for key in self._keys]
 
     def closest(self, target: int, count: int) -> List[PeerID]:
-        """The ``count`` online servers XOR-closest to ``target``.
+        """The ``count`` online servers XOR-closest to ``target``."""
+        by_key = self._by_key
+        return [by_key[key] for key in select_closest(self._keys, target, count)]
 
-        Finds the smallest aligned prefix range around the target holding
-        at least ``3 * count`` keys (or everything), then exact-sorts that
-        slice by XOR distance.  The overshoot factor guarantees the true
-        closest set is contained: a prefix range with >= count keys
-        sharing a longer prefix than anything outside it dominates all
-        outside keys in XOR distance.
-        """
-        keys = self._keys
-        if not keys or count <= 0:
-            return []
-        want = min(len(keys), 3 * count)
-        low, high = 0, len(keys)
-        # Shrink the aligned range while it still holds enough keys.
-        for prefix_len in range(1, KEY_BITS + 1):
-            shift = KEY_BITS - prefix_len
-            range_base = (target >> shift) << shift
-            new_low = bisect_left(keys, range_base, low, high)
-            new_high = bisect_left(keys, range_base + (1 << shift), low, high)
-            if new_high - new_low < want:
-                break
-            low, high = new_low, new_high
-        candidates = keys[low:high]
-        if len(candidates) < want:
-            # Expand symmetrically in sorted order to regain the overshoot.
-            extra = want - len(candidates)
-            low = max(0, low - extra)
-            high = min(len(keys), high + extra)
-            candidates = keys[low:high]
-        candidates.sort(key=lambda key: key ^ target)
-        return [self._by_key[key] for key in candidates[:count]]
+    def range_bounds(self, prefix: int, prefix_len: int) -> Tuple[int, int]:
+        """Index bounds ``[low, high)`` of the keys sharing ``prefix``."""
+        if prefix_len <= 0:
+            return 0, len(self._keys)
+        shift = KEY_BITS - prefix_len
+        base = (prefix >> shift) << shift
+        low_index = bisect_left(self._keys, base)
+        high_index = bisect_left(self._keys, base + (1 << shift))
+        return low_index, high_index
 
     def sample_range(self, prefix: int, prefix_len: int, count: int, rng) -> List[PeerID]:
         """Up to ``count`` random online servers whose keys share the given
         prefix — the population of one k-bucket subtree."""
-        if prefix_len <= 0:
-            low_index, high_index = 0, len(self._keys)
-        else:
-            shift = KEY_BITS - prefix_len
-            base = (prefix >> shift) << shift
-            low_index = bisect_left(self._keys, base)
-            high_index = bisect_left(self._keys, base + (1 << shift))
+        return self.sample_range_info(prefix, prefix_len, count, rng)[0]
+
+    def sample_range_info(
+        self, prefix: int, prefix_len: int, count: int, rng
+    ) -> Tuple[List[PeerID], bool]:
+        """Like :meth:`sample_range`, also reporting whether ``rng`` was
+        consumed (it is drawn from only when the subtree population
+        exceeds ``count``) — the refresh-skip bookkeeping needs this to
+        prove a maintenance pass was a no-op."""
+        low_index, high_index = self.range_bounds(prefix, prefix_len)
         size = high_index - low_index
         if size <= 0:
-            return []
+            return [], False
         if size <= count:
             chosen = range(low_index, high_index)
+            consumed_rng = False
         else:
             chosen = rng.sample(range(low_index, high_index), count)
-        return [self._by_key[self._keys[index]] for index in chosen]
+            consumed_rng = True
+        keys = self._keys
+        by_key = self._by_key
+        return [by_key[keys[index]] for index in chosen], consumed_rng

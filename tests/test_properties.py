@@ -11,6 +11,8 @@ from repro.ids.cid import CID
 from repro.ids.multiaddr import Multiaddr
 from repro.ids.peerid import PeerID
 from repro.ipns.records import IPNSKeyPair, IPNSRecord
+from repro.kademlia.lookup import iterative_find_node
+from repro.kademlia.messages import PeerInfo
 from repro.kademlia.providers import ProviderRecord
 from repro.kademlia.routing_table import RoutingTable
 from repro.netsim.network import ProviderRegistry
@@ -78,6 +80,148 @@ class TestOracleProperties:
         assert set(oracle.peers()) == reference
         expected = sorted(reference, key=lambda p: p.dht_key ^ target)[:5]
         assert oracle.closest(target, 5) == expected
+
+    @settings(max_examples=30)
+    @given(st.lists(st.integers(min_value=1, max_value=40), max_size=25),
+           st.integers(min_value=0, max_value=2**256 - 1),
+           st.integers(min_value=0, max_value=60))
+    def test_closest_handles_count_beyond_population(self, tags, target, count):
+        oracle = KeyspaceOracle()
+        members = set()
+        for tag in tags:
+            peer = peer_from_tag(tag)
+            oracle.add(peer)
+            members.add(peer)
+        result = oracle.closest(target, count)
+        assert result == sorted(members, key=lambda p: p.dht_key ^ target)[:count]
+        if count >= len(members):
+            assert set(result) == members
+
+
+class TestSelectClosestProperties:
+    """``keys.select_closest`` must be bit-identical to a brute-force XOR
+    sort — it backs both the oracle and ``RoutingTable.closest``."""
+
+    @settings(max_examples=60)
+    @given(st.lists(st.integers(min_value=0, max_value=2**256 - 1),
+                    unique=True, max_size=80),
+           st.integers(min_value=0, max_value=2**256 - 1),
+           st.integers(min_value=0, max_value=100))
+    def test_matches_brute_force(self, key_list, target, count):
+        expected = sorted(key_list, key=lambda k: k ^ target)[:count]
+        assert keys.select_closest(sorted(key_list), target, count) == expected
+
+    @settings(max_examples=60)
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=7),
+                              st.integers(min_value=0, max_value=255)),
+                    max_size=60),
+           st.tuples(st.integers(min_value=0, max_value=7),
+                     st.integers(min_value=0, max_value=255)),
+           st.integers(min_value=1, max_value=30))
+    def test_matches_brute_force_on_clustered_keys(self, members, target_parts, count):
+        """Keys packed into a handful of aligned subtrees, target inside
+        one of them: deep duplicate prefixes and range-expansion edges."""
+        key_list = sorted({(high << 253) | low for high, low in members})
+        target = (target_parts[0] << 253) | target_parts[1]
+        expected = sorted(key_list, key=lambda k: k ^ target)[:count]
+        assert keys.select_closest(key_list, target, count) == expected
+
+
+class _ReferenceWalk:
+    """The pre-frontier ``_Walk``: full re-sort of the known pool on every
+    ``next_batch``/``closest_live`` (oracle implementation for the
+    equivalence property below)."""
+
+    def __init__(self, target_key, start, k, alpha):
+        self.target_key = target_key
+        self.k = k
+        self.alpha = alpha
+        self.known = {}
+        self.queried = set()
+        self.failed = set()
+        self.contacted = []
+        self.messages = 0
+        for info in start:
+            self.known.setdefault(info.peer, info)
+
+    def candidates(self):
+        pool = [info for peer, info in self.known.items() if peer not in self.failed]
+        pool.sort(key=lambda info: info.peer.dht_key ^ self.target_key)
+        return pool
+
+    def next_batch(self):
+        frontier = [
+            info for info in self.candidates()[: self.k] if info.peer not in self.queried
+        ]
+        return frontier[: self.alpha]
+
+    def absorb(self, closer_peers):
+        for info in closer_peers:
+            self.known.setdefault(info.peer, info)
+
+    def closest_live(self):
+        return [info for info in self.candidates() if info.peer in self.queried][: self.k]
+
+
+def _reference_find_node(target_key, start, query, k, alpha, max_queries=500):
+    walk = _ReferenceWalk(target_key, start, k, alpha)
+    while walk.messages < max_queries:
+        batch = walk.next_batch()
+        if not batch:
+            break
+        for info in batch:
+            if walk.messages >= max_queries:
+                break
+            walk.queried.add(info.peer)
+            walk.messages += 1
+            response = query(info.peer, target_key)
+            if response is None:
+                walk.failed.add(info.peer)
+                continue
+            walk.contacted.append(info.peer)
+            walk.absorb(response)
+    return walk
+
+
+class TestLookupWalkProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32 - 1),
+           st.integers(min_value=2, max_value=60),
+           st.integers(min_value=1, max_value=8),
+           st.integers(min_value=1, max_value=4))
+    def test_frontier_walk_matches_full_sort_walk(self, seed, population, k, alpha):
+        """On a random topology with unreachable peers, the incremental
+        frontier walk traces the exact path of the full-re-sort walk:
+        same closest set (in order), contacts (in order), failures and
+        message count."""
+        rng = random.Random(seed)
+        peers = [peer_from_tag(rng.getrandbits(128) + 1) for _ in range(population)]
+        infos = {peer: PeerInfo(peer=peer, addrs=()) for peer in peers}
+        unreachable = {peer for peer in peers if rng.random() < 0.25}
+        neighbors = {
+            peer: [
+                infos[other]
+                for other in rng.sample(peers, rng.randint(1, min(len(peers), 12)))
+            ]
+            for peer in peers
+        }
+        target = rng.getrandbits(256)
+
+        def query(peer, target_key):
+            assert target_key == target
+            if peer in unreachable:
+                return None
+            return neighbors[peer]
+
+        start = [infos[peer] for peer in rng.sample(peers, min(len(peers), 3))]
+        new = iterative_find_node(target, start, query, k=k, alpha=alpha)
+        old = _reference_find_node(target, start, query, k=k, alpha=alpha)
+        assert [info.peer for info in new.closest] == [
+            info.peer for info in old.closest_live()
+        ]
+        assert new.contacted == old.contacted
+        assert new.failed == old.failed
+        assert new.messages == old.messages
 
 
 class TestProviderRegistryProperties:
