@@ -14,12 +14,21 @@ Quick start::
     result = run_campaign(ScenarioConfig.smoke())
     print(result.crawls.avg_discovered())
 
+Campaigns can collect observability metrics (counters, histograms and
+per-phase timings; see :mod:`repro.obs`)::
+
+    from repro import ScenarioConfig, render_report, run_campaign
+    result = run_campaign(ScenarioConfig(metrics=True))
+    print(render_report(result.metrics))
+
 See DESIGN.md for the architecture and EXPERIMENTS.md for the
 paper-versus-measured comparison of every table and figure.
 """
 
+from repro.obs import MetricsRegistry, read_metrics, render_report, write_metrics
 from repro.scenario.config import ScenarioConfig
 from repro.scenario.run import CampaignResult, MeasurementCampaign, run_campaign
+from repro.store import StorageSpec, open_store, parse_spec
 from repro.world.profiles import PAPER, PaperCalibration, WorldProfile
 
 __version__ = "1.0.0"
@@ -28,9 +37,16 @@ __all__ = [
     "PAPER",
     "CampaignResult",
     "MeasurementCampaign",
+    "MetricsRegistry",
     "PaperCalibration",
     "ScenarioConfig",
+    "StorageSpec",
     "WorldProfile",
+    "open_store",
+    "parse_spec",
+    "read_metrics",
+    "render_report",
     "run_campaign",
+    "write_metrics",
     "__version__",
 ]

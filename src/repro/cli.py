@@ -4,10 +4,12 @@
     python -m repro campaign --servers 800 --days 4 --export out/
     python -m repro campaign --storage sqlite:out/logs --figures sec5
     python -m repro campaign --preset paper-horizon --workers 4
+    python -m repro campaign --metrics --metrics-out out/metrics.jsonl
     python -m repro sweep --seeds 1 2 3 --servers 300 500 --workers 4
-    python -m repro crawl --servers 500 --crawls 3
+    python -m repro crawl --servers 500 --crawls 3 --workers 4
     python -m repro store stats out/hydra.jsonl --kind hydra
     python -m repro store convert out/hydra.jsonl out/hydra.sqlite
+    python -m repro obs report out/metrics.jsonl
     python -m repro table1
 
 The CLI is a thin shell over :mod:`repro.scenario`; everything it prints
@@ -54,6 +56,22 @@ _REPORT_FUNCTIONS = {
 }
 
 
+def _exec_options() -> argparse.ArgumentParser:
+    """Shared ``--workers`` / ``--storage`` flags (one definition, used as
+    an argparse parent by campaign, sweep and crawl so help can't drift)."""
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (1 runs inline; results are identical at any count)",
+    )
+    common.add_argument(
+        "--storage", metavar="SPEC", default="memory",
+        help="storage spec: memory (default), sqlite:DIR, jsonl:DIR, "
+        "or sharded:N:sqlite:DIR (see repro.store.parse_spec)",
+    )
+    return common
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -61,9 +79,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
     commands = parser.add_subparsers(dest="command", required=True)
+    exec_options = _exec_options()
 
     campaign = commands.add_parser(
-        "campaign", help="run a measurement campaign and print figure reports"
+        "campaign", parents=[exec_options],
+        help="run a measurement campaign and print figure reports",
     )
     campaign.add_argument(
         "--preset", choices=("smoke", "default", "paper-horizon"), default="smoke"
@@ -81,17 +101,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="render figures as terminal charts (fig3 … fig20)",
     )
     campaign.add_argument(
-        "--storage", metavar="SPEC", default="memory",
-        help="monitor-log storage spec: memory (default), sqlite:DIR, "
-        "jsonl:DIR, or sharded:N:sqlite:DIR",
+        "--metrics", action="store_true",
+        help="collect observability metrics and print the summary table",
     )
     campaign.add_argument(
-        "--workers", type=int, default=1,
-        help="worker processes for the crawl phase (same results at any count)",
+        "--metrics-out", metavar="PATH",
+        help="write the metrics snapshot to PATH (.jsonl, .sqlite or .json; "
+        "implies --metrics; render later with 'repro obs report PATH')",
     )
 
     sweep = commands.add_parser(
-        "sweep", help="run a grid of campaign configs, one worker process each"
+        "sweep", parents=[exec_options],
+        help="run a grid of campaign configs, one worker process each",
     )
     sweep.add_argument(
         "--preset", choices=("smoke", "default", "paper-horizon"), default="smoke"
@@ -107,11 +128,6 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--days", type=int, nargs="*", default=[],
         help="measurement-days axis of the grid",
-    )
-    sweep.add_argument("--workers", type=int, default=1, help="concurrent campaigns")
-    sweep.add_argument(
-        "--storage", metavar="SPEC", default=None,
-        help="disk storage spec; each campaign gets its own task-N subdirectory",
     )
     sweep.add_argument(
         "--full-reports", action="store_true",
@@ -139,11 +155,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="which log type the files hold",
     )
 
-    crawl = commands.add_parser("crawl", help="crawl a freshly bootstrapped overlay")
+    crawl = commands.add_parser(
+        "crawl", parents=[exec_options],
+        help="crawl a freshly bootstrapped overlay",
+    )
     crawl.add_argument("--servers", type=int, default=500)
     crawl.add_argument("--crawls", type=int, default=2)
     crawl.add_argument("--timeout", type=float, default=180.0)
     crawl.add_argument("--seed", type=int, default=2023)
+
+    obs_cmd = commands.add_parser("obs", help="observability tooling")
+    obs_commands = obs_cmd.add_subparsers(dest="obs_command", required=True)
+    obs_report = obs_commands.add_parser(
+        "report", help="render a saved metrics snapshot as a summary table"
+    )
+    obs_report.add_argument("path", help="metrics file (.jsonl, .sqlite, .db or .json)")
 
     commands.add_parser("table1", help="print the paper's Table 1 counting example")
     return parser
@@ -178,6 +204,10 @@ def _config_from_args(args) -> ScenarioConfig:
         import dataclasses
 
         config = dataclasses.replace(config, workers=args.workers)
+    if getattr(args, "metrics", False) or getattr(args, "metrics_out", None):
+        import dataclasses
+
+        config = dataclasses.replace(config, metrics=True)
     return config
 
 
@@ -219,6 +249,14 @@ def _run_campaign_command(args) -> int:
         print(f"\nexported to {args.export}:")
         for artifact, count in counts.items():
             print(f"  {artifact}: {count}")
+    if result.metrics is not None:
+        from repro.obs import render_report, write_metrics
+
+        if args.metrics_out:
+            count = write_metrics(result.metrics, args.metrics_out)
+            print(f"\nmetrics: {count} records -> {args.metrics_out}")
+        print("\n## metrics")
+        print(render_report(result.metrics))
     return 0
 
 
@@ -240,7 +278,7 @@ def _run_sweep_command(args) -> int:
         configs,
         workers=args.workers,
         full_reports=args.full_reports,
-        storage_spec=args.storage,
+        storage_spec=None if args.storage == "memory" else args.storage,
     )
     header = f"{'servers':>8} {'days':>5} {'seed':>6} {'crawls':>7} {'discovered':>11} {'an_cloud':>9} {'gip_cloud':>10} {'dht_msgs':>9}"
     print(header)
@@ -272,22 +310,55 @@ def _run_sweep_command(args) -> int:
 def _run_crawl_command(args) -> int:
     import random
 
-    from repro.core.crawler import DHTCrawler
+    from repro.core.crawler import CrawlDataset, DHTCrawler, execute_crawl_task
+    from repro.exec.engine import run_tasks
     from repro.netsim.network import Overlay
+    from repro.store import parse_spec
     from repro.world.population import build_world
 
+    try:
+        spec = parse_spec(args.storage)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     world = build_world(WorldProfile(online_servers=args.servers, seed=args.seed))
     overlay = Overlay(world)
     overlay.bootstrap()
     crawler = DHTCrawler(overlay, timeout=args.timeout, rng=random.Random(args.seed))
-    for crawl_id in range(args.crawls):
-        snapshot = crawler.crawl(crawl_id)
+    # The overlay is frozen between crawls, so all tasks can be captured
+    # up front and fanned out over the pool (inline when --workers 1).
+    tasks = [crawler.task(crawl_id) for crawl_id in range(args.crawls)]
+    snapshots, errors = run_tasks(execute_crawl_task, tasks, workers=args.workers)
+    for snapshot in snapshots:
+        if snapshot is None:
+            continue
         print(
-            f"crawl {crawl_id}: discovered {snapshot.num_discovered}, "
+            f"crawl {snapshot.crawl_id}: discovered {snapshot.num_discovered}, "
             f"crawlable {snapshot.num_crawlable}, "
             f"duration {snapshot.duration:.0f}s, "
             f"requests {snapshot.requests_sent}"
         )
+    for error in errors:
+        print(f"error: {error}", file=sys.stderr)
+    if not spec.is_memory:
+        from repro.core.datasets import write_crawl_csv, write_crawl_jsonl
+
+        directory = Path(spec.path)
+        directory.mkdir(parents=True, exist_ok=True)
+        dataset = CrawlDataset(snapshots=[s for s in snapshots if s is not None])
+        rows = write_crawl_jsonl(dataset, directory / "crawls.jsonl")
+        write_crawl_csv(dataset, directory / "crawls.csv")
+        print(f"wrote {rows} observation rows to {directory}/crawls.jsonl (+ .csv)")
+    return 1 if errors else 0
+
+
+def _run_obs_command(args) -> int:
+    from repro.obs import read_metrics, render_report
+
+    if not Path(args.path).exists():
+        print(f"error: no such metrics file: {args.path}", file=sys.stderr)
+        return 2
+    print(render_report(read_metrics(args.path)))
     return 0
 
 
@@ -362,6 +433,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_crawl_command(args)
     if args.command == "store":
         return _run_store_command(args)
+    if args.command == "obs":
+        return _run_obs_command(args)
     if args.command == "table1":
         return _run_table1_command()
     return 2  # pragma: no cover - argparse enforces the choices

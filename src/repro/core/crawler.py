@@ -35,6 +35,8 @@ from repro.exec.seeds import derive_seed
 from repro.ids.keys import KEY_BITS, random_key_in_bucket
 from repro.ids.peerid import PeerID
 from repro.netsim.network import Overlay
+from repro.obs import metrics as obs
+from repro.obs.metrics import MetricsRegistry, use_registry
 
 #: The paper's crawl connection timeout (3 minutes).
 DEFAULT_TIMEOUT = 180.0
@@ -271,6 +273,7 @@ def execute_crawl_task(task: CrawlTask) -> CrawlSnapshot:
     edges: Dict[int, Tuple[int, ...]] = {}
     requests_sent = 0
     responsive_work = 0.0
+    timeouts = 0
     had_unresponsive = False
     depth = int(math.log2(max(task.oracle_size, 2))) + 6
 
@@ -280,6 +283,7 @@ def execute_crawl_task(task: CrawlTask) -> CrawlSnapshot:
         server = task.servers.get(index)
         if server is None or not server[0] or server[1] > task.timeout:
             had_unresponsive = True
+            timeouts += 1
             observations[index] = False
             continue
         responsive_work += server[1]
@@ -327,7 +331,30 @@ def execute_crawl_task(task: CrawlTask) -> CrawlSnapshot:
     snapshot.duration = responsive_work / CRAWL_PARALLELISM + (
         task.timeout if had_unresponsive else 0.0
     )
+    crawlable = len(edges)
+    obs.inc("crawl.crawls")
+    obs.inc("crawl.requests", requests_sent)
+    obs.inc("crawl.timeouts", timeouts)
+    obs.inc("crawl.discovered", len(observations))
+    obs.inc("crawl.crawlable", crawlable)
+    obs.observe("crawl.contacted_peers", crawlable + timeouts)
     return snapshot
+
+
+def execute_crawl_task_observed(task: CrawlTask):
+    """Run one crawl, collecting its metrics into a private registry.
+
+    Returns ``(snapshot, metrics_snapshot)``.  A fresh registry is
+    installed for the duration of the crawl, so metrics collected on a
+    worker process never mix with whatever registry the worker inherited
+    at fork; the parent merges the per-task snapshots in ``crawl_id``
+    order, which makes the totals independent of worker count and
+    completion order (the same contract as the sharded-log heap-merge).
+    """
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        snapshot = execute_crawl_task(task)
+    return snapshot, registry.snapshot()
 
 
 class DHTCrawler:

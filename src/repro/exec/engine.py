@@ -17,6 +17,7 @@ flight.
 from __future__ import annotations
 
 import multiprocessing
+import time
 from concurrent.futures import (
     FIRST_COMPLETED,
     CancelledError,
@@ -27,6 +28,9 @@ from concurrent.futures import (
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.obs import metrics as obs
+from repro.obs.metrics import TIME_BUCKETS
 
 
 @dataclass(frozen=True)
@@ -70,7 +74,7 @@ class ParallelExecutor:
         #: bumped on every rebuild so that the flood of BrokenProcessPool
         #: errors one dead worker causes tears the pool down only once.
         self._generation = 0
-        self._pending: Dict[Future, Tuple[Hashable, Callable, tuple, int, int]] = {}
+        self._pending: Dict[Future, Tuple[Hashable, Callable, tuple, int, int, float]] = {}
         self._results: Dict[Hashable, Any] = {}
         self._errors: List[ExecError] = []
 
@@ -92,6 +96,7 @@ class ParallelExecutor:
         if generation != self._generation:
             return  # already rebuilt for this break
         self._generation += 1
+        obs.inc("exec.pool_rebuilds")
         if self._pool is not None:
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
@@ -119,27 +124,39 @@ class ParallelExecutor:
         """
         if task_id in self._results:
             raise ValueError(f"duplicate task id: {task_id!r}")
+        obs.inc("exec.tasks")
         if self.workers == 1:
             self._run_inline(task_id, fn, args)
         else:
             future = self._ensure_pool().submit(fn, *args)
-            self._pending[future] = (task_id, fn, args, 1, self._generation)
+            self._pending[future] = (
+                task_id, fn, args, 1, self._generation, time.perf_counter()
+            )
 
     def _run_inline(self, task_id: Hashable, fn: Callable, args: tuple) -> None:
         last: Optional[BaseException] = None
-        for _ in range(self.retries + 1):
+        for attempt in range(self.retries + 1):
+            if attempt:
+                obs.inc("exec.retries")
+            started = time.perf_counter()
             try:
                 self._results[task_id] = fn(*args)
-                return
             except Exception as exc:  # noqa: BLE001 - surfaced as ExecError
                 last = exc
+            else:
+                obs.observe("exec.task_seconds", time.perf_counter() - started, TIME_BUCKETS)
+                return
+        obs.inc("exec.failures")
         self._errors.append(
             ExecError(task_id=task_id, error=repr(last), attempts=self.retries + 1)
         )
 
     def _resubmit(self, task_id: Hashable, fn: Callable, args: tuple, attempt: int) -> None:
+        obs.inc("exec.retries")
         future = self._ensure_pool().submit(fn, *args)
-        self._pending[future] = (task_id, fn, args, attempt, self._generation)
+        self._pending[future] = (
+            task_id, fn, args, attempt, self._generation, time.perf_counter()
+        )
 
     def drain(self) -> Tuple[Dict[Hashable, Any], List[ExecError]]:
         """Wait for every submitted task; return ``(results, errors)``.
@@ -150,9 +167,14 @@ class ParallelExecutor:
         while self._pending:
             done, _ = wait(list(self._pending), return_when=FIRST_COMPLETED)
             for future in done:
-                task_id, fn, args, attempt, generation = self._pending.pop(future)
+                task_id, fn, args, attempt, generation, submitted = self._pending.pop(future)
                 try:
                     self._results[task_id] = future.result()
+                    # Queueing time is included; close enough for the
+                    # per-task duration histogram.
+                    obs.observe(
+                        "exec.task_seconds", time.perf_counter() - submitted, TIME_BUCKETS
+                    )
                 except (BrokenProcessPool, CancelledError) as exc:
                     # The worker died mid-task and took the pool (and any
                     # still-queued futures) with it.  Every in-flight
@@ -163,6 +185,7 @@ class ParallelExecutor:
                     if attempt <= self.retries:
                         self._resubmit(task_id, fn, args, attempt + 1)
                     else:
+                        obs.inc("exec.failures")
                         self._errors.append(
                             ExecError(task_id, repr(exc), attempt, stage="worker")
                         )
@@ -170,6 +193,7 @@ class ParallelExecutor:
                     if attempt <= self.retries:
                         self._resubmit(task_id, fn, args, attempt + 1)
                     else:
+                        obs.inc("exec.failures")
                         self._errors.append(ExecError(task_id, repr(exc), attempt))
         return dict(self._results), list(self._errors)
 

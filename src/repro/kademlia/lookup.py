@@ -27,6 +27,7 @@ from repro.ids.cid import CID
 from repro.ids.peerid import PeerID
 from repro.kademlia.messages import PeerInfo
 from repro.kademlia.providers import ProviderRecord
+from repro.obs import metrics as obs
 
 #: Kademlia replication parameter: number of closest peers returned,
 #: and number of resolvers holding each provider record.
@@ -189,6 +190,10 @@ def iterative_find_node(
                 continue
             walk.contacted.append(info.peer)
             walk.absorb(response)
+    obs.inc("lookup.find_node_walks")
+    obs.inc("lookup.messages", walk.messages)
+    obs.inc("lookup.failed_peers", len(walk.failed))
+    obs.observe("lookup.walk_messages", walk.messages)
     return LookupResult(
         closest=walk.closest_live(),
         contacted=walk.contacted,
@@ -240,6 +245,11 @@ def iterative_find_providers(
             walk.absorb(closer_peers)
             if not exhaustive and len(providers) >= max_providers:
                 break
+    obs.inc("lookup.find_providers_walks")
+    obs.inc("lookup.messages", walk.messages)
+    obs.inc("lookup.failed_peers", len(walk.failed))
+    obs.inc("lookup.provider_records", len(providers))
+    obs.observe("lookup.walk_messages", walk.messages)
     return ProviderLookupResult(
         closest=walk.closest_live(),
         contacted=walk.contacted,

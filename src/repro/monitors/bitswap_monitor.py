@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Set
 from repro.ids.cid import CID
 from repro.ids.peerid import PeerID
 from repro.netsim.node import Node
+from repro.obs import metrics as obs
 from repro.world.population import NodeClass
 
 if TYPE_CHECKING:  # pragma: no cover - the store imports us for the codec
@@ -58,8 +59,10 @@ class BitswapMonitor:
     ) -> None:
         # Imported here: repro.store's codecs need this module, so a
         # module-level import would be circular.
-        from repro.store import BITSWAP_CODEC, EventLog
+        from repro.store import BITSWAP_CODEC, EventLog, open_store
 
+        if isinstance(store, str):
+            store = open_store(store)
         self.rng = rng or random.Random(0xB17)
         self.log: "EventLog" = EventLog(BITSWAP_CODEC, store)
         self._connected_specs: Dict[int, bool] = {}
@@ -78,8 +81,10 @@ class BitswapMonitor:
 
     def observe_broadcast(self, timestamp: float, node: Node, cid: CID) -> bool:
         """Log the broadcast if the sender is connected to us."""
+        obs.inc("bitswap.broadcasts_seen")
         if not self.is_connected(node) or node.peer is None or not node.ips:
             return False
+        obs.inc("bitswap.broadcasts_logged")
         self.log.append(
             BitswapLogEntry(
                 timestamp=timestamp,

@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional
 from repro.ids.cid import CID
 from repro.ids.peerid import PeerID
 from repro.kademlia.messages import MessageEnvelope, MessageType, TrafficClass
+from repro.obs import metrics as obs
 
 if TYPE_CHECKING:  # pragma: no cover - the store imports us for the codec
     from repro.store.backend import StorageBackend
@@ -31,8 +32,8 @@ class HydraBooster:
     """A multi-headed DHT server that logs every incoming request.
 
     The log lives in an :class:`~repro.store.eventlog.EventLog`; pass a
-    ``store`` backend (e.g. from :func:`repro.store.open_backend`) to
-    spill it to disk instead of RAM.
+    ``store`` backend or spec string (e.g. ``"sqlite:out/hydra.sqlite"``,
+    see :func:`repro.store.open_store`) to spill it to disk instead of RAM.
     """
 
     def __init__(
@@ -44,8 +45,10 @@ class HydraBooster:
     ) -> None:
         # Imported here: repro.store's codecs need the monitor modules,
         # so a module-level import would be circular.
-        from repro.store import HYDRA_CODEC, EventLog
+        from repro.store import HYDRA_CODEC, EventLog, open_store
 
+        if isinstance(store, str):
+            store = open_store(store)
         if num_heads < 1:
             raise ValueError("a Hydra needs at least one head")
         self.rng = rng or random.Random(0x47D2A)
@@ -115,6 +118,7 @@ class HydraBooster:
             via_relay=via_relay,
         )
         self.log.append(envelope)
+        obs.inc("hydra.messages_logged")
         return envelope
 
     # -- hydra cache behaviour ---------------------------------------------------
@@ -123,7 +127,9 @@ class HydraBooster:
         """True on cache hit; a miss marks the CID as being fetched."""
         last = self._cache.get(cid)
         if last is not None and now - last < self.cache_ttl:
+            obs.inc("hydra.cache_hits")
             return True
+        obs.inc("hydra.cache_misses")
         self._cache[cid] = now
         return False
 

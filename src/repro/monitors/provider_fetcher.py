@@ -17,6 +17,7 @@ from repro.ids.cid import CID
 from repro.kademlia.lookup import iterative_find_providers
 from repro.kademlia.providers import ProviderRecord
 from repro.netsim.network import Overlay
+from repro.obs import metrics as obs
 
 
 @dataclass
@@ -81,6 +82,10 @@ class ProviderRecordFetcher:
             walk_messages=result.messages,
         )
         self.observations.append(observation)
+        obs.inc("providers.fetches")
+        obs.inc("providers.walk_messages", result.messages)
+        obs.inc("providers.records", len(records))
+        obs.inc("providers.reachable_records", len(reachable))
         return observation
 
     def fetch_many(self, cids: Sequence[CID]) -> List[ProviderObservation]:

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import math
 import random
+import warnings
 from bisect import bisect_left, insort
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -33,6 +34,7 @@ from repro.kademlia.routing_table import RoutingTable
 from repro.netsim.clock import EventScheduler, SECONDS_PER_HOUR
 from repro.netsim.node import Node
 from repro.netsim.oracle import KeyspaceOracle
+from repro.obs import metrics as obs
 from repro.world.population import NodeClass, NodeSpec, World
 
 
@@ -280,6 +282,7 @@ class Overlay:
         self._last_infos[node.peer] = node.peer_info()
         if node.is_dht_server:
             self._join_dht(node)
+        obs.inc("netsim.sessions_started")
 
     def rotate_addresses(self, node: Node) -> None:
         """Mid-session DHCP re-lease: the node's addresses change while it
@@ -327,6 +330,7 @@ class Overlay:
                     holders.discard(node)
             node.routing_table = None
         self._mark_refresh_dirty(node)
+        obs.inc("netsim.sessions_ended")
 
     # ------------------------------------------------------------------
     # DHT join, refresh, stale handling
@@ -540,10 +544,17 @@ class Overlay:
         bit-identical to an unconditional full pass.
         """
         clean = self._refresh_clean if self.refresh_skip_enabled else ()
+        refreshed = skipped = 0
         for node in self.online_servers():
             if node in clean:
+                skipped += 1
                 continue
             self.refresh_node(node)
+            refreshed += 1
+        obs.inc("netsim.refresh_passes")
+        obs.inc("netsim.refresh_nodes", refreshed)
+        obs.inc("netsim.refresh_skips", skipped)
+        obs.set_gauge("netsim.online_servers", refreshed + skipped)
 
     def schedule_periodic_refresh(self) -> None:
         interval = self.refresh_interval_hours * SECONDS_PER_HOUR
@@ -601,6 +612,7 @@ class Overlay:
 
     def pick_relay(self, exclude: Optional[Node] = None) -> Optional[Node]:
         """A NAT-ed peer connects to a random relay-capable DHT server."""
+        obs.inc("netsim.relay_picks")
         if self._relay_unsampled:
             self._drain_relay_unsampled(exclude)
         known = self._relay_known
@@ -690,7 +702,9 @@ class Overlay:
         cache = self._resolver_cache
         generation = self.oracle.generation
         if cache is not None and cache[0] == generation and cache[1] == cid:
+            obs.inc("netsim.resolver_cache_hits")
             return cache[2]
+        obs.inc("netsim.resolver_cache_misses")
         resolvers = self.oracle.closest(cid.dht_key, self.k)
         self._resolver_cache = (generation, cid, resolvers)
         return resolvers
@@ -774,5 +788,14 @@ class Overlay:
 
 def in_degree_counts(overlay: Overlay) -> Dict[PeerID, int]:
     """How often each peer appears in other peers' buckets (the estimate
-    of in-degree the paper uses, §4)."""
+    of in-degree the paper uses, §4).
+
+    .. deprecated::
+        Use :meth:`Overlay.in_degrees` instead.
+    """
+    warnings.warn(
+        "in_degree_counts() is deprecated; use Overlay.in_degrees() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return overlay.in_degrees()

@@ -1,0 +1,91 @@
+"""Campaign observability: metrics, spans and phase timings.
+
+The paper's measurement pipelines are long-running campaigns (38 days,
+101 crawls, 200 k daily CID samples at paper scale); operating — and
+optimising — them requires telemetry, just like the Nebula crawler's
+per-crawl metrics and the Hydra operators' dashboards the paper itself
+relies on (§3, §5.1).  This package provides the zero-dependency
+substrate:
+
+* :class:`MetricsRegistry` — counters, gauges, fixed-bucket histograms;
+* :func:`span` — lightweight wall-time trace contexts with hierarchical
+  phase attribution (``campaign/simulate/provider-fetch``);
+* exporters — a record stream through any :mod:`repro.store` backend, a
+  flat JSON snapshot, and the human-readable table behind
+  ``repro obs report``.
+
+Metrics are **off by default**: the active registry is a null object
+whose operations are bare no-op calls, so instrumented hot paths cost
+nothing measurable and campaign outputs stay bit-identical.  Enable them
+per campaign with ``ScenarioConfig(metrics=True)`` (the result then
+carries ``CampaignResult.metrics``), globally with :func:`enable`, or
+scoped with :func:`use_registry`::
+
+    import repro.obs as obs
+
+    registry = obs.enable()
+    with obs.span("my-phase"):
+        ...
+    print(obs.render_report(registry.snapshot()))
+
+Per-worker registries (one per crawl task) are merged deterministically
+in the parent via :meth:`MetricsRegistry.merge_snapshot`, mirroring the
+sharded-log heap-merge; :func:`deterministic_view` is the cross-worker
+bit-identical portion of a snapshot.
+"""
+
+from repro.obs.export import (
+    metrics_to_records,
+    read_metrics,
+    records_to_snapshot,
+    render_report,
+    write_metrics,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    NONDETERMINISTIC_COUNTERS,
+    NULL_REGISTRY,
+    TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    deterministic_view,
+    disable,
+    enable,
+    get_registry,
+    inc,
+    observe,
+    set_gauge,
+    set_registry,
+    span,
+    use_registry,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NONDETERMINISTIC_COUNTERS",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "TIME_BUCKETS",
+    "deterministic_view",
+    "disable",
+    "enable",
+    "get_registry",
+    "inc",
+    "metrics_to_records",
+    "observe",
+    "read_metrics",
+    "records_to_snapshot",
+    "render_report",
+    "set_gauge",
+    "set_registry",
+    "span",
+    "use_registry",
+    "write_metrics",
+]

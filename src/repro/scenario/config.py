@@ -52,6 +52,11 @@ class ScenarioConfig:
     #: monitor logs are automatically sharded ``workers`` ways (merged
     #: back through the order-preserving ShardedBackend heap-merge).
     workers: int = 1
+    #: collect observability metrics (see :mod:`repro.obs`) during the
+    #: campaign; the snapshot lands in ``CampaignResult.metrics``.  Off by
+    #: default: the disabled path is a no-op null registry and campaign
+    #: outputs are bit-identical either way.
+    metrics: bool = False
     seed: int = 2023
 
     @property

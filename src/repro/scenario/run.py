@@ -10,12 +10,18 @@ object carries every dataset the §4-§7 analyses need.
 from __future__ import annotations
 
 import random
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
 from repro.content.catalog import ContentCatalog
 from repro.content.workload import TrafficEngine
-from repro.core.crawler import CrawlDataset, DHTCrawler, execute_crawl_task
+from repro.core.crawler import (
+    CrawlDataset,
+    DHTCrawler,
+    execute_crawl_task,
+    execute_crawl_task_observed,
+)
 from repro.exec.engine import ExecError, ParallelExecutor
 from repro.dns.scanner import ActiveScanner, DNSLinkScanResult
 from repro.dns.seeding import DNSWorld, seed_dns_world
@@ -33,6 +39,8 @@ from repro.netsim.churn import ChurnProcess, DailyAddressRotation, PresenceAdver
 from repro.netsim.clock import SECONDS_PER_DAY
 from repro.netsim.network import Overlay
 from repro.netsim.node import Node
+from repro.obs import metrics as obs
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry, use_registry
 from repro.scenario.config import ScenarioConfig
 from repro.store import campaign_stores
 from repro.world.population import NodeClass, NodeSpec, PopulationBuilder, World
@@ -62,6 +70,9 @@ class CampaignResult:
     #: crawl tasks that failed even after a retry (empty on clean runs);
     #: their snapshots are missing from ``crawls``.
     exec_errors: List[ExecError] = field(default_factory=list)
+    #: observability snapshot (see :mod:`repro.obs`) when the campaign ran
+    #: with ``ScenarioConfig.metrics`` enabled, else ``None``.
+    metrics: Optional[Dict[str, object]] = None
 
     @property
     def crawl_rows(self):
@@ -76,13 +87,31 @@ class MeasurementCampaign:
     def __init__(self, config: Optional[ScenarioConfig] = None) -> None:
         self.config = config or ScenarioConfig()
         self.rng = random.Random(self.config.seed + 100)
+        #: the campaign's metrics registry: a collecting one when
+        #: ``config.metrics`` is set, else the shared no-op null object.
+        self.obs = MetricsRegistry() if self.config.metrics else NULL_REGISTRY
         self._built = False
+
+    def _observed(self):
+        """Install the campaign registry while metrics are enabled.
+
+        When they are not, the surrounding registry is left alone, so a
+        user-installed global registry (``repro.obs.enable()``) still
+        sees the instrumentation.
+        """
+        if self.config.metrics:
+            return use_registry(self.obs)
+        return nullcontext()
 
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
 
     def build(self) -> None:
+        with self._observed(), obs.span("campaign"), obs.span("build"):
+            self._build()
+
+    def _build(self) -> None:
         config = self.config
         self.world = PopulationBuilder(config.profile).build()
         self.operators = default_operators()
@@ -161,6 +190,17 @@ class MeasurementCampaign:
     def run(self) -> CampaignResult:
         if not self._built:
             self.build()
+        with self._observed(), obs.span("campaign"):
+            result = self._run()
+        if self.config.metrics:
+            self.obs.set_gauge("campaign.workers", self.config.workers)
+            self.obs.set_gauge("campaign.num_crawls", len(result.crawls))
+            self.obs.set_gauge("campaign.hydra_log_entries", len(self.hydra.log))
+            self.obs.set_gauge("campaign.bitswap_log_entries", len(self.monitor.log))
+            result.metrics = self.obs.snapshot()
+        return result
+
+    def _run(self) -> CampaignResult:
         config = self.config
         overlay = self.overlay
         if config.traffic_enabled:
@@ -191,42 +231,62 @@ class MeasurementCampaign:
         # identical pure function inline, so the dataset is bit-identical
         # either way (each crawl's randomness is derived, never shared).
         crawl_engine = ParallelExecutor(workers=config.workers, retries=1)
+        # With metrics on, each crawl collects into its own registry (so
+        # nothing is lost on worker processes) and the parent merges the
+        # per-task snapshots in crawl order below — identical totals at
+        # any worker count.
+        crawl_fn = execute_crawl_task_observed if config.metrics else execute_crawl_task
 
-        for day in range(total_days):
-            self.catalog.build_day_index(day)
-            if config.traffic_enabled:
-                self.engine.platform_reprovide_pass()
-                self.engine.user_reprovide_pass()
-            for tick in range(config.ticks_per_day):
-                while (
-                    day >= warmup
-                    and overlay.now >= next_crawl
-                    and crawl_id < config.num_crawls
-                ):
-                    crawl_engine.submit(
-                        crawl_id, execute_crawl_task, self.crawler.task(crawl_id)
-                    )
-                    crawl_id += 1
-                    next_crawl += crawl_interval
-                tick_start = overlay.now
+        with obs.span("simulate"):
+            for day in range(total_days):
+                obs.inc("campaign.days")
+                self.catalog.build_day_index(day)
                 if config.traffic_enabled:
-                    self.engine.run_tick(tick_seconds / 3600.0)
-                if config.traffic_enabled and day >= fetch_from_day:
-                    # The paper fetches each day's sampled CIDs the same
-                    # day; fetching per tick keeps the same freshness.
-                    sampled = self.monitor.sampled_cids_in_window(
-                        tick_start,
-                        overlay.now + tick_seconds,
-                        config.daily_cid_sample // config.ticks_per_day,
+                    self.engine.platform_reprovide_pass()
+                    self.engine.user_reprovide_pass()
+                for tick in range(config.ticks_per_day):
+                    obs.inc("campaign.ticks")
+                    while (
+                        day >= warmup
+                        and overlay.now >= next_crawl
+                        and crawl_id < config.num_crawls
+                    ):
+                        crawl_engine.submit(
+                            crawl_id, crawl_fn, self.crawler.task(crawl_id)
+                        )
+                        crawl_id += 1
+                        next_crawl += crawl_interval
+                    tick_start = overlay.now
+                    if config.traffic_enabled:
+                        self.engine.run_tick(tick_seconds / 3600.0)
+                    if config.traffic_enabled and day >= fetch_from_day:
+                        # The paper fetches each day's sampled CIDs the same
+                        # day; fetching per tick keeps the same freshness.
+                        sampled = self.monitor.sampled_cids_in_window(
+                            tick_start,
+                            overlay.now + tick_seconds,
+                            config.daily_cid_sample // config.ticks_per_day,
+                        )
+                        with obs.span("provider-fetch"):
+                            provider_observations.extend(self.fetcher.fetch_many(sampled))
+                    overlay.scheduler.run_until(
+                        day * SECONDS_PER_DAY + (tick + 1) * tick_seconds
                     )
-                    provider_observations.extend(self.fetcher.fetch_many(sampled))
-                overlay.scheduler.run_until(day * SECONDS_PER_DAY + (tick + 1) * tick_seconds)
 
-        crawl_results, exec_errors = crawl_engine.drain()
-        crawl_engine.close()
-        crawl_dataset = CrawlDataset(
-            snapshots=[crawl_results[i] for i in sorted(crawl_results)]
-        )
+        with obs.span("crawl-drain"):
+            crawl_results, exec_errors = crawl_engine.drain()
+            crawl_engine.close()
+            if config.metrics:
+                snapshots = []
+                for i in sorted(crawl_results):
+                    snapshot, crawl_metrics = crawl_results[i]
+                    snapshots.append(snapshot)
+                    self.obs.merge_snapshot(crawl_metrics)
+                crawl_dataset = CrawlDataset(snapshots=snapshots)
+            else:
+                crawl_dataset = CrawlDataset(
+                    snapshots=[crawl_results[i] for i in sorted(crawl_results)]
+                )
 
         # Provider records expire after 24 h; refresh them so the one-shot
         # entry-point measurements below resolve live content.
@@ -242,17 +302,20 @@ class MeasurementCampaign:
         if not monitor_node.online:
             overlay.bring_online(monitor_node)
         prober = GatewayProber(overlay, self.monitor, monitor_node)
-        probe_reports = prober.run_campaign(
-            self.services, config.gateway_probes_per_endpoint
-        )
+        with obs.span("gateway-probe"):
+            probe_reports = prober.run_campaign(
+                self.services, config.gateway_probes_per_endpoint
+            )
         scanner = ActiveScanner(self.dns_world.resolver)
-        dns_scan = scanner.scan(self.dns_world.scan_input)
+        with obs.span("dns-scan"):
+            dns_scan = scanner.scan(self.dns_world.scan_input)
         scraper = ENSContenthashScraper(
             ens_world.chain, [resolver.address for resolver in ens_world.resolvers]
         )
-        ens_scrape = scraper.scrape()
-        ens_fetcher = ProviderRecordFetcher(overlay)
-        ens_observations = ens_fetcher.fetch_many(ens_scrape.cids())
+        with obs.span("ens-scrape"):
+            ens_scrape = scraper.scrape()
+            ens_fetcher = ProviderRecordFetcher(overlay)
+            ens_observations = ens_fetcher.fetch_many(ens_scrape.cids())
 
         # Disk-backed logs buffer writes; make the stored state complete
         # before handing the datasets to the analyses.

@@ -1,6 +1,9 @@
 """Storage subsystem: pluggable, shardable event-log backends.
 
-``open_backend`` turns a spec string into a backend::
+Spec strings name a backend; :func:`parse_spec` is the single parser and
+:func:`open_store` the single factory everything routes through
+(``ScenarioConfig.storage``, the monitors' ``store=`` parameters, sweep
+task rebasing and the CLI)::
 
     memory                      # Python objects in RAM (the default)
     jsonl:/data/hydra.jsonl     # append-only JSON lines
@@ -14,8 +17,9 @@ measurement campaign needs (treating the spec's path as a directory).
 
 from __future__ import annotations
 
+from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple, Union
 
 from repro.store.backend import (
     JsonlBackend,
@@ -40,36 +44,77 @@ __all__ = [
     "ShardedBackend",
     "SqliteBackend",
     "StorageBackend",
+    "StorageSpec",
     "campaign_stores",
     "copy_records",
     "open_backend",
+    "open_file_backend",
+    "open_store",
+    "parse_spec",
     "task_storage_spec",
 ]
 
 #: File suffixes understood by path-based auto-detection.
 _SUFFIX_KINDS = {".jsonl": "jsonl", ".sqlite": "sqlite", ".db": "sqlite"}
 
-
-def _sharded_path(path: str, shard: int) -> str:
-    pure = Path(path)
-    return str(pure.with_name(f"{pure.stem}-shard{shard}{pure.suffix}"))
+#: Spec kinds that store records in files (shardable, rebasable).
+_FILE_KINDS = ("jsonl", "sqlite")
 
 
-def open_backend(spec: str) -> StorageBackend:
-    """Build a storage backend from a spec string (see module docs)."""
+@dataclass(frozen=True)
+class StorageSpec:
+    """A parsed storage spec (see module docs for the string forms).
+
+    ``kind`` is ``memory``, ``jsonl`` or ``sqlite``; ``shards > 1``
+    round-robins over that many backends of the same kind.  ``path`` is
+    ``None`` for the memory backend and may be SQLite's anonymous
+    ``:memory:`` marker.
+    """
+
+    kind: str
+    path: Optional[str] = None
+    shards: int = 1
+
+    @property
+    def is_memory(self) -> bool:
+        return self.kind == "memory"
+
+    @property
+    def on_disk(self) -> bool:
+        """Whether the spec names actual files (shardable, rebasable)."""
+        return self.kind in _FILE_KINDS and self.path != ":memory:"
+
+    def with_path(self, path) -> "StorageSpec":
+        return replace(self, path=str(path))
+
+    def to_string(self) -> str:
+        """The canonical spec string (round-trips through parse_spec)."""
+        if self.is_memory:
+            return "memory"
+        if self.shards > 1:
+            return f"sharded:{self.shards}:{self.kind}:{self.path}"
+        return f"{self.kind}:{self.path}"
+
+
+def parse_spec(spec: Union[str, StorageSpec]) -> StorageSpec:
+    """Parse a storage spec string into a :class:`StorageSpec`.
+
+    The single place spec syntax is understood; raises ``ValueError`` on
+    malformed specs.  Already-parsed specs pass through unchanged.
+    """
+    if isinstance(spec, StorageSpec):
+        return spec
     kind, _, rest = spec.partition(":")
     if kind == "memory":
         if rest:
             raise ValueError(f"memory backend takes no path: {spec!r}")
-        return MemoryBackend()
-    if kind == "jsonl":
+        return StorageSpec(kind="memory")
+    if kind in _FILE_KINDS:
         if not rest:
-            raise ValueError(f"jsonl backend needs a path: {spec!r}")
-        return JsonlBackend(rest)
-    if kind == "sqlite":
-        if not rest:
-            raise ValueError(f"sqlite backend needs a path or :memory:: {spec!r}")
-        return SqliteBackend(rest)
+            raise ValueError(f"{kind} backend needs a path: {spec!r}")
+        if rest == ":memory:" and kind != "sqlite":
+            raise ValueError(f"only sqlite supports :memory:: {spec!r}")
+        return StorageSpec(kind=kind, path=rest)
     if kind == "sharded":
         count_text, _, inner = rest.partition(":")
         try:
@@ -78,16 +123,47 @@ def open_backend(spec: str) -> StorageBackend:
             raise ValueError(f"sharded spec needs a shard count: {spec!r}") from None
         if shards < 1 or not inner:
             raise ValueError(f"bad sharded spec: {spec!r}")
-        inner_kind, _, inner_path = inner.partition(":")
-        if inner_kind == "sqlite" and inner_path == ":memory:":
-            return ShardedBackend([SqliteBackend(":memory:") for _ in range(shards)])
-        if inner_kind in ("jsonl", "sqlite") and inner_path:
-            opener = JsonlBackend if inner_kind == "jsonl" else SqliteBackend
-            return ShardedBackend(
-                [opener(_sharded_path(inner_path, i)) for i in range(shards)]
-            )
-        raise ValueError(f"cannot shard backend spec: {inner!r}")
+        parsed = parse_spec(inner)
+        if parsed.kind not in _FILE_KINDS:
+            raise ValueError(f"cannot shard backend spec: {inner!r}")
+        return replace(parsed, shards=shards)
     raise ValueError(f"unknown storage backend spec: {spec!r}")
+
+
+def _sharded_path(path: str, shard: int) -> str:
+    pure = Path(path)
+    return str(pure.with_name(f"{pure.stem}-shard{shard}{pure.suffix}"))
+
+
+def open_store(
+    spec: Union[str, StorageSpec, StorageBackend, None] = None,
+) -> StorageBackend:
+    """The one storage factory: spec string, parsed spec, or pass-through.
+
+    ``None`` opens a fresh in-memory backend; an existing
+    :class:`StorageBackend` is returned unchanged, so every ``store=``
+    parameter can accept either a backend instance or a spec string.
+    """
+    if spec is None:
+        return MemoryBackend()
+    if isinstance(spec, StorageBackend):
+        return spec
+    parsed = parse_spec(spec)
+    if parsed.is_memory:
+        return MemoryBackend()
+    opener = JsonlBackend if parsed.kind == "jsonl" else SqliteBackend
+    if parsed.shards > 1:
+        if parsed.path == ":memory:":
+            return ShardedBackend([SqliteBackend(":memory:") for _ in range(parsed.shards)])
+        return ShardedBackend(
+            [opener(_sharded_path(parsed.path, i)) for i in range(parsed.shards)]
+        )
+    return opener(parsed.path)
+
+
+def open_backend(spec: str) -> StorageBackend:
+    """Build a storage backend from a spec string (see module docs)."""
+    return open_store(parse_spec(spec))
 
 
 def open_file_backend(path) -> StorageBackend:
@@ -99,7 +175,7 @@ def open_file_backend(path) -> StorageBackend:
             f"cannot infer backend from suffix {suffix!r} (expected one of "
             f"{sorted(_SUFFIX_KINDS)})"
         )
-    return open_backend(f"{kind}:{path}")
+    return open_store(StorageSpec(kind=kind, path=str(path)))
 
 
 def task_storage_spec(spec: str, task: object) -> str:
@@ -113,22 +189,18 @@ def task_storage_spec(spec: str, task: object) -> str:
 
     ``memory`` passes through unchanged (nothing to collide on).
     """
-    kind, _, rest = spec.partition(":")
-    if kind == "memory":
-        return spec
-    if kind == "sharded":
-        count_text, _, inner = rest.partition(":")
-        inner_kind, _, inner_path = inner.partition(":")
-        if inner_kind not in ("jsonl", "sqlite") or not inner_path or inner_path == ":memory:":
-            raise ValueError(f"cannot rebase storage spec per task: {spec!r}")
-        return f"sharded:{count_text}:{inner_kind}:{Path(inner_path) / f'task-{task}'}"
-    if kind in ("jsonl", "sqlite") and rest and rest != ":memory:":
-        return f"{kind}:{Path(rest) / f'task-{task}'}"
-    raise ValueError(f"cannot rebase storage spec per task: {spec!r}")
+    parsed = parse_spec(spec)
+    if parsed.is_memory:
+        return parsed.to_string()
+    if not parsed.on_disk:
+        raise ValueError(f"cannot rebase storage spec per task: {spec!r}")
+    return parsed.with_path(Path(parsed.path) / f"task-{task}").to_string()
 
 
 def campaign_stores(
-    spec: str, names: Tuple[str, ...] = ("hydra", "bitswap"), workers: int = 1
+    spec: Union[str, StorageSpec],
+    names: Tuple[str, ...] = ("hydra", "bitswap"),
+    workers: int = 1,
 ) -> Dict[str, StorageBackend]:
     """Per-log backends for a campaign from a single storage spec.
 
@@ -143,40 +215,18 @@ def campaign_stores(
     parallel campaign's stored state is indistinguishable from a serial
     one.  Already-sharded and in-memory specs are left untouched.
     """
-    kind, _, rest = spec.partition(":")
-    if (
-        workers > 1
-        and kind in ("jsonl", "sqlite")
-        and rest
-        and rest != ":memory:"
-    ):
-        spec = f"sharded:{workers}:{spec}"
-        kind, _, rest = spec.partition(":")
-    if kind == "memory":
+    parsed = parse_spec(spec)
+    if workers > 1 and parsed.shards == 1 and parsed.on_disk:
+        parsed = replace(parsed, shards=workers)
+    if parsed.is_memory:
         return {name: MemoryBackend() for name in names}
-    if kind in ("jsonl", "sqlite"):
-        if not rest or rest == ":memory:":
-            if kind == "sqlite" and rest == ":memory:":
-                return {name: SqliteBackend(":memory:") for name in names}
-            raise ValueError(f"campaign storage spec needs a directory: {spec!r}")
-        suffix = "jsonl" if kind == "jsonl" else "sqlite"
-        return {
-            name: open_backend(f"{kind}:{Path(rest) / f'{name}.{suffix}'}")
-            for name in names
-        }
-    if kind == "sharded":
-        count_text, _, inner = rest.partition(":")
-        inner_kind, _, inner_path = inner.partition(":")
-        if inner_kind not in ("jsonl", "sqlite") or not inner_path:
-            raise ValueError(f"bad sharded campaign spec: {spec!r}")
-        suffix = "jsonl" if inner_kind == "jsonl" else "sqlite"
-        return {
-            name: open_backend(
-                f"sharded:{count_text}:{inner_kind}:{Path(inner_path) / f'{name}.{suffix}'}"
-            )
-            for name in names
-        }
-    raise ValueError(f"unknown storage backend spec: {spec!r}")
+    if parsed.path == ":memory:":
+        return {name: open_store(parsed) for name in names}
+    suffix = "jsonl" if parsed.kind == "jsonl" else "sqlite"
+    return {
+        name: open_store(parsed.with_path(Path(parsed.path) / f"{name}.{suffix}"))
+        for name in names
+    }
 
 
 def copy_records(source: StorageBackend, destination: StorageBackend) -> int:

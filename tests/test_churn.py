@@ -3,7 +3,7 @@
 import pytest
 
 from repro.netsim.churn import ChurnProcess, DailyAddressRotation, PresenceAdvertiser
-from repro.netsim.network import Overlay, in_degree_counts
+from repro.netsim.network import Overlay
 from repro.world.population import NodeClass, build_world
 from repro.world.profiles import WorldProfile
 
@@ -70,9 +70,9 @@ class TestPresenceAdvertiser:
             node for node in overlay.nodes if node.spec.platform == "filebase" and node.online
         ]
         assert filebase
-        before = sum(in_degree_counts(overlay).get(node.peer, 0) for node in filebase)
+        before = sum(overlay.in_degrees().get(node.peer, 0) for node in filebase)
         advertiser = PresenceAdvertiser(overlay, interval_hours=6.0)
         advertiser.start()
         overlay.scheduler.run_until(86400.0)
-        after = sum(in_degree_counts(overlay).get(node.peer, 0) for node in filebase)
+        after = sum(overlay.in_degrees().get(node.peer, 0) for node in filebase)
         assert after > before

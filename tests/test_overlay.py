@@ -3,7 +3,7 @@
 import pytest
 
 from repro.ids.cid import CID
-from repro.netsim.network import Overlay, ProviderRegistry, in_degree_counts
+from repro.netsim.network import Overlay, ProviderRegistry, in_degree_counts  # noqa: F401 - shim tested below
 from repro.netsim.node import Node
 from repro.world.population import NodeClass, build_world
 from repro.world.profiles import WorldProfile
@@ -243,16 +243,16 @@ class TestProviders:
 
 class TestInDegree:
     def test_counts_only_live_holders(self, overlay):
-        counts = in_degree_counts(overlay)
+        counts = overlay.in_degrees()
         assert counts
         popular = max(counts, key=counts.get)
         assert counts[popular] > 1
 
     def test_advertise_presence_raises_in_degree(self, overlay):
         node = overlay.online_servers()[5]
-        before = in_degree_counts(overlay).get(node.peer, 0)
+        before = overlay.in_degrees().get(node.peer, 0)
         inserted = overlay.advertise_presence(node, attempts=100)
-        after = in_degree_counts(overlay).get(node.peer, 0)
+        after = overlay.in_degrees().get(node.peer, 0)
         assert after >= before
         assert after - before <= 100
         assert inserted >= 0
@@ -282,8 +282,10 @@ class TestInDegree:
         overlay.take_offline(holder)
         assert overlay.in_degree(peer) == before - 1
 
-    def test_module_level_counts_delegate(self, overlay):
-        assert in_degree_counts(overlay) == overlay.in_degrees()
+    def test_module_level_counts_delegate_with_deprecation(self, overlay):
+        with pytest.warns(DeprecationWarning, match="in_degrees"):
+            counts = in_degree_counts(overlay)
+        assert counts == overlay.in_degrees()
 
 
 class TestRelayIndex:

@@ -16,10 +16,13 @@ from repro.store import (
     MemoryBackend,
     ShardedBackend,
     SqliteBackend,
+    StorageSpec,
     campaign_stores,
     copy_records,
     open_backend,
     open_file_backend,
+    open_store,
+    parse_spec,
 )
 
 
@@ -197,6 +200,61 @@ class MemoryBackendRecords(MemoryBackend):
     """A MemoryBackend that takes dict records (shardable in tests)."""
 
     stores_objects = False
+
+
+class TestStorageSpec:
+    def test_parse_memory(self):
+        spec = parse_spec("memory")
+        assert spec == StorageSpec(kind="memory")
+        assert spec.is_memory and not spec.on_disk
+
+    def test_parse_file_kinds(self):
+        spec = parse_spec("sqlite:/tmp/run/x.sqlite")
+        assert spec.kind == "sqlite"
+        assert spec.path == "/tmp/run/x.sqlite"
+        assert spec.on_disk
+        assert not parse_spec("sqlite::memory:").on_disk
+
+    def test_parse_sharded(self):
+        spec = parse_spec("sharded:4:jsonl:/tmp/run/x.jsonl")
+        assert spec == StorageSpec(kind="jsonl", path="/tmp/run/x.jsonl", shards=4)
+
+    @pytest.mark.parametrize(
+        "text",
+        ["memory", "jsonl:/tmp/x.jsonl", "sqlite::memory:",
+         "sharded:3:sqlite:/tmp/x.sqlite"],
+    )
+    def test_to_string_round_trips(self, text):
+        spec = parse_spec(text)
+        assert spec.to_string() == text
+        assert parse_spec(spec.to_string()) == spec
+
+    def test_parse_spec_passthrough(self):
+        spec = StorageSpec(kind="jsonl", path="/tmp/x.jsonl")
+        assert parse_spec(spec) is spec
+
+    def test_with_path(self, tmp_path):
+        spec = parse_spec("sqlite:/elsewhere/x.sqlite")
+        moved = spec.with_path(tmp_path / "y.sqlite")
+        assert moved.kind == "sqlite"
+        assert moved.path == str(tmp_path / "y.sqlite")
+
+    def test_open_store_accepts_every_spec_shape(self, tmp_path):
+        assert isinstance(open_store(None), MemoryBackend)
+        assert isinstance(open_store("memory"), MemoryBackend)
+        assert isinstance(
+            open_store(f"jsonl:{tmp_path}/x.jsonl"), JsonlBackend
+        )
+        assert isinstance(
+            open_store(StorageSpec(kind="sqlite", path=":memory:")), SqliteBackend
+        )
+        backend = MemoryBackend()
+        assert open_store(backend) is backend
+
+    def test_open_store_sharded(self, tmp_path):
+        backend = open_store(StorageSpec(kind="sqlite", path=f"{tmp_path}/x.sqlite", shards=3))
+        assert isinstance(backend, ShardedBackend)
+        assert len(backend.shards) == 3
 
 
 class TestFactory:
