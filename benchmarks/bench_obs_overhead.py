@@ -1,0 +1,197 @@
+#!/usr/bin/env python
+"""Overhead harness for the tracing layer (``repro.obs.trace``).
+
+Measures what tracing costs at each class of instrumentation site, in
+both states that matter:
+
+* **null path** (tracing off, the default) — the dispatch helpers hit
+  the shared :data:`~repro.obs.trace.NULL_TRACER`, so every site must
+  stay in no-op territory; this is what keeps tracing-off campaigns
+  inside the perf-smoke budget.
+* **tracing on** — a collecting :class:`~repro.obs.trace.Tracer` with a
+  ring buffer; the interesting number is the slowdown factor per site
+  (span pairs, guarded instants) and end-to-end (lookup walks, crawl
+  tasks).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py             # run, write JSON
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py \
+        --check BENCH_obs_overhead.json                                # CI regression gate
+
+``--check`` compares hardware-normalized costs against the committed
+baseline and exits non-zero on a gross (default 3x) regression — same
+contract as ``bench_core_hotpaths.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+from typing import List, Optional
+
+if __package__ in (None, ""):
+    _repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    for entry in (os.path.join(_repo_root, "src"), os.path.dirname(os.path.abspath(__file__))):
+        if entry not in sys.path:
+            sys.path.insert(0, entry)
+
+from _bench_utils import BenchReport, best_of, compare_to_baseline
+
+from repro.core.crawler import DHTCrawler, execute_crawl_task, execute_crawl_task_traced
+from repro.kademlia.lookup import iterative_find_node
+from repro.netsim.network import Overlay
+from repro.obs import trace
+from repro.obs.trace import Tracer, use_tracer
+from repro.world.population import build_world
+from repro.world.profiles import WorldProfile
+
+#: Overlay size for the walk/crawl measurements.
+SERVERS = 400
+SEED = 7
+
+
+def build_overlay() -> Overlay:
+    world = build_world(WorldProfile(online_servers=SERVERS, seed=SEED))
+    overlay = Overlay(world)
+    overlay.bootstrap()
+    return overlay
+
+
+def bench_instrumentation_sites(report: BenchReport, calls: int = 100_000) -> None:
+    """The per-site primitives, null versus collecting.
+
+    ``guarded_instant_null`` is the exact pattern the hot paths use
+    (``if get_tracer().enabled:`` before building the attrs dict): with
+    tracing off it must cost no more than a global read and an attribute
+    check per event.
+    """
+
+    def guarded_instants():
+        for index in range(calls):
+            if trace.get_tracer().enabled:
+                trace.trace_event("bench.instant", index=index)
+
+    def span_pairs():
+        for _ in range(calls):
+            with trace.trace_span("bench.span"):
+                pass
+
+    trace.disable_tracing()
+    report.record("guarded_instant_null", best_of(guarded_instants), calls)
+    null_span_seconds = best_of(span_pairs)
+    report.record("span_pair_null", null_span_seconds, calls)
+
+    # Collecting tracer: ring buffer bounded far below `calls` so steady
+    # state includes eviction (the worst case, not the warm-up).
+    with use_tracer(Tracer(origin="bench", capacity=8192)):
+        report.record("guarded_instant_traced", best_of(guarded_instants), calls)
+        traced_span_seconds = best_of(span_pairs)
+        report.record("span_pair_traced", traced_span_seconds, calls)
+    report.record_speedup("span_pair_null_vs_traced", traced_span_seconds, null_span_seconds)
+
+    with use_tracer(Tracer(origin="bench", capacity=8192, sample=16)):
+        report.record("span_pair_sampled_1_in_16", best_of(span_pairs), calls)
+    trace.disable_tracing()
+
+
+def bench_lookup_walks(report: BenchReport, overlay: Overlay, walks: int = 200) -> None:
+    """End-to-end lookup walks, the chattiest traced code path."""
+    rng = random.Random(42)
+    servers = overlay.online_servers()
+    query = overlay.find_node_query()
+    jobs = []
+    for _ in range(walks):
+        origin = rng.choice(servers)
+        target = rng.getrandbits(256)
+        start = overlay.peer_infos(origin.routing_table.closest(target, overlay.k))
+        jobs.append((target, start))
+
+    def run_walks():
+        for target, start in jobs:
+            iterative_find_node(target, start, query, k=overlay.k)
+
+    trace.disable_tracing()
+    off_seconds = best_of(run_walks)
+    report.record("lookup_walk_off", off_seconds, walks)
+    with use_tracer(Tracer(origin="bench", capacity=1 << 18)):
+        on_seconds = best_of(run_walks)
+    report.record("lookup_walk_traced", on_seconds, walks)
+    report.record_speedup("lookup_walk_off_vs_traced", on_seconds, off_seconds)
+    trace.disable_tracing()
+
+
+def bench_crawl_tasks(report: BenchReport, overlay: Overlay, crawls: int = 2) -> None:
+    """Whole crawl tasks: the plain pure function versus the traced
+    wrapper (per-task tracer + registry, the workers' configuration)."""
+    crawler = DHTCrawler(overlay)
+    tasks = [crawler.task(crawl_id) for crawl_id in range(crawls)]
+
+    off_seconds = best_of(lambda: [execute_crawl_task(task) for task in tasks])
+    report.record("crawl_task_off", off_seconds, crawls)
+    traced_seconds = best_of(
+        lambda: [execute_crawl_task_traced(task, 1, 1 << 18) for task in tasks]
+    )
+    report.record("crawl_task_traced", traced_seconds, crawls)
+    report.record_speedup("crawl_task_off_vs_traced", traced_seconds, off_seconds)
+
+
+def run(out_path: Optional[str]) -> dict:
+    report = BenchReport()
+    print(f"calibration: {report.calibration:.4f}s\n")
+
+    bench_instrumentation_sites(report)
+
+    print(f"\nbuilding overlay ({SERVERS} target servers, seed {SEED})...")
+    overlay = build_overlay()
+    print(f"overlay ready: {len(overlay.online_servers())} online servers\n")
+
+    bench_lookup_walks(report, overlay)
+    bench_crawl_tasks(report, overlay)
+
+    if out_path:
+        report.write(out_path)
+    return report.payload()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default="BENCH_obs_overhead.json",
+        help="where to write the machine-readable report",
+    )
+    parser.add_argument(
+        "--check",
+        metavar="BASELINE_JSON",
+        help="compare against a committed baseline; exit 1 on gross regression",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=3.0,
+        help="allowed growth factor of normalized cost before failing --check",
+    )
+    options = parser.parse_args(argv)
+
+    current = run(options.out)
+
+    if options.check:
+        with open(options.check) as handle:
+            baseline = json.load(handle)
+        regressions = compare_to_baseline(current, baseline, options.tolerance)
+        if regressions:
+            print(f"\nPERF REGRESSION (> {options.tolerance:.1f}x normalized cost):")
+            for name, before, after in regressions:
+                print(f"  {name}: {before:.2f}x cal -> {after:.2f}x cal")
+            return 1
+        print(f"\nperf check OK (tolerance {options.tolerance:.1f}x, "
+              f"{len(baseline.get('benchmarks', {}))} baseline entries)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

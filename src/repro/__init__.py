@@ -21,11 +21,31 @@ per-phase timings; see :mod:`repro.obs`)::
     result = run_campaign(ScenarioConfig(metrics=True))
     print(render_report(result.metrics))
 
+and causal event traces (per-lookup/per-crawl spans; see
+:mod:`repro.obs.trace`) that can be audited for protocol invariants and
+exported for ``ui.perfetto.dev``::
+
+    from repro import ScenarioConfig, audit_trace, run_campaign, write_chrome_trace
+    result = run_campaign(ScenarioConfig(trace=True))
+    print(audit_trace(result.trace).render())
+    write_chrome_trace(result.trace, "out/run.json")
+
 See DESIGN.md for the architecture and EXPERIMENTS.md for the
 paper-versus-measured comparison of every table and figure.
 """
 
-from repro.obs import MetricsRegistry, read_metrics, render_report, write_metrics
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    audit_trace,
+    chrome_trace,
+    read_metrics,
+    read_trace,
+    render_report,
+    write_chrome_trace,
+    write_metrics,
+    write_trace,
+)
 from repro.scenario.config import ScenarioConfig
 from repro.scenario.run import CampaignResult, MeasurementCampaign, run_campaign
 from repro.store import StorageSpec, open_store, parse_spec
@@ -41,12 +61,18 @@ __all__ = [
     "PaperCalibration",
     "ScenarioConfig",
     "StorageSpec",
+    "Tracer",
     "WorldProfile",
+    "audit_trace",
+    "chrome_trace",
     "open_store",
     "parse_spec",
     "read_metrics",
+    "read_trace",
     "render_report",
     "run_campaign",
+    "write_chrome_trace",
     "write_metrics",
+    "write_trace",
     "__version__",
 ]

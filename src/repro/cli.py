@@ -7,9 +7,12 @@
     python -m repro campaign --metrics --metrics-out out/metrics.jsonl
     python -m repro sweep --seeds 1 2 3 --servers 300 500 --workers 4
     python -m repro crawl --servers 500 --crawls 3 --workers 4
+    python -m repro campaign --trace --trace-out out/run.trace --progress
     python -m repro store stats out/hydra.jsonl --kind hydra
     python -m repro store convert out/hydra.jsonl out/hydra.sqlite
-    python -m repro obs report out/metrics.jsonl
+    python -m repro obs report out/metrics.jsonl --format json --top 10
+    python -m repro obs audit out/run.trace
+    python -m repro obs trace-export out/run.trace --perfetto out/run.json
     python -m repro table1
 
 The CLI is a thin shell over :mod:`repro.scenario`; everything it prints
@@ -109,6 +112,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the metrics snapshot to PATH (.jsonl, .sqlite or .json; "
         "implies --metrics; render later with 'repro obs report PATH')",
     )
+    campaign.add_argument(
+        "--trace", action="store_true",
+        help="collect causal event traces (see repro.obs.trace)",
+    )
+    campaign.add_argument(
+        "--trace-out", metavar="PATH",
+        help="write the merged trace to PATH (.trace/.jsonl or .sqlite; "
+        "implies --trace; audit with 'repro obs audit PATH', export with "
+        "'repro obs trace-export PATH --perfetto out.json')",
+    )
+    campaign.add_argument(
+        "--trace-sample", type=int, default=1, metavar="N",
+        help="keep ~1 in N causal trees (deterministic; default 1 = all)",
+    )
+    campaign.add_argument(
+        "--progress", action="store_true",
+        help="render a live single-line progress heartbeat on stderr",
+    )
 
     sweep = commands.add_parser(
         "sweep", parents=[exec_options],
@@ -166,10 +187,35 @@ def build_parser() -> argparse.ArgumentParser:
 
     obs_cmd = commands.add_parser("obs", help="observability tooling")
     obs_commands = obs_cmd.add_subparsers(dest="obs_command", required=True)
+    # Shared output flags (one definition, used as an argparse parent by
+    # report and audit — exactly like _exec_options for the run commands).
+    obs_output = argparse.ArgumentParser(add_help=False)
+    obs_output.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
     obs_report = obs_commands.add_parser(
-        "report", help="render a saved metrics snapshot as a summary table"
+        "report", parents=[obs_output],
+        help="render a saved metrics snapshot as a summary table",
     )
     obs_report.add_argument("path", help="metrics file (.jsonl, .sqlite, .db or .json)")
+    obs_report.add_argument(
+        "--top", type=int, metavar="N",
+        help="only the N busiest entries per section (by count)",
+    )
+    obs_audit = obs_commands.add_parser(
+        "audit", parents=[obs_output],
+        help="replay a trace stream and check protocol invariants",
+    )
+    obs_audit.add_argument("path", help="trace file (.trace, .jsonl, .sqlite or .db)")
+    obs_export = obs_commands.add_parser(
+        "trace-export", help="export a trace for external viewers"
+    )
+    obs_export.add_argument("path", help="trace file (.trace, .jsonl, .sqlite or .db)")
+    obs_export.add_argument(
+        "--perfetto", metavar="OUT", required=True,
+        help="write Chrome trace-event JSON (open in ui.perfetto.dev)",
+    )
 
     commands.add_parser("table1", help="print the paper's Table 1 counting example")
     return parser
@@ -208,6 +254,19 @@ def _config_from_args(args) -> ScenarioConfig:
         import dataclasses
 
         config = dataclasses.replace(config, metrics=True)
+    if getattr(args, "trace", False) or getattr(args, "trace_out", None):
+        import dataclasses
+
+        config = dataclasses.replace(
+            config,
+            trace=True,
+            trace_sample=max(1, getattr(args, "trace_sample", 1)),
+            trace_out=getattr(args, "trace_out", None),
+        )
+    if getattr(args, "progress", False):
+        import dataclasses
+
+        config = dataclasses.replace(config, progress=True)
     return config
 
 
@@ -257,6 +316,11 @@ def _run_campaign_command(args) -> int:
             print(f"\nmetrics: {count} records -> {args.metrics_out}")
         print("\n## metrics")
         print(render_report(result.metrics))
+    if result.trace is not None:
+        if result.trace_path:
+            print(f"\ntrace: {len(result.trace)} records -> {result.trace_path}")
+        else:
+            print(f"\ntrace: {len(result.trace)} records (use --trace-out to persist)")
     return 0
 
 
@@ -353,13 +417,62 @@ def _run_crawl_command(args) -> int:
 
 
 def _run_obs_command(args) -> int:
-    from repro.obs import read_metrics, render_report
-
     if not Path(args.path).exists():
-        print(f"error: no such metrics file: {args.path}", file=sys.stderr)
+        print(f"error: no such file: {args.path}", file=sys.stderr)
         return 2
-    print(render_report(read_metrics(args.path)))
+    if args.obs_command == "report":
+        from repro.obs import read_metrics, render_report
+
+        snapshot = read_metrics(args.path)
+        if args.format == "json":
+            import json
+
+            print(json.dumps(_top_snapshot(snapshot, args.top), indent=2, sort_keys=True))
+        else:
+            print(render_report(snapshot, top=args.top))
+        return 0
+    if args.obs_command == "audit":
+        from repro.obs import audit_trace, read_trace
+
+        report = audit_trace(read_trace(args.path))
+        if args.format == "json":
+            import json
+            from dataclasses import asdict
+
+            # ``ok`` is a property, so asdict() alone would drop the one
+            # field scripts branch on.
+            print(json.dumps({"ok": report.ok, **asdict(report)}, indent=2, sort_keys=True))
+        else:
+            print(report.render())
+        return 0 if report.ok else 1
+    # trace-export
+    from repro.obs import read_trace, write_chrome_trace
+
+    count = write_chrome_trace(read_trace(args.path), args.perfetto)
+    print(f"wrote {count} trace events -> {args.perfetto} (open in ui.perfetto.dev)")
     return 0
+
+
+def _top_snapshot(snapshot, top):
+    """Apply ``--top N`` to a metrics snapshot for JSON output: keep the
+    N highest-count entries per section (ties broken by name)."""
+    if not top or top <= 0:
+        return snapshot
+
+    def busiest(section, rank):
+        items = sorted(section.items(), key=lambda kv: (-rank(kv[1]), kv[0]))[:top]
+        return dict(sorted(items))
+
+    trimmed = dict(snapshot)
+    for section, rank in (
+        ("counters", lambda value: value),
+        ("gauges", lambda value: value),
+        ("histograms", lambda data: data["count"]),
+        ("spans", lambda data: data["count"]),
+    ):
+        if isinstance(snapshot.get(section), dict):
+            trimmed[section] = busiest(snapshot[section], rank)
+    return trimmed
 
 
 def _run_store_command(args) -> int:

@@ -27,7 +27,7 @@ from repro.monitors.bitswap_monitor import BitswapMonitor
 from repro.monitors.hydra import HydraBooster
 from repro.netsim.clock import SECONDS_PER_DAY, SECONDS_PER_HOUR
 from repro.netsim.network import Overlay
-from repro.netsim.node import Node
+from repro.netsim.node import Node, OrderedCIDSet
 from repro.world.population import NodeClass
 
 
@@ -188,7 +188,7 @@ class TrafficEngine:
         #: the PL hydra fleet's provider-record cache: CID -> last refresh.
         self._amp_cache: Dict[CID, float] = {}
         #: user uploads ingested by pinning platforms: node -> CIDs.
-        self._platform_pins: Dict[Node, set] = {}
+        self._platform_pins: Dict[Node, OrderedCIDSet] = {}
         self._indexer_fleet_sizes: Dict[str, int] = {}
         for node in overlay.nodes:
             platform = node.spec.platform or ""
@@ -329,7 +329,7 @@ class TrafficEngine:
         if record is None:
             return
         while len(node.provided_cids) > self.config.max_provided_cids:
-            node.provided_cids.pop()
+            node.provided_cids.pop_oldest()
         self.stats["publishes"] += 1
         via_relay = None
         if not node.is_dht_server and node.relay is not None:
@@ -352,7 +352,7 @@ class TrafficEngine:
         if not candidates:
             return
         pinner = self.rng.choice(candidates)
-        self._platform_pins.setdefault(pinner, set()).add(cid)
+        self._platform_pins.setdefault(pinner, OrderedCIDSet()).add(cid)
         self.overlay.publish_provider_record(pinner, cid)
 
     def other_walk(self, node: Node) -> None:

@@ -36,7 +36,9 @@ from repro.ids.keys import KEY_BITS, random_key_in_bucket
 from repro.ids.peerid import PeerID
 from repro.netsim.network import Overlay
 from repro.obs import metrics as obs
+from repro.obs import trace
 from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.obs.trace import DEFAULT_CAPACITY, Tracer, use_tracer
 
 #: The paper's crawl connection timeout (3 minutes).
 DEFAULT_TIMEOUT = 180.0
@@ -277,35 +279,50 @@ def execute_crawl_task(task: CrawlTask) -> CrawlSnapshot:
     had_unresponsive = False
     depth = int(math.log2(max(task.oracle_size, 2))) + 6
 
-    while queue:
-        index = queue.popleft()
-        requests_sent += 1
-        server = task.servers.get(index)
-        if server is None or not server[0] or server[1] > task.timeout:
-            had_unresponsive = True
-            timeouts += 1
-            observations[index] = False
-            continue
-        responsive_work += server[1]
-        own_key = keys[index]
-        table = task.tables.get(index, ())
-        neighbors: Set[int] = set()
-        previous_size = -1
-        for bucket_idx in range(min(depth, KEY_BITS)):
-            crafted = random_key_in_bucket(own_key, bucket_idx, rng)
-            for neighbor in sorted(table, key=lambda t: keys[t] ^ crafted)[: task.k]:
-                neighbors.add(neighbor)
-            if len(neighbors) == previous_size and bucket_idx > depth - 4:
-                break
-            previous_size = len(neighbors)
-        neighbors.discard(index)
-        requests_sent += max(1, len(neighbors) // task.k)
-        observations[index] = True
-        edges[index] = tuple(neighbors)
-        for neighbor in edges[index]:
-            if neighbor not in seen:
-                seen.add(neighbor)
-                queue.append(neighbor)
+    tracer = trace.get_tracer()
+    with tracer.span("crawl", crawl=task.crawl_id) as crawl_span:
+        while queue:
+            index = queue.popleft()
+            requests_sent += 1
+            server = task.servers.get(index)
+            if server is None or not server[0] or server[1] > task.timeout:
+                had_unresponsive = True
+                timeouts += 1
+                observations[index] = False
+                if tracer.enabled:
+                    tracer.event("crawl.peer", index=index, crawlable=False)
+                continue
+            responsive_work += server[1]
+            own_key = keys[index]
+            table = task.tables.get(index, ())
+            neighbors: Set[int] = set()
+            previous_size = -1
+            for bucket_idx in range(min(depth, KEY_BITS)):
+                crafted = random_key_in_bucket(own_key, bucket_idx, rng)
+                for neighbor in sorted(table, key=lambda t: keys[t] ^ crafted)[: task.k]:
+                    neighbors.add(neighbor)
+                if len(neighbors) == previous_size and bucket_idx > depth - 4:
+                    break
+                previous_size = len(neighbors)
+            neighbors.discard(index)
+            requests_sent += max(1, len(neighbors) // task.k)
+            observations[index] = True
+            edges[index] = tuple(neighbors)
+            if tracer.enabled:
+                tracer.event(
+                    "crawl.peer", index=index, crawlable=True, neighbors=len(neighbors)
+                )
+            for neighbor in edges[index]:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    queue.append(neighbor)
+        if tracer.enabled:
+            crawl_span.note(
+                discovered=len(observations),
+                crawlable=len(edges),
+                requests=requests_sent,
+                timeouts=timeouts,
+            )
 
     snapshot = CrawlSnapshot(crawl_id=task.crawl_id, started_at=task.started_at)
     peer_cache: Dict[int, PeerID] = {}
@@ -355,6 +372,31 @@ def execute_crawl_task_observed(task: CrawlTask):
     with use_registry(registry):
         snapshot = execute_crawl_task(task)
     return snapshot, registry.snapshot()
+
+
+def execute_crawl_task_traced(
+    task: CrawlTask, sample: int = 1, capacity: int = DEFAULT_CAPACITY
+):
+    """Run one crawl with both metrics and tracing collected privately.
+
+    Returns ``(snapshot, metrics_snapshot, trace_records)``.  The tracer
+    is per-task — origin ``crawl-<id>``, seed derived from the task's own
+    seed, sim clock frozen at the task's freeze instant — so its event
+    stream is a pure function of the task, independent of which worker
+    runs it; the parent concatenates the per-task record lists in
+    ``crawl_id`` order, exactly like the metric snapshots.
+    """
+    registry = MetricsRegistry()
+    tracer = Tracer(
+        origin=f"crawl-{task.crawl_id}",
+        seed=derive_seed(task.seed, "trace"),
+        sample=sample,
+        capacity=capacity,
+        clock=lambda: task.started_at,
+    )
+    with use_registry(registry), use_tracer(tracer):
+        snapshot = execute_crawl_task(task)
+    return snapshot, registry.snapshot(), tracer.records()
 
 
 class DHTCrawler:

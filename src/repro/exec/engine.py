@@ -30,7 +30,16 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.obs import metrics as obs
+from repro.obs import trace
 from repro.obs.metrics import TIME_BUCKETS
+
+# Task lifecycle is traced with *instant* events only (exec.submit /
+# exec.retry / exec.done / exec.failed), never spans: completion order
+# and retry counts depend on worker scheduling and the host environment,
+# and span-id allocation from nondeterministic events would leak into the
+# ids of deterministic ones.  The deterministic trace view excludes the
+# whole ``exec.`` prefix for the same reason (see
+# :data:`repro.obs.trace.NONDETERMINISTIC_EVENT_PREFIXES`).
 
 
 @dataclass(frozen=True)
@@ -125,6 +134,8 @@ class ParallelExecutor:
         if task_id in self._results:
             raise ValueError(f"duplicate task id: {task_id!r}")
         obs.inc("exec.tasks")
+        if trace.get_tracer().enabled:
+            trace.trace_event("exec.submit", task=str(task_id))
         if self.workers == 1:
             self._run_inline(task_id, fn, args)
         else:
@@ -138,6 +149,8 @@ class ParallelExecutor:
         for attempt in range(self.retries + 1):
             if attempt:
                 obs.inc("exec.retries")
+                if trace.get_tracer().enabled:
+                    trace.trace_event("exec.retry", task=str(task_id))
             started = time.perf_counter()
             try:
                 self._results[task_id] = fn(*args)
@@ -145,14 +158,22 @@ class ParallelExecutor:
                 last = exc
             else:
                 obs.observe("exec.task_seconds", time.perf_counter() - started, TIME_BUCKETS)
+                if trace.get_tracer().enabled:
+                    trace.trace_event("exec.done", task=str(task_id), attempts=attempt + 1)
                 return
         obs.inc("exec.failures")
+        if trace.get_tracer().enabled:
+            trace.trace_event(
+                "exec.failed", task=str(task_id), attempts=self.retries + 1, stage="task"
+            )
         self._errors.append(
             ExecError(task_id=task_id, error=repr(last), attempts=self.retries + 1)
         )
 
     def _resubmit(self, task_id: Hashable, fn: Callable, args: tuple, attempt: int) -> None:
         obs.inc("exec.retries")
+        if trace.get_tracer().enabled:
+            trace.trace_event("exec.retry", task=str(task_id))
         future = self._ensure_pool().submit(fn, *args)
         self._pending[future] = (
             task_id, fn, args, attempt, self._generation, time.perf_counter()
@@ -175,6 +196,10 @@ class ParallelExecutor:
                     obs.observe(
                         "exec.task_seconds", time.perf_counter() - submitted, TIME_BUCKETS
                     )
+                    if trace.get_tracer().enabled:
+                        trace.trace_event(
+                            "exec.done", task=str(task_id), attempts=attempt
+                        )
                 except (BrokenProcessPool, CancelledError) as exc:
                     # The worker died mid-task and took the pool (and any
                     # still-queued futures) with it.  Every in-flight
@@ -186,6 +211,13 @@ class ParallelExecutor:
                         self._resubmit(task_id, fn, args, attempt + 1)
                     else:
                         obs.inc("exec.failures")
+                        if trace.get_tracer().enabled:
+                            trace.trace_event(
+                                "exec.failed",
+                                task=str(task_id),
+                                attempts=attempt,
+                                stage="worker",
+                            )
                         self._errors.append(
                             ExecError(task_id, repr(exc), attempt, stage="worker")
                         )
@@ -194,6 +226,13 @@ class ParallelExecutor:
                         self._resubmit(task_id, fn, args, attempt + 1)
                     else:
                         obs.inc("exec.failures")
+                        if trace.get_tracer().enabled:
+                            trace.trace_event(
+                                "exec.failed",
+                                task=str(task_id),
+                                attempts=attempt,
+                                stage="task",
+                            )
                         self._errors.append(ExecError(task_id, repr(exc), attempt))
         return dict(self._results), list(self._errors)
 

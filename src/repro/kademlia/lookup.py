@@ -28,6 +28,7 @@ from repro.ids.peerid import PeerID
 from repro.kademlia.messages import PeerInfo
 from repro.kademlia.providers import ProviderRecord
 from repro.obs import metrics as obs
+from repro.obs import trace
 
 #: Kademlia replication parameter: number of closest peers returned,
 #: and number of resolvers holding each provider record.
@@ -94,6 +95,11 @@ class _Walk:
         #: peer -> its frontier item, for removal on failure.
         self._entries: Dict[PeerID, Tuple[int, int, PeerInfo]] = {}
         self._seq = 0
+        #: Smallest XOR distance over every peer *ever* absorbed — unlike
+        #: the frontier head it never moves away from the target when the
+        #: closest peer fails, making it the monotone progress measure
+        #: the trace auditor checks per round.
+        self.best_distance: Optional[int] = None
         self.absorb(start)
 
     def _distance(self, peer: PeerID) -> int:
@@ -124,16 +130,21 @@ class _Walk:
         frontier = self._frontier
         target_key = self.target_key
         seq = self._seq
+        best = self.best_distance
         for info in closer_peers:
             peer = info.peer
             if peer in known:
                 continue
             known[peer] = info
-            item = (peer.dht_key ^ target_key, seq, info)
+            distance = peer.dht_key ^ target_key
+            item = (distance, seq, info)
             seq += 1
             entries[peer] = item
             insort(frontier, item)
+            if best is None or distance < best:
+                best = distance
         self._seq = seq
+        self.best_distance = best
 
     def mark_failed(self, peer: PeerID) -> None:
         """Record a non-responding peer and drop it from the frontier."""
@@ -175,21 +186,41 @@ def iterative_find_node(
     :param max_queries: safety valve against pathological topologies.
     """
     walk = _Walk(target_key, start, k, alpha)
-    while walk.messages < max_queries:
-        batch = walk.next_batch()
-        if not batch:
-            break
-        for info in batch:
-            if walk.messages >= max_queries:
+    tracer = trace.get_tracer()
+    rounds = 0
+    with tracer.span("lookup.find_node") as lookup_span:
+        while walk.messages < max_queries:
+            batch = walk.next_batch()
+            if not batch:
                 break
-            walk.queried.add(info.peer)
-            walk.messages += 1
-            response = query(info.peer, target_key)
-            if response is None:
-                walk.mark_failed(info.peer)
-                continue
-            walk.contacted.append(info.peer)
-            walk.absorb(response)
+            if tracer.enabled:
+                tracer.event(
+                    "lookup.round",
+                    round=rounds,
+                    batch=len(batch),
+                    frontier=len(walk._frontier),
+                    failed=len(walk.failed),
+                    best=walk.best_distance,
+                )
+            rounds += 1
+            for info in batch:
+                if walk.messages >= max_queries:
+                    break
+                walk.queried.add(info.peer)
+                walk.messages += 1
+                response = query(info.peer, target_key)
+                if response is None:
+                    walk.mark_failed(info.peer)
+                    continue
+                walk.contacted.append(info.peer)
+                walk.absorb(response)
+        if tracer.enabled:
+            lookup_span.note(
+                reason="max_queries" if walk.messages >= max_queries else "frontier_exhausted",
+                rounds=rounds,
+                messages=walk.messages,
+                failed=len(walk.failed),
+            )
     obs.inc("lookup.find_node_walks")
     obs.inc("lookup.messages", walk.messages)
     obs.inc("lookup.failed_peers", len(walk.failed))
@@ -223,28 +254,55 @@ def iterative_find_providers(
     target_key = cid.dht_key
     walk = _Walk(target_key, start, k, alpha)
     providers: Dict[PeerID, ProviderRecord] = {}
-    while walk.messages < max_queries:
-        if not exhaustive and len(providers) >= max_providers:
-            break
-        batch = walk.next_batch()
-        if not batch:
-            break
-        for info in batch:
-            if walk.messages >= max_queries:
-                break
-            walk.queried.add(info.peer)
-            walk.messages += 1
-            response = query(info.peer, cid)
-            if response is None:
-                walk.mark_failed(info.peer)
-                continue
-            walk.contacted.append(info.peer)
-            records, closer_peers = response
-            for record in records:
-                providers.setdefault(record.provider, record)
-            walk.absorb(closer_peers)
+    tracer = trace.get_tracer()
+    rounds = 0
+    with tracer.span("lookup.find_providers") as lookup_span:
+        while walk.messages < max_queries:
             if not exhaustive and len(providers) >= max_providers:
                 break
+            batch = walk.next_batch()
+            if not batch:
+                break
+            if tracer.enabled:
+                tracer.event(
+                    "lookup.round",
+                    round=rounds,
+                    batch=len(batch),
+                    frontier=len(walk._frontier),
+                    failed=len(walk.failed),
+                    best=walk.best_distance,
+                )
+            rounds += 1
+            for info in batch:
+                if walk.messages >= max_queries:
+                    break
+                walk.queried.add(info.peer)
+                walk.messages += 1
+                response = query(info.peer, cid)
+                if response is None:
+                    walk.mark_failed(info.peer)
+                    continue
+                walk.contacted.append(info.peer)
+                records, closer_peers = response
+                for record in records:
+                    providers.setdefault(record.provider, record)
+                walk.absorb(closer_peers)
+                if not exhaustive and len(providers) >= max_providers:
+                    break
+        if tracer.enabled:
+            if not exhaustive and len(providers) >= max_providers:
+                reason = "providers_found"
+            elif walk.messages >= max_queries:
+                reason = "max_queries"
+            else:
+                reason = "frontier_exhausted"
+            lookup_span.note(
+                reason=reason,
+                rounds=rounds,
+                messages=walk.messages,
+                failed=len(walk.failed),
+                providers=len(providers),
+            )
     obs.inc("lookup.find_providers_walks")
     obs.inc("lookup.messages", walk.messages)
     obs.inc("lookup.failed_peers", len(walk.failed))

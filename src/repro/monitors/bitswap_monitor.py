@@ -21,6 +21,7 @@ from repro.ids.cid import CID
 from repro.ids.peerid import PeerID
 from repro.netsim.node import Node
 from repro.obs import metrics as obs
+from repro.obs import trace
 from repro.world.population import NodeClass
 
 if TYPE_CHECKING:  # pragma: no cover - the store imports us for the codec
@@ -83,8 +84,12 @@ class BitswapMonitor:
         """Log the broadcast if the sender is connected to us."""
         obs.inc("bitswap.broadcasts_seen")
         if not self.is_connected(node) or node.peer is None or not node.ips:
+            if trace.get_tracer().enabled:
+                trace.trace_event("bitswap.request", logged=False)
             return False
         obs.inc("bitswap.broadcasts_logged")
+        if trace.get_tracer().enabled:
+            trace.trace_event("bitswap.request", logged=True)
         self.log.append(
             BitswapLogEntry(
                 timestamp=timestamp,

@@ -22,6 +22,7 @@ from repro.ids.cid import CID
 from repro.ids.peerid import PeerID
 from repro.kademlia.messages import MessageEnvelope, MessageType, TrafficClass
 from repro.obs import metrics as obs
+from repro.obs import trace
 
 if TYPE_CHECKING:  # pragma: no cover - the store imports us for the codec
     from repro.store.backend import StorageBackend
@@ -119,6 +120,12 @@ class HydraBooster:
         )
         self.log.append(envelope)
         obs.inc("hydra.messages_logged")
+        if trace.get_tracer().enabled:
+            trace.trace_event(
+                "hydra.request",
+                mtype=message_type.value,
+                relayed=via_relay is not None,
+            )
         return envelope
 
     # -- hydra cache behaviour ---------------------------------------------------

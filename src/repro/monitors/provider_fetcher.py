@@ -18,6 +18,7 @@ from repro.kademlia.lookup import iterative_find_providers
 from repro.kademlia.providers import ProviderRecord
 from repro.netsim.network import Overlay
 from repro.obs import metrics as obs
+from repro.obs import trace
 
 
 @dataclass
@@ -63,16 +64,26 @@ class ProviderRecordFetcher:
 
     def fetch(self, cid: CID) -> ProviderObservation:
         """Collect all provider records for ``cid`` and verify reachability."""
-        result = iterative_find_providers(
-            cid,
-            start=self._start_peers(),
-            query=self.overlay.get_providers_query(self.timeout),
-            exhaustive=self.exhaustive,
-        )
-        records = tuple(result.providers)
-        reachable = tuple(
-            record for record in records if self.overlay.is_provider_reachable(record)
-        )
+        tracer = trace.get_tracer()
+        # The fetch span wraps the lookup, so the walk's span (and its
+        # per-round/message events) nests under it as one causal tree.
+        with tracer.span("providers.fetch") as fetch_span:
+            result = iterative_find_providers(
+                cid,
+                start=self._start_peers(),
+                query=self.overlay.get_providers_query(self.timeout),
+                exhaustive=self.exhaustive,
+            )
+            records = tuple(result.providers)
+            reachable = tuple(
+                record for record in records if self.overlay.is_provider_reachable(record)
+            )
+            if tracer.enabled:
+                fetch_span.note(
+                    records=len(records),
+                    reachable=len(reachable),
+                    messages=result.messages,
+                )
         observation = ProviderObservation(
             cid=cid,
             collected_at=self.overlay.now,

@@ -35,6 +35,7 @@ from repro.netsim.clock import EventScheduler, SECONDS_PER_HOUR
 from repro.netsim.node import Node
 from repro.netsim.oracle import KeyspaceOracle
 from repro.obs import metrics as obs
+from repro.obs import trace
 from repro.world.population import NodeClass, NodeSpec, World
 
 
@@ -277,6 +278,8 @@ class Overlay:
         if not node.is_dht_server:
             self._online_clients[node.peer] = node
             node.relay = self.pick_relay(exclude=node)
+            if node.relay is not None and trace.get_tracer().enabled:
+                self._trace_relay(node, node.relay)
         else:
             self._register_server(node)
         self._last_infos[node.peer] = node.peer_info()
@@ -632,12 +635,28 @@ class Overlay:
             return self.rng.choice(pool)
         return self.rng.choice(known)[1]
 
+    def _trace_relay(self, node: Node, relay: Node) -> None:
+        """Emit the relay-assignment event (caller guards on ``enabled``).
+
+        The attrs restate the protocol law the auditor checks: relayed
+        connectivity only exists between a NAT'd client and a
+        relay-capable DHT server (paper §4).
+        """
+        trace.trace_event(
+            "relay.assign",
+            client_nat=not node.is_dht_server,
+            relay_server=relay.is_dht_server,
+            relay_online=relay.online,
+        )
+
     def ensure_relay(self, node: Node) -> Optional[Node]:
         """NAT clients re-select their relay when it disappears."""
         if node.relay is None or not node.relay.online:
             node.relay = self.pick_relay(exclude=node)
             if node.peer is not None and node.relay is not None:
                 self._last_infos[node.peer] = node.peer_info()
+                if trace.get_tracer().enabled:
+                    self._trace_relay(node, node.relay)
         return node.relay
 
     # ------------------------------------------------------------------
@@ -668,11 +687,28 @@ class Overlay:
             return None
         return node
 
+    def _trace_message(self, kind: str, node: Optional[Node]) -> None:
+        """Emit the per-message trace event (caller guards on ``enabled``).
+
+        ``sent``/``recv`` are simulated timestamps: a reply arrives one
+        responder latency after the request leaves; a failed dial is
+        observed as an instantaneous timeout at the querier.
+        """
+        now = self.now
+        if node is None:
+            trace.trace_event("msg.query", kind=kind, ok=False, sent=now, recv=now)
+        else:
+            trace.trace_event(
+                "msg.query", kind=kind, ok=True, sent=now, recv=now + node.response_latency
+            )
+
     def find_node_query(self, timeout: float = 180.0):
         """A :func:`repro.kademlia.lookup` query callable over this overlay."""
 
         def query(peer: PeerID, target_key: int):
             node = self.dial(peer, timeout)
+            if trace.get_tracer().enabled:
+                self._trace_message("find_node", node)
             if node is None:
                 return None
             return node.handle_find_node(target_key, self.k)
@@ -682,6 +718,8 @@ class Overlay:
     def get_providers_query(self, timeout: float = 180.0):
         def query(peer: PeerID, cid: CID):
             node = self.dial(peer, timeout)
+            if trace.get_tracer().enabled:
+                self._trace_message("get_providers", node)
             if node is None:
                 return None
             return node.handle_get_providers(cid, self.k)
@@ -703,8 +741,12 @@ class Overlay:
         generation = self.oracle.generation
         if cache is not None and cache[0] == generation and cache[1] == cid:
             obs.inc("netsim.resolver_cache_hits")
+            if trace.get_tracer().enabled:
+                trace.trace_event("resolver.cache", hit=True)
             return cache[2]
         obs.inc("netsim.resolver_cache_misses")
+        if trace.get_tracer().enabled:
+            trace.trace_event("resolver.cache", hit=False)
         resolvers = self.oracle.closest(cid.dht_key, self.k)
         self._resolver_cache = (generation, cid, resolvers)
         return resolvers

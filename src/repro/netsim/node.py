@@ -49,6 +49,44 @@ LATENCY_PROFILE = {
 }
 
 
+class OrderedCIDSet:
+    """A CID set with deterministic (insertion-order) iteration.
+
+    ``hash(bytes)`` is salted per process, so iterating or ``pop()``-ing
+    a plain ``set`` of CIDs makes everything downstream — eviction, the
+    reprovide passes and hence the whole campaign — depend on
+    ``PYTHONHASHSEED``.  Backing the set with a dict keeps membership
+    O(1) while fixing iteration to insertion order, and gives eviction a
+    meaningful FIFO semantics (the oldest record expires first).
+    """
+
+    __slots__ = ("_items",)
+
+    def __init__(self) -> None:
+        self._items: dict = {}
+
+    def add(self, cid) -> None:
+        self._items[cid] = None
+
+    def discard(self, cid) -> None:
+        self._items.pop(cid, None)
+
+    def pop_oldest(self):
+        """Remove and return the least recently added CID."""
+        cid = next(iter(self._items))
+        del self._items[cid]
+        return cid
+
+    def __contains__(self, cid) -> bool:
+        return cid in self._items
+
+    def __iter__(self):
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
 class Node:
     """Runtime state of one participant."""
 
@@ -83,7 +121,7 @@ class Node:
         self.response_latency = 0.0
         self.session_started_at = 0.0
         self.sessions_seen = 0
-        self.provided_cids: set = set()
+        self.provided_cids = OrderedCIDSet()
         # Relative likelihood of holding a Bitswap connection to any given
         # peer; gateways/platforms keep hundreds of connections.
         self.bitswap_neighbors_weight = 1.0

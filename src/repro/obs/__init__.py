@@ -32,8 +32,20 @@ Per-worker registries (one per crawl task) are merged deterministically
 in the parent via :meth:`MetricsRegistry.merge_snapshot`, mirroring the
 sharded-log heap-merge; :func:`deterministic_view` is the cross-worker
 bit-identical portion of a snapshot.
+
+Since PR 5 the package also carries the *event* layer,
+:mod:`repro.obs.trace`: causal per-lookup/per-crawl traces behind the
+same null-object dispatch (:func:`trace_span` / :func:`trace_event`),
+a Chrome trace-event / Perfetto exporter (:func:`chrome_trace`), a
+trace-replaying invariant auditor (:func:`audit_trace`, surfaced as
+``repro obs audit``) and the live campaign heartbeat
+(:class:`ProgressReporter`, surfaced as ``repro campaign --progress``).
 """
 
+# NOTE: metrics must be imported before trace — repro.obs.trace pulls in
+# repro.exec.seeds, whose package __init__ loads the engine, which needs
+# repro.obs.metrics to already be bound on this (partially initialised)
+# package.
 from repro.obs.export import (
     metrics_to_records,
     read_metrics,
@@ -62,30 +74,72 @@ from repro.obs.metrics import (
     span,
     use_registry,
 )
+from repro.obs.trace import (
+    DEFAULT_CAPACITY,
+    NONDETERMINISTIC_EVENT_PREFIXES,
+    NULL_TRACER,
+    NullTracer,
+    TraceEvent,
+    Tracer,
+    deterministic_trace_view,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    read_trace,
+    set_tracer,
+    trace_event,
+    trace_span,
+    use_tracer,
+    write_trace,
+)
+from repro.obs.audit import AuditReport, audit_trace
+from repro.obs.perfetto import chrome_trace, write_chrome_trace
+from repro.obs.progress import ProgressReporter
 
 __all__ = [
+    "AuditReport",
     "Counter",
     "DEFAULT_BUCKETS",
+    "DEFAULT_CAPACITY",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NONDETERMINISTIC_COUNTERS",
+    "NONDETERMINISTIC_EVENT_PREFIXES",
     "NULL_REGISTRY",
+    "NULL_TRACER",
     "NullRegistry",
+    "NullTracer",
+    "ProgressReporter",
     "TIME_BUCKETS",
+    "TraceEvent",
+    "Tracer",
+    "audit_trace",
+    "chrome_trace",
+    "deterministic_trace_view",
     "deterministic_view",
     "disable",
+    "disable_tracing",
     "enable",
+    "enable_tracing",
     "get_registry",
+    "get_tracer",
     "inc",
     "metrics_to_records",
     "observe",
     "read_metrics",
+    "read_trace",
     "records_to_snapshot",
     "render_report",
     "set_gauge",
     "set_registry",
+    "set_tracer",
     "span",
+    "trace_event",
+    "trace_span",
     "use_registry",
+    "use_tracer",
+    "write_chrome_trace",
     "write_metrics",
+    "write_trace",
 ]

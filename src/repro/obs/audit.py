@@ -1,0 +1,265 @@
+"""Trace-driven invariant auditing: replay an event stream, check protocol laws.
+
+A trace is more than a debugging aid — it is a machine-checkable record
+of what the protocol actually did.  :func:`audit_trace` replays a trace
+record stream (the output of :meth:`repro.obs.trace.Tracer.records`, or
+anything :func:`repro.obs.trace.read_trace` loads) and verifies the
+invariants the simulation is supposed to uphold:
+
+* **span closure** — every span that begins also ends, properly nested
+  within its origin's stream;
+* **lookup progress** — within one lookup span, round indexes strictly
+  increase and the best known XOR distance never increases (Kademlia
+  lookups converge monotonically toward the target);
+* **message causality** — no message is received before it was sent in
+  simulated time;
+* **relay discipline** — relay hops are only assigned between a NAT'd
+  client and a DHT-server relay (§4 of the paper: only servers relay);
+* **exec accounting** — every task lifecycle is submit → (retry)* →
+  exactly one terminal done/failed event, with the terminal attempt
+  count equal to one plus the retries observed (and, when the caller
+  passes the campaign's ``ExecError`` list, failures match it).
+
+Ring-buffer truncation is handled honestly: when a tracer reports
+dropped events, closure and lifecycle findings for that origin are
+demoted to warnings — an evicted begin event is not a protocol bug.
+``repro obs audit`` wraps this as a CLI gate that exits non-zero on any
+violation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.trace import BEGIN, END, INSTANT, Record
+
+__all__ = ["AuditReport", "audit_trace"]
+
+#: Span names whose instant children carry lookup-round progress.
+_LOOKUP_SPANS = {"lookup.find_node", "lookup.find_providers"}
+
+
+@dataclass
+class AuditReport:
+    """The outcome of one trace audit."""
+
+    #: Hard invariant violations (each a one-line human-readable finding).
+    violations: List[str] = field(default_factory=list)
+    #: Findings demoted because the stream is known-incomplete.
+    warnings: List[str] = field(default_factory=list)
+    #: What was checked: ``events``, ``spans``, ``lookups``, ``messages``,
+    #: ``relays``, ``tasks`` ...
+    checked: Dict[str, int] = field(default_factory=dict)
+    #: origin -> dropped-event count, for origins that overflowed.
+    truncated: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def render(self) -> str:
+        """The human-readable audit report."""
+        lines: List[str] = []
+        scanned = ", ".join(
+            f"{self.checked.get(key, 0)} {key}"
+            for key in ("events", "spans", "lookups", "messages", "relays", "tasks")
+        )
+        lines.append(f"audited {scanned}")
+        if self.truncated:
+            drops = ", ".join(
+                f"{origin} (-{count})" for origin, count in sorted(self.truncated.items())
+            )
+            lines.append(f"truncated origins: {drops} — closure findings demoted to warnings")
+        if self.violations:
+            lines.append(f"{len(self.violations)} violation(s):")
+            lines.extend(f"  VIOLATION {finding}" for finding in self.violations)
+        else:
+            lines.append("no invariant violations")
+        if self.warnings:
+            lines.append(f"{len(self.warnings)} warning(s):")
+            lines.extend(f"  warning {finding}" for finding in self.warnings)
+        return "\n".join(lines)
+
+
+def _where(record: Record) -> str:
+    return (
+        f"[origin={record.get('origin')} seq={record.get('seq')}"
+        f" trace={record.get('trace')} name={record.get('name')}]"
+    )
+
+
+def audit_trace(
+    records: Iterable[Record],
+    exec_errors: Optional[Iterable[object]] = None,
+) -> AuditReport:
+    """Replay ``records`` and check every protocol invariant (see module docs).
+
+    ``exec_errors`` optionally cross-checks the trace's ``exec.failed``
+    events against the campaign's structured
+    :class:`~repro.exec.engine.ExecError` list (task id and attempt
+    count must agree).
+    """
+    report = AuditReport()
+    checked = report.checked
+    for key in ("events", "spans", "lookups", "messages", "relays", "tasks"):
+        checked[key] = 0
+
+    # per-origin stack of open spans: (span_id, name).
+    open_spans: Dict[str, List[Tuple[int, str]]] = {}
+    # (origin, span_id) -> (last_round, last_best) for lookup spans.
+    lookup_state: Dict[Tuple[str, int], Tuple[int, Optional[int]]] = {}
+    lookup_span_ids: Dict[str, set] = {}
+    # task id -> {"submits": n, "retries": n, "terminal": [(name, attempts)]}.
+    tasks: Dict[str, Dict[str, object]] = {}
+
+    def flag(origin: str, finding: str) -> None:
+        """File a finding, demoted to a warning for truncated origins."""
+        if report.truncated.get(origin):
+            report.warnings.append(finding)
+        else:
+            report.violations.append(finding)
+
+    for record in records:
+        rtype = record.get("type")
+        origin = str(record.get("origin", ""))
+        if rtype == "meta":
+            dropped = int(record.get("dropped", 0) or 0)
+            if dropped:
+                report.truncated[origin] = report.truncated.get(origin, 0) + dropped
+            continue
+        checked["events"] += 1
+        name = str(record.get("name", ""))
+        attrs = record.get("attrs") or {}
+
+        if rtype == BEGIN:
+            checked["spans"] += 1
+            span_id = record.get("span", 0)
+            open_spans.setdefault(origin, []).append((span_id, name))
+            if name in _LOOKUP_SPANS:
+                checked["lookups"] += 1
+                lookup_state[(origin, span_id)] = (-1, None)
+                lookup_span_ids.setdefault(origin, set()).add(span_id)
+        elif rtype == END:
+            span_id = record.get("span", 0)
+            stack = open_spans.get(origin) or []
+            if not stack:
+                flag(origin, f"span end without begin {_where(record)}")
+            else:
+                top_id, top_name = stack.pop()
+                if top_id != span_id or top_name != name:
+                    flag(
+                        origin,
+                        f"mis-nested span end: expected {top_name!r}#{top_id},"
+                        f" got {name!r}#{span_id} {_where(record)}",
+                    )
+        elif rtype == INSTANT:
+            if name == "lookup.round":
+                parent = record.get("parent")
+                state = lookup_state.get((origin, parent))
+                if state is None:
+                    flag(origin, f"lookup.round outside a lookup span {_where(record)}")
+                else:
+                    last_round, last_best = state
+                    round_index = attrs.get("round")
+                    best = attrs.get("best")
+                    if not isinstance(round_index, int) or round_index <= last_round:
+                        report.violations.append(
+                            f"lookup round index not increasing:"
+                            f" {round_index!r} after {last_round} {_where(record)}"
+                        )
+                        round_index = last_round
+                    if best is not None and last_best is not None and best > last_best:
+                        report.violations.append(
+                            f"lookup best XOR distance increased:"
+                            f" {best} after {last_best} {_where(record)}"
+                        )
+                    if best is None:
+                        best = last_best
+                    lookup_state[(origin, parent)] = (round_index, best)
+            elif name == "msg.query":
+                checked["messages"] += 1
+                sent, recv = attrs.get("sent"), attrs.get("recv")
+                if sent is None or recv is None:
+                    report.violations.append(
+                        f"msg.query missing sent/recv timestamps {_where(record)}"
+                    )
+                elif recv < sent:
+                    report.violations.append(
+                        f"message received before sent in sim-time:"
+                        f" recv={recv} < sent={sent} {_where(record)}"
+                    )
+            elif name == "relay.assign":
+                checked["relays"] += 1
+                if not attrs.get("client_nat"):
+                    report.violations.append(
+                        f"relay assigned to a non-NAT'd client {_where(record)}"
+                    )
+                if not attrs.get("relay_server"):
+                    report.violations.append(
+                        f"relay hop through a non-server peer {_where(record)}"
+                    )
+            elif name.startswith("exec."):
+                task_id = str(attrs.get("task"))
+                state = tasks.setdefault(
+                    task_id, {"submits": 0, "retries": 0, "terminal": []}
+                )
+                if name == "exec.submit":
+                    state["submits"] += 1
+                elif name == "exec.retry":
+                    state["retries"] += 1
+                elif name in ("exec.done", "exec.failed"):
+                    state["terminal"].append((name, attrs.get("attempts")))
+
+    # Leftover open spans = begins that never ended.
+    for origin, stack in open_spans.items():
+        for span_id, name in stack:
+            flag(origin, f"span never closed: {name!r}#{span_id} [origin={origin}]")
+
+    # Exec lifecycle accounting.
+    checked["tasks"] = len(tasks)
+    for task_id, state in sorted(tasks.items()):
+        terminal = state["terminal"]
+        where = f"[task={task_id}]"
+        if state["submits"] == 0:
+            flag("main", f"exec terminal/retry event without a submit {where}")
+        if len(terminal) != 1:
+            flag(
+                "main",
+                f"expected exactly one terminal exec event, saw"
+                f" {[name for name, _ in terminal]} {where}",
+            )
+            continue
+        name, attempts = terminal[0]
+        if attempts is not None and attempts - 1 != state["retries"]:
+            report.violations.append(
+                f"retry count mismatch: terminal {name} reports"
+                f" {attempts} attempt(s) but {state['retries']} retry event(s) {where}"
+            )
+
+    # Optional cross-check against the campaign's structured ExecErrors.
+    if exec_errors is not None:
+        failed_in_trace = {
+            task_id: state["terminal"][0][1]
+            for task_id, state in tasks.items()
+            if len(state["terminal"]) == 1 and state["terminal"][0][0] == "exec.failed"
+        }
+        for error in exec_errors:
+            task_id = str(getattr(error, "task_id", error))
+            attempts = getattr(error, "attempts", None)
+            traced = failed_in_trace.pop(task_id, None)
+            if traced is None:
+                report.violations.append(
+                    f"ExecError for task {task_id} has no exec.failed trace event"
+                )
+            elif attempts is not None and traced != attempts:
+                report.violations.append(
+                    f"ExecError attempts mismatch for task {task_id}:"
+                    f" trace={traced} record={attempts}"
+                )
+        for task_id in sorted(failed_in_trace):
+            report.violations.append(
+                f"exec.failed trace event for task {task_id} has no ExecError record"
+            )
+
+    return report

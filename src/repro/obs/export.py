@@ -45,7 +45,13 @@ def metrics_to_records(snapshot: Dict[str, object]) -> List[Record]:
         records.append({"kind": "histogram", "name": name, **data})
     for path, data in snapshot.get("spans", {}).items():
         records.append(
-            {"kind": "span", "name": path, "count": data["count"], "seconds": data["seconds"]}
+            {
+                "kind": "span",
+                "name": path,
+                "count": data["count"],
+                "seconds": data["seconds"],
+                "errors": data.get("errors", 0),
+            }
         )
     return records
 
@@ -73,6 +79,7 @@ def records_to_snapshot(records: Iterable[Record]) -> Dict[str, object]:
             snapshot["spans"][name] = {
                 "count": record["count"],
                 "seconds": record["seconds"],
+                "errors": record.get("errors", 0),
             }
         else:
             raise ValueError(f"unknown metric record kind: {kind!r}")
@@ -162,25 +169,40 @@ def _span_rows(spans: Dict[str, Dict[str, float]]) -> List[str]:
         self_seconds = data["seconds"] - children_total.get(path, 0.0)
         rows.append(
             f"  {label:<38} {data['count']:>7} {_format_seconds(data['seconds'])}"
-            f" {_format_seconds(self_seconds)}"
+            f" {_format_seconds(self_seconds)} {data.get('errors', 0):>7}"
         )
     return rows
 
 
-def render_report(snapshot: Dict[str, object]) -> str:
-    """Render a snapshot as the ``repro obs report`` summary table."""
+def _top_names(table: Dict[str, object], key, top: "int | None") -> List[str]:
+    """Row order for a metric table: by name, or by ``key`` desc when capped."""
+    if top is None:
+        return sorted(table)
+    ranked = sorted(table, key=lambda name: (-key(table[name]), name))
+    return ranked[:top]
+
+
+def render_report(snapshot: Dict[str, object], top: "int | None" = None) -> str:
+    """Render a snapshot as the ``repro obs report`` summary table.
+
+    With ``top=N`` the counter/gauge/histogram tables are sorted by
+    magnitude (value, value, observation count) and capped at N rows;
+    the phase tree keeps its hierarchy and is never capped.
+    """
     lines: List[str] = []
     spans = snapshot.get("spans", {})
     if spans:
         lines.append("phase timings")
-        lines.append(f"  {'phase':<38} {'count':>7} {'total':>10} {'self':>10}")
+        lines.append(
+            f"  {'phase':<38} {'count':>7} {'total':>10} {'self':>10} {'errors':>7}"
+        )
         lines.extend(_span_rows(spans))
     counters = snapshot.get("counters", {})
     if counters:
         if lines:
             lines.append("")
         lines.append("counters")
-        for name in sorted(counters):
+        for name in _top_names(counters, float, top):
             value = counters[name]
             text = f"{value:.0f}" if float(value).is_integer() else f"{value:.3f}"
             lines.append(f"  {name:<46} {text:>14}")
@@ -188,7 +210,7 @@ def render_report(snapshot: Dict[str, object]) -> str:
     if gauges:
         lines.append("")
         lines.append("gauges")
-        for name in sorted(gauges):
+        for name in _top_names(gauges, float, top):
             lines.append(f"  {name:<46} {gauges[name]:>14g}")
     histograms = snapshot.get("histograms", {})
     if histograms:
@@ -197,7 +219,7 @@ def render_report(snapshot: Dict[str, object]) -> str:
         lines.append(
             f"  {'name':<34} {'count':>9} {'mean':>12} {'min':>10} {'max':>10}"
         )
-        for name in sorted(histograms):
+        for name in _top_names(histograms, lambda data: data["count"], top):
             data = histograms[name]
             count = data["count"]
             mean = data["sum"] / count if count else 0.0

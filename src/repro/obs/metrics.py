@@ -126,7 +126,11 @@ class _SpanTimer:
     """Context manager recording one wall-clock interval into a registry.
 
     Nested spans build a ``/``-separated phase path (``campaign/crawls``),
-    so the report can attribute time hierarchically.
+    so the report can attribute time hierarchically.  When the block
+    raises, the interval is still recorded but tagged as an error — the
+    span's error count increments, as does a per-exception-type counter
+    (``span.errors.<ExcName>``) — so ``render_report`` can surface where
+    failures happened, not just where time went.
     """
 
     __slots__ = ("_registry", "_name", "_start")
@@ -140,10 +144,14 @@ class _SpanTimer:
         self._start = time.perf_counter()
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, exc_type, exc, tb) -> None:
         elapsed = time.perf_counter() - self._start
-        stack = self._registry._span_stack
-        self._registry.record_span("/".join(stack), elapsed)
+        registry = self._registry
+        stack = registry._span_stack
+        failed = exc_type is not None
+        registry.record_span("/".join(stack), elapsed, errors=1 if failed else 0)
+        if failed:
+            registry.inc(f"span.errors.{exc_type.__name__}")
         stack.pop()
 
 
@@ -171,7 +179,7 @@ class MetricsRegistry:
         self.counters: Dict[str, Counter] = {}
         self.gauges: Dict[str, Gauge] = {}
         self.histograms: Dict[str, Histogram] = {}
-        #: phase path -> [count, total_seconds].
+        #: phase path -> [count, total_seconds, error_count].
         self.spans: Dict[str, List[float]] = {}
         self._span_stack: List[str] = []
 
@@ -211,13 +219,14 @@ class MetricsRegistry:
     def span(self, name: str) -> _SpanTimer:
         return _SpanTimer(self, name)
 
-    def record_span(self, path: str, seconds: float) -> None:
+    def record_span(self, path: str, seconds: float, errors: int = 0) -> None:
         stat = self.spans.get(path)
         if stat is None:
-            self.spans[path] = [1, seconds]
+            self.spans[path] = [1, seconds, errors]
         else:
             stat[0] += 1
             stat[1] += seconds
+            stat[2] += errors
 
     # -- snapshots and merging ---------------------------------------------
 
@@ -238,7 +247,7 @@ class MetricsRegistry:
                 for name, h in sorted(self.histograms.items())
             },
             "spans": {
-                path: {"count": stat[0], "seconds": stat[1]}
+                path: {"count": stat[0], "seconds": stat[1], "errors": stat[2]}
                 for path, stat in sorted(self.spans.items())
             },
         }
@@ -274,10 +283,11 @@ class MetricsRegistry:
         for path, data in snapshot.get("spans", {}).items():
             stat = self.spans.get(path)
             if stat is None:
-                self.spans[path] = [data["count"], data["seconds"]]
+                self.spans[path] = [data["count"], data["seconds"], data.get("errors", 0)]
             else:
                 stat[0] += data["count"]
                 stat[1] += data["seconds"]
+                stat[2] += data.get("errors", 0)
 
 
 class NullRegistry:
@@ -306,7 +316,7 @@ class NullRegistry:
     def span(self, name: str) -> _NullSpan:
         return _NULL_SPAN
 
-    def record_span(self, path: str, seconds: float) -> None:
+    def record_span(self, path: str, seconds: float, errors: int = 0) -> None:
         pass
 
     def snapshot(self) -> Dict[str, object]:

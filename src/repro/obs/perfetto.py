@@ -1,0 +1,92 @@
+"""Chrome trace-event / Perfetto JSON export for trace record streams.
+
+Converts the flat records produced by :meth:`repro.obs.trace.Tracer.
+records` into the Chrome trace-event JSON object format, which
+``ui.perfetto.dev`` (and ``chrome://tracing``) open directly: each
+tracer *origin* becomes a process (the campaign runner is ``main``,
+every crawl task ``crawl-<id>``), each causal tree a thread track, so a
+campaign renders as one lane per lookup/crawl with nested spans inside.
+
+Timestamps are the *simulated* clock in microseconds.  Within one
+origin the sim clock can stand still (a crawl task runs at a frozen
+``started_at``), which would collapse spans to zero width — the
+exporter therefore bumps each event at least 1 µs past its
+predecessor on the same origin, preserving emission order without
+touching the stored records.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List
+
+from repro.obs.trace import BEGIN, END, INSTANT, Record
+
+__all__ = ["chrome_trace", "write_chrome_trace"]
+
+#: record type -> Chrome trace-event phase.
+_PHASES = {BEGIN: "B", END: "E", INSTANT: "i"}
+
+
+def chrome_trace(records: Iterable[Record]) -> Dict[str, object]:
+    """Build the Chrome trace-event JSON object for a record stream."""
+    events: List[Dict[str, object]] = []
+    pids: Dict[str, int] = {}
+    last_ts: Dict[str, int] = {}
+    metadata: Dict[str, object] = {}
+    for record in records:
+        rtype = record.get("type")
+        if rtype == "meta":
+            metadata[str(record.get("origin", ""))] = {
+                key: record[key]
+                for key in ("emitted", "dropped", "muted", "capacity", "sample", "traces")
+                if key in record
+            }
+            continue
+        phase = _PHASES.get(rtype)
+        if phase is None:
+            continue
+        origin = str(record.get("origin", ""))
+        pid = pids.get(origin)
+        if pid is None:
+            pid = pids[origin] = len(pids) + 1
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": origin},
+                }
+            )
+        ts = int(round(float(record.get("sim", 0.0)) * 1_000_000))
+        floor = last_ts.get(origin)
+        if floor is not None and ts <= floor:
+            ts = floor + 1
+        last_ts[origin] = ts
+        event: Dict[str, object] = {
+            "ph": phase,
+            "name": str(record.get("name", "")),
+            "pid": pid,
+            "tid": record.get("trace", 0),
+            "ts": ts,
+            "args": dict(record.get("attrs") or {}),
+        }
+        if phase == "i":
+            event["s"] = "t"
+        events.append(event)
+    trace: Dict[str, object] = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if metadata:
+        trace["otherData"] = {"tracers": metadata}
+    return trace
+
+
+def write_chrome_trace(records: Iterable[Record], path) -> int:
+    """Write the Chrome trace-event JSON; returns the event count."""
+    trace = chrome_trace(records)
+    destination = Path(path)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    with open(destination, "w") as handle:
+        json.dump(trace, handle)
+    return len(trace["traceEvents"])

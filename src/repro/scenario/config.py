@@ -57,6 +57,27 @@ class ScenarioConfig:
     #: default: the disabled path is a no-op null registry and campaign
     #: outputs are bit-identical either way.
     metrics: bool = False
+    #: collect causal event traces (see :mod:`repro.obs.trace`): one
+    #: tracer in the campaign process plus one per crawl task, merged in
+    #: crawl order into ``CampaignResult.trace``.  Off by default — the
+    #: disabled path is a no-op null tracer and campaign outputs are
+    #: bit-identical either way.
+    trace: bool = False
+    #: keep ~1 causal tree in N (deterministically, by hashing the tree
+    #: index through :func:`repro.exec.seeds.derive_seed`); ``1`` keeps
+    #: everything.
+    trace_sample: int = 1
+    #: per-tracer ring-buffer capacity in events; when full, the oldest
+    #: events are evicted (and counted, so ``repro obs audit`` knows the
+    #: stream is incomplete).
+    trace_buffer: int = 65536
+    #: optional path the merged trace records are written to at the end
+    #: of the run (``.trace``/``.jsonl`` → JSONL, ``.sqlite`` → SQLite);
+    #: the path lands in ``CampaignResult.trace_path``.
+    trace_out: Optional[str] = None
+    #: render a live single-line progress heartbeat to stderr (wall-clock
+    #: throttled; never feeds back into the simulation).
+    progress: bool = False
     seed: int = 2023
 
     @property

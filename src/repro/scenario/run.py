@@ -10,7 +10,7 @@ object carries every dataset the §4-§7 analyses need.
 from __future__ import annotations
 
 import random
-from contextlib import nullcontext
+from contextlib import ExitStack, contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
@@ -21,8 +21,10 @@ from repro.core.crawler import (
     DHTCrawler,
     execute_crawl_task,
     execute_crawl_task_observed,
+    execute_crawl_task_traced,
 )
 from repro.exec.engine import ExecError, ParallelExecutor
+from repro.exec.seeds import derive_seed
 from repro.dns.scanner import ActiveScanner, DNSLinkScanResult
 from repro.dns.seeding import DNSWorld, seed_dns_world
 from repro.ens.scraper import ENSContenthashScraper, ENSScrapeResult
@@ -41,6 +43,8 @@ from repro.netsim.network import Overlay
 from repro.netsim.node import Node
 from repro.obs import metrics as obs
 from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry, use_registry
+from repro.obs.progress import ProgressReporter
+from repro.obs.trace import NULL_TRACER, Tracer, use_tracer, write_trace
 from repro.scenario.config import ScenarioConfig
 from repro.store import campaign_stores
 from repro.world.population import NodeClass, NodeSpec, PopulationBuilder, World
@@ -73,6 +77,14 @@ class CampaignResult:
     #: observability snapshot (see :mod:`repro.obs`) when the campaign ran
     #: with ``ScenarioConfig.metrics`` enabled, else ``None``.
     metrics: Optional[Dict[str, object]] = None
+    #: merged trace record stream (see :mod:`repro.obs.trace`) when the
+    #: campaign ran with ``ScenarioConfig.trace`` enabled, else ``None``:
+    #: the campaign tracer's records followed by each crawl task's, in
+    #: crawl order.
+    trace: Optional[List[Dict[str, object]]] = None
+    #: where the trace was persisted when ``ScenarioConfig.trace_out``
+    #: was set, else ``None``.
+    trace_path: Optional[str] = None
 
     @property
     def crawl_rows(self):
@@ -90,25 +102,62 @@ class MeasurementCampaign:
         #: the campaign's metrics registry: a collecting one when
         #: ``config.metrics`` is set, else the shared no-op null object.
         self.obs = MetricsRegistry() if self.config.metrics else NULL_REGISTRY
+        #: the campaign's tracer: collecting when ``config.trace`` is
+        #: set, else the shared no-op null tracer.  Crawl tasks get their
+        #: own per-task tracers (see execute_crawl_task_traced).
+        if self.config.trace:
+            self.tracer = Tracer(
+                origin="main",
+                seed=derive_seed(self.config.seed, "trace", "main"),
+                sample=self.config.trace_sample,
+                capacity=self.config.trace_buffer,
+                clock=self._sim_now,
+            )
+        else:
+            self.tracer = NULL_TRACER
+        self._crawl_trace_records: List[Dict[str, object]] = []
         self._built = False
 
-    def _observed(self):
-        """Install the campaign registry while metrics are enabled.
+    def _sim_now(self) -> float:
+        overlay = getattr(self, "overlay", None)
+        return overlay.now if overlay is not None else 0.0
 
-        When they are not, the surrounding registry is left alone, so a
-        user-installed global registry (``repro.obs.enable()``) still
-        sees the instrumentation.
+    def _observed(self):
+        """Install the campaign registry/tracer while they are enabled.
+
+        When they are not, the surroundings are left alone, so a
+        user-installed global registry (``repro.obs.enable()``) or tracer
+        still sees the instrumentation.
         """
+        stack = ExitStack()
         if self.config.metrics:
-            return use_registry(self.obs)
-        return nullcontext()
+            stack.enter_context(use_registry(self.obs))
+        if self.config.trace:
+            stack.enter_context(use_tracer(self.tracer))
+        return stack
+
+    @contextmanager
+    def _phase(self, name: str):
+        """Mark a campaign phase in the trace with paired instant events.
+
+        Instants, not spans, on purpose: a root span would make the whole
+        phase one causal tree, and ``trace_sample`` would then mute every
+        lookup inside it wholesale.  With markers, each lookup/crawl/fetch
+        stays its own tree — the granularity the sampler keys on — while
+        the phase boundaries (and the ETA heartbeat) remain visible.
+        """
+        self.tracer.event("phase.begin", phase=name)
+        try:
+            yield
+        finally:
+            self.tracer.event("phase.end", phase=name)
 
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
 
     def build(self) -> None:
-        with self._observed(), obs.span("campaign"), obs.span("build"):
+        with self._observed(), obs.span("campaign"), obs.span("build"), self._phase("build"):
             self._build()
 
     def _build(self) -> None:
@@ -198,6 +247,16 @@ class MeasurementCampaign:
             self.obs.set_gauge("campaign.hydra_log_entries", len(self.hydra.log))
             self.obs.set_gauge("campaign.bitswap_log_entries", len(self.monitor.log))
             result.metrics = self.obs.snapshot()
+        if self.config.trace:
+            # Main tracer first (meta + campaign-process events), then
+            # each crawl task's records in crawl order — deterministic
+            # regardless of which worker produced which crawl.
+            trace_records = self.tracer.records()
+            trace_records.extend(self._crawl_trace_records)
+            result.trace = trace_records
+            if self.config.trace_out:
+                write_trace(trace_records, self.config.trace_out)
+                result.trace_path = str(self.config.trace_out)
         return result
 
     def _run(self) -> CampaignResult:
@@ -234,10 +293,24 @@ class MeasurementCampaign:
         # With metrics on, each crawl collects into its own registry (so
         # nothing is lost on worker processes) and the parent merges the
         # per-task snapshots in crawl order below — identical totals at
-        # any worker count.
-        crawl_fn = execute_crawl_task_observed if config.metrics else execute_crawl_task
+        # any worker count.  With tracing on, each crawl additionally
+        # carries a per-task tracer whose record stream rides back the
+        # same way.
+        if config.trace:
+            crawl_fn = execute_crawl_task_traced
+            crawl_args = (config.trace_sample, config.trace_buffer)
+        elif config.metrics:
+            crawl_fn = execute_crawl_task_observed
+            crawl_args = ()
+        else:
+            crawl_fn = execute_crawl_task
+            crawl_args = ()
 
-        with obs.span("simulate"):
+        progress = ProgressReporter() if config.progress else None
+        total_ticks = total_days * config.ticks_per_day
+        done_ticks = 0
+
+        with obs.span("simulate"), self._phase("simulate"):
             for day in range(total_days):
                 obs.inc("campaign.days")
                 self.catalog.build_day_index(day)
@@ -252,7 +325,7 @@ class MeasurementCampaign:
                         and crawl_id < config.num_crawls
                     ):
                         crawl_engine.submit(
-                            crawl_id, crawl_fn, self.crawler.task(crawl_id)
+                            crawl_id, crawl_fn, self.crawler.task(crawl_id), *crawl_args
                         )
                         crawl_id += 1
                         next_crawl += crawl_interval
@@ -272,21 +345,45 @@ class MeasurementCampaign:
                     overlay.scheduler.run_until(
                         day * SECONDS_PER_DAY + (tick + 1) * tick_seconds
                     )
+                    done_ticks += 1
+                    if progress is not None:
+                        progress.update(
+                            "simulate",
+                            done_ticks,
+                            total_ticks,
+                            day=(day + 1, total_days),
+                            crawls=(crawl_id, config.num_crawls),
+                            tracer=self.tracer,
+                        )
 
-        with obs.span("crawl-drain"):
+        if progress is not None:
+            progress.update(
+                "crawl-drain",
+                total_ticks,
+                total_ticks,
+                crawls=(crawl_id, config.num_crawls),
+                tracer=self.tracer,
+                force=True,
+            )
+        with obs.span("crawl-drain"), self._phase("crawl-drain"):
             crawl_results, exec_errors = crawl_engine.drain()
             crawl_engine.close()
-            if config.metrics:
-                snapshots = []
-                for i in sorted(crawl_results):
-                    snapshot, crawl_metrics = crawl_results[i]
-                    snapshots.append(snapshot)
+            snapshots = []
+            crawl_trace_records: List[Dict[str, object]] = []
+            for i in sorted(crawl_results):
+                outcome = crawl_results[i]
+                if config.trace:
+                    snapshot, crawl_metrics, trace_records = outcome
+                    crawl_trace_records.extend(trace_records)
+                elif config.metrics:
+                    snapshot, crawl_metrics = outcome
+                else:
+                    snapshot, crawl_metrics = outcome, None
+                snapshots.append(snapshot)
+                if config.metrics and crawl_metrics is not None:
                     self.obs.merge_snapshot(crawl_metrics)
-                crawl_dataset = CrawlDataset(snapshots=snapshots)
-            else:
-                crawl_dataset = CrawlDataset(
-                    snapshots=[crawl_results[i] for i in sorted(crawl_results)]
-                )
+            crawl_dataset = CrawlDataset(snapshots=snapshots)
+            self._crawl_trace_records = crawl_trace_records
 
         # Provider records expire after 24 h; refresh them so the one-shot
         # entry-point measurements below resolve live content.
@@ -302,17 +399,17 @@ class MeasurementCampaign:
         if not monitor_node.online:
             overlay.bring_online(monitor_node)
         prober = GatewayProber(overlay, self.monitor, monitor_node)
-        with obs.span("gateway-probe"):
+        with obs.span("gateway-probe"), self._phase("gateway-probe"):
             probe_reports = prober.run_campaign(
                 self.services, config.gateway_probes_per_endpoint
             )
         scanner = ActiveScanner(self.dns_world.resolver)
-        with obs.span("dns-scan"):
+        with obs.span("dns-scan"), self._phase("dns-scan"):
             dns_scan = scanner.scan(self.dns_world.scan_input)
         scraper = ENSContenthashScraper(
             ens_world.chain, [resolver.address for resolver in ens_world.resolvers]
         )
-        with obs.span("ens-scrape"):
+        with obs.span("ens-scrape"), self._phase("ens-scrape"):
             ens_scrape = scraper.scrape()
             ens_fetcher = ProviderRecordFetcher(overlay)
             ens_observations = ens_fetcher.fetch_many(ens_scrape.cids())
@@ -321,6 +418,11 @@ class MeasurementCampaign:
         # before handing the datasets to the analyses.
         self.hydra.log.flush()
         self.monitor.log.flush()
+        if progress is not None:
+            progress.finish(
+                f"campaign done: {len(crawl_dataset)} crawls, "
+                f"{len(self.hydra.log)} hydra entries"
+            )
 
         return CampaignResult(
             config=config,

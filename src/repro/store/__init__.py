@@ -28,7 +28,14 @@ from repro.store.backend import (
     SqliteBackend,
     StorageBackend,
 )
-from repro.store.codecs import BITSWAP_CODEC, HYDRA_CODEC, BitswapEntryCodec, HydraMessageCodec
+from repro.store.codecs import (
+    BITSWAP_CODEC,
+    HYDRA_CODEC,
+    TRACE_CODEC,
+    BitswapEntryCodec,
+    HydraMessageCodec,
+    TraceEventCodec,
+)
 from repro.store.eventlog import EventLog
 from repro.store.shard import ShardedBackend
 
@@ -45,6 +52,8 @@ __all__ = [
     "SqliteBackend",
     "StorageBackend",
     "StorageSpec",
+    "TRACE_CODEC",
+    "TraceEventCodec",
     "campaign_stores",
     "copy_records",
     "open_backend",
@@ -54,8 +63,9 @@ __all__ = [
     "task_storage_spec",
 ]
 
-#: File suffixes understood by path-based auto-detection.
-_SUFFIX_KINDS = {".jsonl": "jsonl", ".sqlite": "sqlite", ".db": "sqlite"}
+#: File suffixes understood by path-based auto-detection (``.trace`` is
+#: the conventional extension for JSONL trace-record streams).
+_SUFFIX_KINDS = {".jsonl": "jsonl", ".sqlite": "sqlite", ".db": "sqlite", ".trace": "jsonl"}
 
 #: Spec kinds that store records in files (shardable, rebasable).
 _FILE_KINDS = ("jsonl", "sqlite")

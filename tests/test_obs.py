@@ -100,7 +100,27 @@ class TestRegistry:
         assert snapshot["histograms"]["h"]["sum"] == 55
         assert snapshot["histograms"]["h"]["min"] == 5
         assert snapshot["histograms"]["h"]["max"] == 50
-        assert snapshot["spans"]["phase"] == {"count": 2, "seconds": 1.5}
+        assert snapshot["spans"]["phase"] == {"count": 2, "seconds": 1.5, "errors": 0}
+
+    def test_span_records_error_on_raise(self):
+        registry = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with registry.span("phase"):
+                raise RuntimeError("boom")
+        with registry.span("phase"):
+            pass
+        snapshot = registry.snapshot()
+        assert snapshot["spans"]["phase"]["count"] == 2
+        assert snapshot["spans"]["phase"]["errors"] == 1
+        assert snapshot["counters"]["span.errors.RuntimeError"] == 1
+
+    def test_merge_preserves_span_errors(self):
+        first = MetricsRegistry()
+        first.record_span("phase", 1.0, errors=1)
+        second = MetricsRegistry()
+        second.record_span("phase", 0.5, errors=2)
+        first.merge_snapshot(second.snapshot())
+        assert first.snapshot()["spans"]["phase"]["errors"] == 3
 
     def test_merge_rejects_mismatched_buckets(self):
         first = MetricsRegistry()
@@ -261,6 +281,26 @@ class TestExport:
     def test_render_report_empty_snapshot(self):
         assert render_report(MetricsRegistry().snapshot()) == "(no metrics recorded)"
 
+    def test_render_report_error_column(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            with registry.span("build"):
+                raise ValueError("nope")
+        report = render_report(registry.snapshot())
+        assert "errors" in report
+        assert "span.errors.ValueError" in report
+
+    def test_render_report_top_limits_rows(self):
+        registry = MetricsRegistry()
+        for index in range(10):
+            registry.inc(f"counter.{index}", index + 1)
+        full = render_report(registry.snapshot())
+        trimmed = render_report(registry.snapshot(), top=3)
+        assert len(trimmed.splitlines()) < len(full.splitlines())
+        # the busiest counters survive, the quiet ones are trimmed
+        assert "counter.9" in trimmed
+        assert "counter.0" not in trimmed
+
 
 def _campaign_config(workers: int) -> ScenarioConfig:
     return ScenarioConfig(
@@ -349,8 +389,20 @@ class TestObsCli:
         assert "crawl.crawls" in out
         assert "campaign" in out
 
+    def test_obs_report_json_and_top(self, tmp_path, capsys):
+        from repro.cli import main
+
+        registry = MetricsRegistry()
+        for index in range(6):
+            registry.inc(f"counter.{index}", index + 1)
+        path = tmp_path / "metrics.jsonl"
+        write_metrics(registry.snapshot(), path)
+        assert main(["obs", "report", str(path), "--format", "json", "--top", "2"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["counters"]) == {"counter.4", "counter.5"}
+
     def test_obs_report_missing_file(self, tmp_path, capsys):
         from repro.cli import main
 
         assert main(["obs", "report", str(tmp_path / "nope.jsonl")]) == 2
-        assert "no such metrics file" in capsys.readouterr().err
+        assert "no such file" in capsys.readouterr().err

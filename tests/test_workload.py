@@ -67,6 +67,18 @@ class TestPublish:
             engine.publish(node)
         assert len(node.provided_cids) <= engine.config.max_provided_cids
 
+    def test_publish_evicts_oldest_first(self, engine):
+        """The provide-set cap is FIFO: the earliest published CIDs fall
+        out, the newest survive (and the order never depends on the
+        process hash seed)."""
+        node = online_of(engine, NodeClass.CLOUD_STABLE)
+        cap = engine.config.max_provided_cids
+        published = []
+        for _ in range(cap + 5):
+            engine.publish(node)
+            published.append(engine.catalog.items[-1].cid)
+        assert list(node.provided_cids) == published[-cap:]
+
     def test_nat_publish_logs_relay(self, engine):
         engine.config.advert_walk_contacts = 10_000  # force capture
         nat = online_of(engine, NodeClass.NAT_CLIENT)
