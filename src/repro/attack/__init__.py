@@ -1,0 +1,56 @@
+"""Adversarial scenarios over the simulated IPFS network.
+
+The simulator reproduces *honest* IPFS; this package injects adversaries
+into the same world/netsim/workload pipeline so the attacks the source
+paper warns about become runnable scenarios:
+
+* ``sybil-eclipse`` — mint attacker peer IDs concentrated near a victim
+  CID's keyspace prefix until they dominate the ``select_closest``
+  resolver set (a classic DHT eclipse).
+* ``provider-spam`` — publish bogus provider records for the most popular
+  CIDs at high rate, stressing the per-CID record cap until honest
+  records are evicted.
+* ``bitswap-flood`` — attacker nodes hammer the Bitswap monitor's
+  ``observe_broadcast`` with junk want-haves.
+* ``hydra-amplification`` — drive cache-missing CID requests to weaponize
+  the Protocol Labs hydra fleet's proactive lookups (the paper's §5
+  DoS-amplification vector).
+* ``churn-bomb`` — coordinated mass join/leave through the scheduler
+  under ever-fresh identities.
+
+Each attack is an off-by-default config dataclass hung off
+:class:`~repro.scenario.config.ScenarioConfig`; with no attacks
+configured the campaign consumes zero extra randomness and stays
+bit-identical to the goldens.  Every injected event is tagged into a
+ground-truth log (attacker peer IDs, induced accomplices, victim CIDs and
+sim-time windows) persisted through :mod:`repro.store`, which is what
+lets :mod:`repro.detect` score detector alerts *exactly*.
+"""
+
+from repro.attack.config import (
+    ATTACK_TYPES,
+    AttackConfig,
+    BitswapFloodConfig,
+    ChurnBombConfig,
+    HydraAmplificationConfig,
+    ProviderSpamConfig,
+    SybilEclipseConfig,
+    parse_attack_spec,
+)
+from repro.attack.ground_truth import GroundTruthEntry, GroundTruthLog
+from repro.attack.orchestrator import AttackOrchestrator, mint_peer_near
+
+__all__ = [
+    "ATTACK_TYPES",
+    "AttackConfig",
+    "AttackOrchestrator",
+    "BitswapFloodConfig",
+    "ChurnBombConfig",
+    "GroundTruthEntry",
+    "GroundTruthLog",
+    "HydraAmplificationConfig",
+    "ProviderSpamConfig",
+    "SybilEclipseConfig",
+    "mint_peer_near",
+    "parse_attack_spec",
+]

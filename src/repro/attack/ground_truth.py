@@ -1,0 +1,127 @@
+"""Ground-truth labels for injected attack activity.
+
+The simulator's unique advantage over a real-world deployment is that it
+*knows* which peer is an adversary and exactly when each attack was
+live.  The orchestrator tags every injected actor and window into this
+log, persisted like any other campaign log through :mod:`repro.store`,
+and the :mod:`repro.detect` scorer joins detector alerts against it to
+compute exact precision/recall.
+
+Entry kinds:
+
+``window``
+    One per attack: the sim-time activity window (``timestamp`` =
+    start, ``end`` = end).
+``attacker``
+    A peer ID controlled by the adversary, stamped when its identity is
+    minted (churn-bomb identities get one entry per minted identity).
+``induced``
+    An honest peer whose traffic the attack weaponized (the hydra fleet
+    nodes launching amplified walks).  Alerts on induced peers count as
+    true positives, but induced peers are excluded from the recall
+    denominator — the adversary's own identities are the detection
+    target.
+``victim``
+    A CID the attack targets (eclipse victim, spammed CIDs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from repro.ids.cid import CID
+from repro.ids.peerid import PeerID
+from repro.store import ATTACK_CODEC, EventLog, StorageBackend
+from repro.store.backend import MemoryBackend
+
+ENTRY_KINDS = ("window", "attacker", "induced", "victim")
+
+
+@dataclass(frozen=True)
+class GroundTruthEntry:
+    """One labelled fact about injected adversarial activity."""
+
+    timestamp: float
+    attack: str
+    event: str  # one of ENTRY_KINDS
+    peer: Optional[PeerID] = None
+    cid: Optional[CID] = None
+    end: Optional[float] = None
+
+
+class GroundTruthLog:
+    """Append/query facade over the persisted ground-truth entries."""
+
+    def __init__(self, store: Optional[StorageBackend] = None):
+        self.log = EventLog(ATTACK_CODEC, store if store is not None else MemoryBackend())
+
+    def __len__(self) -> int:
+        return len(self.log)
+
+    def __iter__(self):
+        return iter(self.log)
+
+    def record(
+        self,
+        timestamp: float,
+        attack: str,
+        event: str,
+        peer: Optional[PeerID] = None,
+        cid: Optional[CID] = None,
+        end: Optional[float] = None,
+    ) -> None:
+        if event not in ENTRY_KINDS:
+            raise ValueError(f"unknown ground-truth event kind {event!r}")
+        self.log.append(
+            GroundTruthEntry(
+                timestamp=timestamp, attack=attack, event=event, peer=peer, cid=cid, end=end
+            )
+        )
+
+    # -- queries -------------------------------------------------------
+
+    def windows(self) -> Dict[str, Tuple[float, float]]:
+        """Attack name → (start, end) sim-time activity window."""
+        out: Dict[str, Tuple[float, float]] = {}
+        for entry in self.log:
+            if entry.event == "window":
+                out[entry.attack] = (entry.timestamp, entry.end)
+        return out
+
+    def attacker_peers(
+        self, attack: Optional[str] = None, include_induced: bool = True
+    ) -> Set[PeerID]:
+        """Adversary-linked peer IDs, optionally for one attack only."""
+        kinds = ("attacker", "induced") if include_induced else ("attacker",)
+        return {
+            entry.peer
+            for entry in self.log
+            if entry.event in kinds
+            and entry.peer is not None
+            and (attack is None or entry.attack == attack)
+        }
+
+    def victim_cids(self, attack: Optional[str] = None) -> Set[CID]:
+        return {
+            entry.cid
+            for entry in self.log
+            if entry.event == "victim"
+            and entry.cid is not None
+            and (attack is None or entry.attack == attack)
+        }
+
+    def attacks(self) -> Tuple[str, ...]:
+        return tuple(sorted(self.windows()))
+
+    def flush(self) -> None:
+        self.log.flush()
+
+
+def load_ground_truth(store: StorageBackend) -> GroundTruthLog:
+    """Re-open a persisted ground-truth log for scoring."""
+    return GroundTruthLog(store)
+
+
+def entries(log: GroundTruthLog) -> Iterable[GroundTruthEntry]:
+    return iter(log)

@@ -13,6 +13,10 @@
     python -m repro obs report out/metrics.jsonl --format json --top 10
     python -m repro obs audit out/run.trace
     python -m repro obs trace-export out/run.trace --perfetto out/run.json
+    python -m repro campaign --attack sybil-eclipse --detect
+    python -m repro campaign --storage sqlite:out/adv --attack bitswap-flood:broadcasts_per_hour=900
+    python -m repro detect score out/adv
+    python -m repro detect attacks
     python -m repro table1
 
 The CLI is a thin shell over :mod:`repro.scenario`; everything it prints
@@ -130,6 +134,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress", action="store_true",
         help="render a live single-line progress heartbeat on stderr",
     )
+    campaign.add_argument(
+        "--attack", action="append", default=[], metavar="SPEC",
+        help="inject an adversarial scenario, e.g. sybil-eclipse or "
+        "bitswap-flood:num_attackers=4,broadcasts_per_hour=900 "
+        "(repeatable; 'repro detect attacks' lists scenarios and knobs)",
+    )
+    campaign.add_argument(
+        "--detect", action="store_true",
+        help="run the packaged detectors over the monitor logs and print "
+        "the ground-truth scorecard (see repro.detect)",
+    )
+    campaign.add_argument(
+        "--detect-window", type=float, metavar="SECONDS",
+        help="detection feature-window length (implies --detect; "
+        "default: one campaign tick)",
+    )
 
     sweep = commands.add_parser(
         "sweep", parents=[exec_options],
@@ -217,6 +237,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="write Chrome trace-event JSON (open in ui.perfetto.dev)",
     )
 
+    detect = commands.add_parser(
+        "detect", help="attack detection over stored campaign logs"
+    )
+    detect_commands = detect.add_subparsers(dest="detect_command", required=True)
+    detect_score = detect_commands.add_parser(
+        "score",
+        help="run the packaged detectors over a stored campaign and score "
+        "them against the persisted attack ground truth",
+    )
+    detect_score.add_argument(
+        "storage",
+        help="campaign storage: the directory, or the spec it was run with "
+        "(sqlite:DIR, jsonl:DIR, sharded:N:sqlite:DIR)",
+    )
+    detect_score.add_argument(
+        "--window", type=float, default=None, metavar="SECONDS",
+        help="feature-window length (default: one campaign tick, 21600s)",
+    )
+    detect_score.add_argument(
+        "--grace", type=float, default=None, metavar="SECONDS",
+        help="post-window slack when matching alerts to attack windows "
+        "(default: one feature window)",
+    )
+    detect_score.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    detect_commands.add_parser(
+        "attacks", help="list the attack scenarios and their spec knobs"
+    )
+
     commands.add_parser("table1", help="print the paper's Table 1 counting example")
     return parser
 
@@ -267,6 +318,20 @@ def _config_from_args(args) -> ScenarioConfig:
         import dataclasses
 
         config = dataclasses.replace(config, progress=True)
+    if getattr(args, "attack", None):
+        import dataclasses
+
+        from repro.attack import parse_attack_spec
+
+        config = dataclasses.replace(
+            config, attacks=tuple(parse_attack_spec(spec) for spec in args.attack)
+        )
+    if getattr(args, "detect", False) or getattr(args, "detect_window", None):
+        import dataclasses
+
+        config = dataclasses.replace(config, detect=True)
+        if getattr(args, "detect_window", None):
+            config = dataclasses.replace(config, detect_window=args.detect_window)
     return config
 
 
@@ -285,7 +350,11 @@ def _print_report(name: str, payload) -> None:
 
 
 def _run_campaign_command(args) -> int:
-    config = _config_from_args(args)
+    try:
+        config = _config_from_args(args)
+    except ValueError as exc:  # malformed --attack spec
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(
         f"running campaign: {config.profile.online_servers} servers, "
         f"{config.days} days, {config.num_crawls} crawls..."
@@ -308,6 +377,16 @@ def _run_campaign_command(args) -> int:
         print(f"\nexported to {args.export}:")
         for artifact, count in counts.items():
             print(f"  {artifact}: {count}")
+    if result.attack_summary is not None:
+        print("\n## attacks")
+        for name, stats in result.attack_summary.items():
+            details = ", ".join(f"{key} {value:g}" for key, value in stats.items())
+            print(f"  {name}: {details}")
+    if result.detection is not None:
+        from repro.detect import render_scorecard
+
+        print("\n## detection")
+        print(render_scorecard(result.detection))
     if result.metrics is not None:
         from repro.obs import render_report, write_metrics
 
@@ -520,6 +599,105 @@ def _run_store_command(args) -> int:
     return 0
 
 
+def _sniff_campaign_logs(directory: Path):
+    """Infer a campaign directory's storage spec and stored log set.
+
+    ``campaign_stores`` lays logs out as ``<dir>/<name>.<suffix>`` (or
+    ``<name>-shardN.<suffix>`` for parallel runs), so the files
+    themselves carry the backend kind, shard count and which logs
+    exist — no flags needed to re-open them for scoring.
+    """
+    for kind, suffix in (("sqlite", "sqlite"), ("jsonl", "jsonl")):
+        if (directory / f"hydra.{suffix}").exists():
+            shards = 1
+        elif (directory / f"hydra-shard0.{suffix}").exists():
+            shards = len(list(directory.glob(f"hydra-shard*.{suffix}")))
+        else:
+            continue
+        names = ["hydra"]
+        for name in ("bitswap", "attack"):
+            if (directory / f"{name}.{suffix}").exists() or (
+                directory / f"{name}-shard0.{suffix}"
+            ).exists():
+                names.append(name)
+        if shards == 1:
+            return f"{kind}:{directory}", tuple(names)
+        return f"sharded:{shards}:{kind}:{directory}", tuple(names)
+    raise ValueError(
+        f"no campaign logs (hydra.sqlite/.jsonl or hydra-shard0.*) under {directory}"
+    )
+
+
+def _run_detect_command(args) -> int:
+    if args.detect_command == "attacks":
+        import dataclasses
+
+        from repro.attack import ATTACK_TYPES
+
+        print("attack scenarios (use with 'repro campaign --attack NAME[:k=v,...]'):")
+        for name in sorted(ATTACK_TYPES):
+            config_type = ATTACK_TYPES[name]
+            knobs = ", ".join(
+                f"{field.name}={field.default}"
+                for field in dataclasses.fields(config_type)
+            )
+            print(f"  {name}")
+            print(f"    {knobs}")
+        return 0
+    # score
+    from repro.attack.ground_truth import load_ground_truth
+    from repro.detect import run_detection
+    from repro.store import (
+        BITSWAP_CODEC,
+        HYDRA_CODEC,
+        EventLog,
+        campaign_stores,
+        parse_spec,
+    )
+
+    try:
+        if Path(args.storage).is_dir():
+            directory = Path(args.storage)
+        else:
+            parsed = parse_spec(args.storage)
+            if not parsed.on_disk:
+                raise ValueError(
+                    f"detect score needs an on-disk campaign store: {args.storage!r}"
+                )
+            directory = Path(parsed.path)
+        spec, names = _sniff_campaign_logs(directory)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    stores = campaign_stores(spec, names=names)
+    hydra = EventLog(HYDRA_CODEC, stores["hydra"])
+    bitswap = (
+        EventLog(BITSWAP_CODEC, stores["bitswap"]) if "bitswap" in stores else ()
+    )
+    ground_truth = None
+    if "attack" in stores:
+        ground_truth = load_ground_truth(stores["attack"])
+    else:
+        print(
+            "warning: no attack log in the store — scoring without ground "
+            "truth (every alert counts as a false positive)",
+            file=sys.stderr,
+        )
+    kwargs = {}
+    if args.window is not None:
+        kwargs["window_seconds"] = args.window
+    if args.grace is not None:
+        kwargs["grace"] = args.grace
+    card = run_detection(hydra, bitswap, ground_truth=ground_truth, **kwargs)
+    if args.format == "json":
+        import json
+
+        print(json.dumps(card.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(card.render())
+    return 0
+
+
 def _run_table1_command() -> int:
     from repro.core.counting import CrawlRow, a_n_counts, g_ip_counts
     from repro.ids.peerid import PeerID
@@ -548,6 +726,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_store_command(args)
     if args.command == "obs":
         return _run_obs_command(args)
+    if args.command == "detect":
+        return _run_detect_command(args)
     if args.command == "table1":
         return _run_table1_command()
     return 2  # pragma: no cover - argparse enforces the choices

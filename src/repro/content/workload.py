@@ -16,6 +16,7 @@ for every measurement operation (crawls, provider fetches, probes).
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -311,6 +312,36 @@ class TrafficEngine:
                     hydra_node, MessageType.GET_PROVIDERS, cid, config.download_walk_contacts
                 )
 
+    def induced_amplification(self, cid: CID, rng: random.Random) -> List[Node]:
+        """Fleet lookups triggered by a request aimed *at* the fleet.
+
+        The adversarial variant of :meth:`_hydra_amplification`: an
+        attacker sends its cache-missing request straight to the PL
+        hydra heads (the §5 amplification vector), so no visibility draw
+        applies, and all randomness comes from the caller's attack RNG —
+        the honest engine stream is untouched.  Returns the online fleet
+        nodes that launched a walk; the caller logs their traffic and
+        tags them as induced actors in the ground truth.
+        """
+        config = self.config
+        if not self._pl_hydra_nodes:
+            return []
+        now = self.overlay.now
+        last = self._amp_cache.get(cid)
+        if last is not None and now - last < config.hydra_cache_ttl:
+            return []
+        self._amp_cache[cid] = now
+        walks = int(config.hydra_amplification_walks)
+        if rng.random() < config.hydra_amplification_walks - walks:
+            walks += 1
+        launched = []
+        for _ in range(walks):
+            hydra_node = rng.choice(self._pl_hydra_nodes)
+            if hydra_node.online:
+                self.stats["amplified_walks"] += 1
+                launched.append(hydra_node)
+        return launched
+
     def _maybe_reprovide(self, node: Node, cid: CID) -> None:
         if self.rng.random() >= self.config.reprovide_probs[node.node_class]:
             return
@@ -531,8 +562,6 @@ def _poisson(mean: float, rng: random.Random) -> int:
     if mean > 30.0:
         value = int(rng.gauss(mean, mean ** 0.5) + 0.5)
         return max(0, value)
-    import math
-
     limit = math.exp(-mean)
     count = 0
     product = rng.random()

@@ -1,0 +1,42 @@
+"""Online attack detection over the monitor vantage points.
+
+What a real monitoring operator could do with the paper's instruments:
+the Hydra-booster DHT log and the passive Bitswap monitor are the only
+inputs — never simulator internals.  :mod:`repro.detect.features`
+streams those logs into per-peer windowed features (rate, fan-out,
+target-prefix concentration, novelty, inter-arrival),
+:mod:`repro.detect.detectors` applies threshold rules per attack
+signature, and :mod:`repro.detect.score` joins the alerts against the
+simulator's ground truth (:mod:`repro.attack.ground_truth`) for *exact*
+precision/recall/F1 and time-to-detection.
+"""
+
+from repro.detect.detectors import (
+    Alert,
+    BitswapFloodDetector,
+    ChurnBombDetector,
+    Detector,
+    HydraAmplificationDetector,
+    ProviderSpamDetector,
+    SybilEclipseDetector,
+    default_detectors,
+)
+from repro.detect.features import FeatureExtractor, PeerWindowFeatures
+from repro.detect.score import DetectorScore, ScoreCard, render_scorecard, run_detection
+
+__all__ = [
+    "Alert",
+    "BitswapFloodDetector",
+    "ChurnBombDetector",
+    "Detector",
+    "DetectorScore",
+    "FeatureExtractor",
+    "HydraAmplificationDetector",
+    "PeerWindowFeatures",
+    "ProviderSpamDetector",
+    "ScoreCard",
+    "SybilEclipseDetector",
+    "default_detectors",
+    "render_scorecard",
+    "run_detection",
+]

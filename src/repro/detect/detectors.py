@@ -1,0 +1,233 @@
+"""Threshold detectors over the windowed features.
+
+Each detector encodes one attack signature and names the attack it
+targets — the scorer uses that to compute per-attack recall.  The
+default thresholds are calibrated against the honest baseline of the
+packaged scenarios (see ``tests/test_detect.py``): the binding
+constraints are the heavy-tailed honest activity weights (whale clients
+can emit hundreds of Bitswap broadcasts per window), the indexer
+platforms' bulk GET_PROVIDERS volume and the storage platforms' daily
+re-provide bursts (bulk ADD_PROVIDERs with a distinct ratio set by the
+capture mean, ≈1/2.7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.detect.features import PeerWindowFeatures
+from repro.ids.peerid import PeerID
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One detector firing on one peer in one window."""
+
+    detector: str
+    attack: str
+    peer: PeerID
+    window_start: float
+    score: float
+    reason: str
+
+
+class Detector:
+    """A named threshold rule targeting one attack."""
+
+    name = "abstract"
+    attack = "abstract"
+
+    def window_alerts(
+        self, window_start: float, features: List[PeerWindowFeatures]
+    ) -> List[Alert]:
+        raise NotImplementedError
+
+    def _alert(self, feature: PeerWindowFeatures, score: float, reason: str) -> Alert:
+        return Alert(
+            detector=self.name,
+            attack=self.attack,
+            peer=feature.peer,
+            window_start=feature.window_start,
+            score=score,
+            reason=reason,
+        )
+
+
+@dataclass(frozen=True)
+class SybilEclipseDetector(Detector):
+    """Many *distinct* lookup keys packed into one narrow keyspace bucket.
+
+    A 12-bit bucket is 1/4096 of the keyspace; honest traffic only
+    concentrates there by repeating a single hot key (distinct ≈ 1).
+    """
+
+    min_targeted: int = 20
+    min_focus: float = 0.75
+    min_bucket_distinct: int = 6
+
+    name = "sybil-eclipse-focus"
+    attack = "sybil-eclipse"
+
+    def window_alerts(self, window_start, features):
+        alerts = []
+        for f in features:
+            if (
+                f.targeted >= self.min_targeted
+                and f.top_bucket_share >= self.min_focus
+                and f.top_bucket_distinct >= self.min_bucket_distinct
+            ):
+                alerts.append(
+                    self._alert(
+                        f,
+                        score=f.top_bucket_share,
+                        reason=(
+                            f"{f.top_bucket_distinct} distinct keys, "
+                            f"{f.top_bucket_share:.0%} of {f.targeted} lookups "
+                            "in one keyspace bucket"
+                        ),
+                    )
+                )
+        return alerts
+
+
+@dataclass(frozen=True)
+class ProviderSpamDetector(Detector):
+    """Bulk ADD_PROVIDER volume recycling a tiny CID set.
+
+    Honest bulk advertisers (platform re-provide passes) announce each
+    CID once per pass, so their distinct ratio sits at the capture mean
+    (≈0.35); spammers hammer a fixed set and land two orders lower.
+    """
+
+    min_add_provider: int = 150
+    max_distinct_ratio: float = 0.1
+
+    name = "provider-spam-recycle"
+    attack = "provider-spam"
+
+    def window_alerts(self, window_start, features):
+        alerts = []
+        for f in features:
+            if f.add_provider >= self.min_add_provider and (
+                f.distinct_ratio <= self.max_distinct_ratio
+            ):
+                alerts.append(
+                    self._alert(
+                        f,
+                        score=1.0 - f.distinct_ratio,
+                        reason=(
+                            f"{f.add_provider} provider announcements over only "
+                            f"{f.distinct_targets} CIDs"
+                        ),
+                    )
+                )
+        return alerts
+
+
+@dataclass(frozen=True)
+class BitswapFloodDetector(Detector):
+    """Raw want-have broadcast volume beyond any honest whale."""
+
+    min_broadcasts: int = 1500
+
+    name = "bitswap-flood-rate"
+    attack = "bitswap-flood"
+
+    def window_alerts(self, window_start, features):
+        alerts = []
+        for f in features:
+            if f.bitswap_broadcasts >= self.min_broadcasts:
+                alerts.append(
+                    self._alert(
+                        f,
+                        score=float(f.bitswap_broadcasts),
+                        reason=f"{f.bitswap_broadcasts} Bitswap broadcasts in one window",
+                    )
+                )
+        return alerts
+
+
+@dataclass(frozen=True)
+class HydraAmplificationDetector(Detector):
+    """High-volume lookups of CIDs nobody has ever mentioned before.
+
+    Indexer platforms resolve *existing* content, so their targets have
+    almost always been advertised (and therefore logged) earlier; the
+    amplification attacker's always-fresh CIDs are globally new.
+    """
+
+    min_get_providers: int = 150
+    min_distinct_targets: int = 50
+    min_unseen_ratio: float = 0.8
+
+    name = "amplification-novelty"
+    attack = "hydra-amplification"
+
+    def window_alerts(self, window_start, features):
+        alerts = []
+        for f in features:
+            if (
+                f.get_providers >= self.min_get_providers
+                and f.distinct_targets >= self.min_distinct_targets
+                and f.unseen_ratio >= self.min_unseen_ratio
+            ):
+                alerts.append(
+                    self._alert(
+                        f,
+                        score=f.unseen_ratio,
+                        reason=(
+                            f"{f.get_providers} provider lookups, "
+                            f"{f.unseen_ratio:.0%} of targets never seen before"
+                        ),
+                    )
+                )
+        return alerts
+
+
+@dataclass(frozen=True)
+class ChurnBombDetector(Detector):
+    """A wave of first-seen, FIND_NODE-only, Bitswap-silent identities.
+
+    Individual one-shot identities are indistinguishable from honest
+    newcomers; the signature is the *count* per window.  ``skip_seconds``
+    masks the campaign cold start, where every peer is first-seen.
+    """
+
+    min_new_peers: int = 60
+    skip_seconds: float = 86_400.0
+
+    name = "churn-bomb-wave"
+    attack = "churn-bomb"
+
+    def window_alerts(self, window_start, features):
+        if window_start < self.skip_seconds:
+            return []
+        wave = [
+            f
+            for f in features
+            if f.first_seen
+            and f.messages == f.find_node
+            and f.bitswap_broadcasts == 0
+        ]
+        if len(wave) < self.min_new_peers:
+            return []
+        return [
+            self._alert(
+                f,
+                score=float(len(wave)),
+                reason=f"one of {len(wave)} brand-new lookup-only identities this window",
+            )
+            for f in wave
+        ]
+
+
+def default_detectors() -> List[Detector]:
+    """The packaged detector set, one per attack scenario."""
+    return [
+        SybilEclipseDetector(),
+        ProviderSpamDetector(),
+        BitswapFloodDetector(),
+        HydraAmplificationDetector(),
+        ChurnBombDetector(),
+    ]

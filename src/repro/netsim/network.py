@@ -208,6 +208,38 @@ class Overlay:
         return list(self._online_clients.values())
 
     # ------------------------------------------------------------------
+    # late node injection (adversarial scenarios)
+    # ------------------------------------------------------------------
+
+    def add_node(self, spec: NodeSpec) -> Node:
+        """Register a node created after construction (attack injection).
+
+        The node joins every static index but starts offline; callers
+        bring it online through the normal session mechanics.  Spec
+        indexes must stay unique — the persistent identity and relay
+        capability maps key on them.
+        """
+        if any(existing.spec.index == spec.index for existing in self.nodes):
+            raise ValueError(f"spec index {spec.index} already registered")
+        node = Node(spec, self)
+        self.nodes.append(node)
+        self._nodes_by_class.setdefault(node.node_class, []).append(node)
+        return node
+
+    def adopt_identity(self, node: Node, peer: PeerID) -> None:
+        """Pin the peer ID ``node`` will use for its next sessions.
+
+        This is the hook for adversaries that *choose* their identities
+        (ground sybil IDs, churn-bomb fresh IDs) instead of drawing them
+        from the overlay RNG: the pinned ID is installed as the node's
+        persistent identity, so a subsequent ``bring_online`` adopts it
+        without consuming any shared randomness.
+        """
+        if node.online:
+            raise ValueError("cannot adopt an identity while the node is online")
+        self._persistent_peer[node.spec.index] = peer
+
+    # ------------------------------------------------------------------
     # join / leave mechanics
     # ------------------------------------------------------------------
 

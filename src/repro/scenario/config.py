@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Optional, Tuple
 
+from repro.attack.config import AttackConfig
 from repro.content.workload import WorkloadConfig
 from repro.dns.seeding import DNSLinkSeedConfig
 from repro.ens.seeding import ENSSeedConfig
@@ -78,6 +79,19 @@ class ScenarioConfig:
     #: render a live single-line progress heartbeat to stderr (wall-clock
     #: throttled; never feeds back into the simulation).
     progress: bool = False
+    #: adversarial scenarios to inject (see :mod:`repro.attack`).  Empty
+    #: by default: with no attacks the campaign allocates no attack
+    #: store, draws no attack randomness and stays bit-identical to the
+    #: golden figures.
+    attacks: Tuple[AttackConfig, ...] = ()
+    #: run the packaged detectors (:mod:`repro.detect`) over the monitor
+    #: logs at the end of the campaign and score them against the attack
+    #: ground truth into ``CampaignResult.detection``.
+    detect: bool = False
+    #: detection feature-window length in seconds (defaults to one
+    #: campaign tick at 4 ticks/day, matching the engine's traffic
+    #: timestamp quantization).
+    detect_window: float = 21_600.0
     seed: int = 2023
 
     @property

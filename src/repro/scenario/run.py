@@ -14,6 +14,7 @@ from contextlib import ExitStack, contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
+from repro.attack.orchestrator import AttackOrchestrator
 from repro.content.catalog import ContentCatalog
 from repro.content.workload import TrafficEngine
 from repro.core.crawler import (
@@ -85,6 +86,14 @@ class CampaignResult:
     #: where the trace was persisted when ``ScenarioConfig.trace_out``
     #: was set, else ``None``.
     trace_path: Optional[str] = None
+    #: per-attack effect metrics (see :class:`repro.attack.AttackOrchestrator`)
+    #: when the campaign ran with attacks configured, else ``None``.
+    attack_summary: Optional[Dict[str, Dict[str, float]]] = None
+    #: the ground-truth log of injected adversarial activity, else ``None``.
+    attack_ground_truth: Optional[object] = None
+    #: detector scorecard (see :func:`repro.detect.run_detection`) when the
+    #: campaign ran with ``ScenarioConfig.detect`` enabled, else ``None``.
+    detection: Optional[Dict[str, object]] = None
 
     @property
     def crawl_rows(self):
@@ -176,7 +185,10 @@ class MeasurementCampaign:
         self.rotation = DailyAddressRotation(self.overlay)
         self.rotation.start()
         self.catalog = ContentCatalog(random.Random(config.seed + 101))
-        stores = campaign_stores(config.storage, workers=config.workers)
+        # Attack-off campaigns must not even create an attack store
+        # (byte-identical on-disk layout to previous releases).
+        log_names = ("hydra", "bitswap", "attack") if config.attacks else ("hydra", "bitswap")
+        stores = campaign_stores(config.storage, names=log_names, workers=config.workers)
         for store in stores.values():
             # A campaign starts at simulated t=0; records left over from a
             # previous run into the same path would silently skew every
@@ -189,6 +201,21 @@ class MeasurementCampaign:
         self.engine = TrafficEngine(
             self.overlay, self.catalog, self.hydra, self.monitor, config.workload
         )
+        # Attackers are injected after ChurnProcess.start(), so their
+        # sessions answer to the attack windows alone, never to churn.
+        self.attack_orchestrator: Optional[AttackOrchestrator] = None
+        if config.attacks:
+            self.attack_orchestrator = AttackOrchestrator(
+                self.overlay,
+                self.engine,
+                self.hydra,
+                self.monitor,
+                self.catalog,
+                config.attacks,
+                seed=config.seed,
+                store=stores["attack"],
+            )
+            self.attack_orchestrator.install()
         self.crawler = DHTCrawler(self.overlay)
         self.fetcher = ProviderRecordFetcher(self.overlay)
         self.gateway_registry = PublicGatewayRegistry(self.operators)
@@ -246,6 +273,8 @@ class MeasurementCampaign:
             self.obs.set_gauge("campaign.num_crawls", len(result.crawls))
             self.obs.set_gauge("campaign.hydra_log_entries", len(self.hydra.log))
             self.obs.set_gauge("campaign.bitswap_log_entries", len(self.monitor.log))
+            for name, value in self.engine.stats.items():
+                self.obs.set_gauge(f"workload.{name}", value)
             result.metrics = self.obs.snapshot()
         if self.config.trace:
             # Main tracer first (meta + campaign-process events), then
@@ -332,6 +361,10 @@ class MeasurementCampaign:
                     tick_start = overlay.now
                     if config.traffic_enabled:
                         self.engine.run_tick(tick_seconds / 3600.0)
+                    if self.attack_orchestrator is not None:
+                        # After the honest traffic, mirroring how real
+                        # attack packets share the wire with user load.
+                        self.attack_orchestrator.on_tick(tick_seconds / 3600.0)
                     if config.traffic_enabled and day >= fetch_from_day:
                         # The paper fetches each day's sampled CIDs the same
                         # day; fetching per tick keeps the same freshness.
@@ -355,6 +388,9 @@ class MeasurementCampaign:
                             crawls=(crawl_id, config.num_crawls),
                             tracer=self.tracer,
                         )
+
+        if self.attack_orchestrator is not None:
+            self.attack_orchestrator.finish()
 
         if progress is not None:
             progress.update(
@@ -418,6 +454,25 @@ class MeasurementCampaign:
         # before handing the datasets to the analyses.
         self.hydra.log.flush()
         self.monitor.log.flush()
+
+        attack_summary = None
+        attack_ground_truth = None
+        detection = None
+        if self.attack_orchestrator is not None:
+            attack_summary = self.attack_orchestrator.summary()
+            attack_ground_truth = self.attack_orchestrator.ground_truth
+        if config.detect:
+            from repro.detect import run_detection
+
+            with obs.span("detect"), self._phase("detect"):
+                scorecard = run_detection(
+                    self.hydra.log,
+                    self.monitor.log,
+                    ground_truth=attack_ground_truth,
+                    window_seconds=config.detect_window,
+                )
+            detection = scorecard.to_dict()
+
         if progress is not None:
             progress.finish(
                 f"campaign done: {len(crawl_dataset)} crawls, "
@@ -447,6 +502,9 @@ class MeasurementCampaign:
                 if node.spec.platform == "hydra" and node.peer is not None
             },
             exec_errors=exec_errors,
+            attack_summary=attack_summary,
+            attack_ground_truth=attack_ground_truth,
+            detection=detection,
         )
 
     def _seed_persistent_user_content(self, count: int):

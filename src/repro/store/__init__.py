@@ -29,10 +29,12 @@ from repro.store.backend import (
     StorageBackend,
 )
 from repro.store.codecs import (
+    ATTACK_CODEC,
     BITSWAP_CODEC,
     HYDRA_CODEC,
     TRACE_CODEC,
     BitswapEntryCodec,
+    GroundTruthCodec,
     HydraMessageCodec,
     TraceEventCodec,
 )
@@ -40,9 +42,11 @@ from repro.store.eventlog import EventLog
 from repro.store.shard import ShardedBackend
 
 __all__ = [
+    "ATTACK_CODEC",
     "BITSWAP_CODEC",
     "BitswapEntryCodec",
     "EventLog",
+    "GroundTruthCodec",
     "HYDRA_CODEC",
     "HydraMessageCodec",
     "JsonlBackend",

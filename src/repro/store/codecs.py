@@ -122,6 +122,36 @@ class TraceEventCodec:
         return event.sim_time
 
 
+class GroundTruthCodec:
+    """:class:`~repro.attack.ground_truth.GroundTruthEntry` ↔ ``attack.jsonl``."""
+
+    def encode(self, event) -> Record:
+        return {
+            "ts": event.timestamp,
+            "attack": event.attack,
+            "event": event.event,
+            "peer": event.peer.to_base58() if event.peer else None,
+            "cid": event.cid.to_base32() if event.cid else None,
+            "end": event.end,
+        }
+
+    def decode(self, record: Record):
+        from repro.attack.ground_truth import GroundTruthEntry
+
+        return GroundTruthEntry(
+            timestamp=record["ts"],
+            attack=record["attack"],
+            event=record["event"],
+            peer=PeerID.from_base58(record["peer"]) if record.get("peer") else None,
+            cid=CID.from_base32(record["cid"]) if record.get("cid") else None,
+            end=record.get("end"),
+        )
+
+    def timestamp(self, event) -> float:
+        return event.timestamp
+
+
 HYDRA_CODEC = HydraMessageCodec()
 BITSWAP_CODEC = BitswapEntryCodec()
 TRACE_CODEC = TraceEventCodec()
+ATTACK_CODEC = GroundTruthCodec()

@@ -56,3 +56,55 @@ def churned_overlay():
 def smoke_campaign():
     """A complete end-to-end campaign at smoke scale (built once)."""
     return run_campaign(ScenarioConfig.smoke())
+
+
+def _attack_scenario_config(
+    servers: int = 250,
+    workers: int = 1,
+    storage: str = "memory",
+    attacks=None,
+) -> ScenarioConfig:
+    """A small campaign with adversarial scenarios injected (defaults to
+    all five packaged attacks, detectors on) — the shared base for the
+    attack/detect integration tests."""
+    from repro.attack import (
+        BitswapFloodConfig,
+        ChurnBombConfig,
+        HydraAmplificationConfig,
+        ProviderSpamConfig,
+        SybilEclipseConfig,
+    )
+
+    if attacks is None:
+        attacks = (
+            SybilEclipseConfig(),
+            ProviderSpamConfig(),
+            BitswapFloodConfig(),
+            HydraAmplificationConfig(),
+            ChurnBombConfig(),
+        )
+    return ScenarioConfig(
+        profile=WorldProfile(online_servers=servers, seed=99),
+        days=2,
+        warmup_days=0,
+        daily_cid_sample=40,
+        provider_fetch_days=1,
+        gateway_probes_per_endpoint=2,
+        seed=99,
+        workers=workers,
+        storage=storage,
+        attacks=tuple(attacks),
+        detect=True,
+    )
+
+
+@pytest.fixture(scope="session")
+def attack_config_factory():
+    """Build attack-campaign configs (for determinism/parity variants)."""
+    return _attack_scenario_config
+
+
+@pytest.fixture(scope="session")
+def attack_campaign():
+    """All five attacks over a two-day campaign, detectors scored."""
+    return run_campaign(_attack_scenario_config())

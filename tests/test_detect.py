@@ -1,0 +1,305 @@
+"""Attack detection (:mod:`repro.detect`).
+
+Unit-tests the feature extractor and each threshold detector on
+synthetic monitor entries, pins the scorer's exact precision/recall/TTD
+arithmetic, checks the honest smoke campaign raises zero false alarms,
+and gates the end-to-end detector quality floors on the packaged attack
+campaign (the same floors CI enforces).
+"""
+
+import random
+
+import pytest
+
+from repro.detect import (
+    BitswapFloodDetector,
+    ChurnBombDetector,
+    FeatureExtractor,
+    HydraAmplificationDetector,
+    PeerWindowFeatures,
+    ProviderSpamDetector,
+    SybilEclipseDetector,
+    render_scorecard,
+    run_detection,
+)
+from repro.attack import GroundTruthLog
+from repro.ids.cid import CID
+from repro.ids.keys import KEY_BITS
+from repro.ids.peerid import PeerID
+from repro.kademlia.messages import MessageEnvelope, MessageType
+from repro.monitors.bitswap_monitor import BitswapLogEntry
+
+WINDOW = 21_600.0
+
+
+def peer(index: int) -> PeerID:
+    return PeerID(index.to_bytes(32, "big"))
+
+
+def hydra(ts, sender, message_type, key=None, cid=None):
+    return MessageEnvelope(
+        timestamp=ts,
+        sender=sender,
+        sender_ip="9.9.9.9",
+        message_type=message_type,
+        target_key=key,
+        target_cid=cid,
+    )
+
+
+def want(ts, sender, cid):
+    return BitswapLogEntry(timestamp=ts, sender=sender, sender_ip="9.9.9.9", cid=cid)
+
+
+def bucket_key(bucket: int, offset: int) -> int:
+    """A DHT key inside the given 12-bit keyspace bucket."""
+    return (bucket << (KEY_BITS - 12)) | offset
+
+
+class TestFeatureExtractor:
+    def test_windows_and_message_counts(self):
+        a = peer(1)
+        features = FeatureExtractor(window_seconds=WINDOW).extract(
+            [
+                hydra(10.0, a, MessageType.FIND_NODE, key=bucket_key(1, 1)),
+                hydra(20.0, a, MessageType.FIND_NODE, key=bucket_key(1, 2)),
+                hydra(WINDOW + 5.0, a, MessageType.GET_PROVIDERS, key=bucket_key(1, 1)),
+            ]
+        )
+        assert [(f.window_start, f.messages) for f in features] == [
+            (0.0, 2),
+            (WINDOW, 1),
+        ]
+        first, second = features
+        assert first.find_node == 2 and first.targeted == 2
+        assert first.first_seen and not second.first_seen
+        assert second.get_providers == 1
+
+    def test_unseen_targets_credit_first_appearance_only(self):
+        a, b = peer(1), peer(2)
+        shared = bucket_key(3, 7)
+        features = FeatureExtractor(window_seconds=WINDOW).extract(
+            [
+                hydra(10.0, a, MessageType.FIND_NODE, key=shared),
+                hydra(20.0, b, MessageType.FIND_NODE, key=shared),
+                hydra(30.0, b, MessageType.FIND_NODE, key=bucket_key(4, 1)),
+            ]
+        )
+        by_peer = {f.peer: f for f in features}
+        assert by_peer[a].unseen_targets == 1
+        assert by_peer[b].unseen_targets == 1  # only the fresh key
+        assert by_peer[b].distinct_targets == 2
+
+    def test_top_bucket_concentration(self):
+        a = peer(1)
+        entries = [
+            hydra(float(i), a, MessageType.FIND_NODE, key=bucket_key(5, i))
+            for i in range(5)
+        ] + [hydra(6.0, a, MessageType.FIND_NODE, key=bucket_key(9, 0))]
+        (feature,) = FeatureExtractor(window_seconds=WINDOW).extract(entries)
+        assert feature.top_bucket_count == 5
+        assert feature.top_bucket_distinct == 5
+        assert feature.top_bucket_share == pytest.approx(5 / 6)
+
+    def test_bitswap_counts_and_cid_targets(self):
+        a = peer(1)
+        cid_a, cid_b = CID.generate(random.Random(1)), CID.generate(random.Random(2))
+        features = FeatureExtractor(window_seconds=WINDOW).extract(
+            [hydra(5.0, a, MessageType.ADD_PROVIDER, cid=cid_a)],
+            [want(10.0, a, cid_a), want(11.0, a, cid_a), want(12.0, a, cid_b)],
+        )
+        (feature,) = features
+        assert feature.add_provider == 1
+        assert feature.targeted == 1  # the CID's DHT key counts as a target
+        assert feature.bitswap_broadcasts == 3
+        assert feature.bitswap_distinct_cids == 2
+
+    def test_first_seen_resolved_across_both_streams(self):
+        a = peer(1)
+        cid = CID.generate(random.Random(1))
+        features = FeatureExtractor(window_seconds=WINDOW).extract(
+            [hydra(WINDOW + 1.0, a, MessageType.FIND_NODE, key=bucket_key(1, 1))],
+            [want(5.0, a, cid)],  # earlier appearance, other stream
+        )
+        hydra_feature = next(f for f in features if f.window_start == WINDOW)
+        assert not hydra_feature.first_seen
+
+
+def feature(window_start=86_400.0, index=1, **overrides):
+    defaults = dict(
+        window_start=window_start,
+        window_end=window_start + WINDOW,
+        peer=peer(index),
+    )
+    defaults.update(overrides)
+    return PeerWindowFeatures(**defaults)
+
+
+class TestDetectors:
+    def test_sybil_needs_distinct_keys_in_one_bucket(self):
+        detector = SybilEclipseDetector()
+        focused = feature(
+            targeted=40, top_bucket_count=36, top_bucket_distinct=10
+        )
+        hot_key = feature(targeted=40, top_bucket_count=40, top_bucket_distinct=1)
+        quiet = feature(targeted=8, top_bucket_count=8, top_bucket_distinct=8)
+        assert len(detector.window_alerts(86_400.0, [focused])) == 1
+        assert detector.window_alerts(86_400.0, [hot_key, quiet]) == []
+
+    def test_spam_needs_recycled_targets(self):
+        detector = ProviderSpamDetector()
+        spammer = feature(add_provider=200, targeted=200, distinct_targets=10)
+        bulk_honest = feature(add_provider=200, targeted=200, distinct_targets=70)
+        assert len(detector.window_alerts(86_400.0, [spammer, bulk_honest])) == 1
+
+    def test_flood_threshold(self):
+        detector = BitswapFloodDetector()
+        assert detector.window_alerts(0.0, [feature(bitswap_broadcasts=1500)])
+        assert detector.window_alerts(0.0, [feature(bitswap_broadcasts=1499)]) == []
+
+    def test_amplification_needs_novel_targets(self):
+        detector = HydraAmplificationDetector()
+        fresh = feature(
+            get_providers=200, targeted=200, distinct_targets=120, unseen_targets=110
+        )
+        indexer = feature(
+            get_providers=200, targeted=200, distinct_targets=120, unseen_targets=10
+        )
+        assert len(detector.window_alerts(86_400.0, [fresh, indexer])) == 1
+
+    def test_churn_bomb_counts_the_wave(self):
+        detector = ChurnBombDetector()
+        wave = [
+            feature(index=i, messages=1, find_node=1, first_seen=True)
+            for i in range(70)
+        ]
+        assert len(detector.window_alerts(86_400.0, wave)) == 70
+        assert detector.window_alerts(86_400.0, wave[:50]) == []
+        # The campaign cold start (every peer first-seen) is masked.
+        cold = [
+            feature(window_start=0.0, index=i, messages=1, find_node=1, first_seen=True)
+            for i in range(70)
+        ]
+        assert detector.window_alerts(0.0, cold) == []
+
+
+def flood_entries(sender, start, count):
+    cid = CID.generate(random.Random(4))
+    return [want(start + 0.1 * i, sender, cid) for i in range(count)]
+
+
+class TestScorer:
+    def test_exact_precision_recall_and_ttd(self):
+        attacker, bystander = peer(1), peer(2)
+        truth = GroundTruthLog()
+        truth.record(86_400.0, "bitswap-flood", "window", end=172_800.0)
+        truth.record(86_400.0, "bitswap-flood", "attacker", peer=attacker)
+        card = run_detection(
+            [],
+            flood_entries(attacker, 90_000.0, 1600)
+            + flood_entries(bystander, 90_000.0, 1600),
+            ground_truth=truth,
+            detectors=[BitswapFloodDetector()],
+        )
+        (score,) = card.per_detector
+        assert (score.true_positives, score.false_positives) == (1, 1)
+        assert score.precision == 0.5
+        assert score.recall == 1.0  # the one observable attacker is caught
+        assert score.f1 == pytest.approx(2 / 3)
+        assert score.time_to_detection == 0.0  # fired in the first window
+        assert card.num_alerts == 2
+
+    def test_alert_long_after_window_is_false_positive(self):
+        attacker = peer(1)
+        truth = GroundTruthLog()
+        truth.record(86_400.0, "bitswap-flood", "window", end=108_000.0)
+        truth.record(86_400.0, "bitswap-flood", "attacker", peer=attacker)
+        card = run_detection(
+            [],
+            flood_entries(attacker, 90_000.0, 1600)
+            + flood_entries(attacker, 230_000.0, 1600),
+            ground_truth=truth,
+            detectors=[BitswapFloodDetector()],
+        )
+        (score,) = card.per_detector
+        assert (score.true_positives, score.false_positives) == (1, 1)
+
+    def test_delayed_detection_measures_ttd(self):
+        attacker = peer(1)
+        truth = GroundTruthLog()
+        truth.record(86_400.0, "bitswap-flood", "window", end=172_800.0)
+        truth.record(86_400.0, "bitswap-flood", "attacker", peer=attacker)
+        card = run_detection(
+            [],
+            flood_entries(attacker, 110_000.0, 1600),  # second attack window
+            ground_truth=truth,
+            detectors=[BitswapFloodDetector()],
+        )
+        (score,) = card.per_detector
+        assert score.time_to_detection == WINDOW
+
+    def test_no_ground_truth_every_alert_is_false(self):
+        card = run_detection(
+            [],
+            flood_entries(peer(1), 90_000.0, 1600),
+            detectors=[BitswapFloodDetector()],
+        )
+        (score,) = card.per_detector
+        assert score.precision == 0.0
+        assert score.recall == 1.0  # vacuous: nothing to detect
+        assert card.overall_precision == 0.0
+
+    def test_render_scorecard(self):
+        card = run_detection([], [], ground_truth=GroundTruthLog())
+        text = render_scorecard(card.to_dict())
+        assert "bitswap-flood-rate" in text
+        assert "overall: precision" in text
+
+
+class TestHonestBaseline:
+    def test_no_false_alarms_on_smoke_campaign(self, smoke_campaign):
+        card = run_detection(smoke_campaign.hydra.log, smoke_campaign.bitswap_monitor.log)
+        assert card.num_alerts == 0
+
+
+def score_by_name(detection, name):
+    (row,) = [r for r in detection["per_detector"] if r["detector"] == name]
+    return row
+
+
+class TestEndToEndFloors:
+    """The committed quality gates on the packaged attack campaign."""
+
+    def test_scorecard_present(self, attack_campaign):
+        assert attack_campaign.detection is not None
+        assert attack_campaign.detection["num_alerts"] > 0
+
+    @pytest.mark.parametrize(
+        "detector",
+        ["sybil-eclipse-focus", "bitswap-flood-rate"],
+    )
+    def test_pinned_floors(self, attack_campaign, detector):
+        row = score_by_name(attack_campaign.detection, detector)
+        assert row["precision"] >= 0.9
+        assert row["recall"] >= 0.8
+
+    def test_all_detectors_precise(self, attack_campaign):
+        for row in attack_campaign.detection["per_detector"]:
+            assert row["precision"] >= 0.9, row
+
+    def test_overall_recall(self, attack_campaign):
+        assert attack_campaign.detection["overall_recall"] >= 0.8
+
+    def test_detection_is_fast(self, attack_campaign):
+        for detector in ("sybil-eclipse-focus", "bitswap-flood-rate"):
+            row = score_by_name(attack_campaign.detection, detector)
+            assert row["time_to_detection"] is not None
+            assert row["time_to_detection"] <= WINDOW
+
+    def test_rescoring_from_logs_matches_campaign(self, attack_campaign):
+        card = run_detection(
+            attack_campaign.hydra.log,
+            attack_campaign.bitswap_monitor.log,
+            ground_truth=attack_campaign.attack_ground_truth,
+        )
+        assert card.to_dict() == attack_campaign.detection
