@@ -106,6 +106,7 @@ class Node:
         "provided_cids",
         "bitswap_neighbors_weight",
         "_addrs_cache",
+        "_ip_strs_cache",
     )
 
     def __init__(self, spec: NodeSpec, overlay: "Overlay") -> None:
@@ -126,6 +127,7 @@ class Node:
         # peer; gateways/platforms keep hundreds of connections.
         self.bitswap_neighbors_weight = 1.0
         self._addrs_cache: Optional[List[Multiaddr]] = None
+        self._ip_strs_cache: Optional[List[str]] = None
 
     # -- identity -----------------------------------------------------------
 
@@ -146,6 +148,7 @@ class Node:
     def invalidate_addr_cache(self) -> None:
         """Drop the memoized multiaddr list (peer ID or IPs changed)."""
         self._addrs_cache = None
+        self._ip_strs_cache = None
 
     def sample_session_traits(self, rng) -> None:
         """Draw this session's reachability and latency."""
@@ -183,17 +186,32 @@ class Node:
             self._addrs_cache = cached
         return list(cached)
 
+    def ip_strs(self) -> List[str]:
+        """Dotted-quad strings for ``ips``, memoized per address set.
+
+        The Hydra/Bitswap capture paths format a sender address per
+        logged message; caching the formatted list (invalidated together
+        with the multiaddr cache) removes that per-message cost.  RNG
+        note: ``rng.choice(node.ip_strs())`` draws on indexes only, so it
+        is bit-identical to ``format_ip(rng.choice(node.ips))``.
+        """
+        cached = self._ip_strs_cache
+        if cached is None:
+            from repro.world.ipspace import format_ip
+
+            cached = [format_ip(ip) for ip in self.ips]
+            self._ip_strs_cache = cached
+        return cached
+
     @property
     def primary_ip(self) -> Optional[int]:
         return self.ips[0] if self.ips else None
 
     @property
     def primary_ip_str(self) -> str:
-        from repro.world.ipspace import format_ip
-
         if not self.ips:
             raise ValueError("node has no address")
-        return format_ip(self.ips[0])
+        return self.ip_strs()[0]
 
     def peer_info(self) -> PeerInfo:
         if self.peer is None:

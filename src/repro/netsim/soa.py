@@ -1,0 +1,321 @@
+"""Struct-of-arrays (SoA) acceleration core for the tick engine.
+
+The per-node Python loop in the churn/traffic tick is the scalability
+wall (see ``BENCH_core_hotpaths.json``): at the paper's 25.8 k peers —
+let alone the 100 k–1 M regime the roadmap targets — object-at-a-time
+dispatch dominates the campaign runtime.  This module holds the node
+population as numpy arrays (class codes, activity weights, liveness,
+rotation probabilities) plus the one primitive that makes *bit-identical*
+batching possible at all: a numpy ``RandomState`` that shares CPython's
+Mersenne-Twister stream.
+
+Determinism contract
+--------------------
+Every batched algorithm in this repo consumes **exactly the same RNG
+draws in exactly the same order** as its scalar counterpart and computes
+decision-bearing floats with **the same operation ordering** (and the
+same libm, i.e. ``math.exp``/``math.log``, never numpy's SIMD
+transcendentals, which may differ by 1 ulp).  The speedups come from
+removing Python dispatch around identical draws — never from changing
+the stream — so campaign outputs stay bit-identical to the goldens and
+to the retained scalar engine (pinned by ``tests/test_tick_parity.py``).
+
+Why the mirror works: ``random.Random`` and ``numpy.random.RandomState``
+both run MT19937 and both derive doubles as
+``((a >> 5) * 2**26 + (b >> 6)) / 2**53`` from two consecutive 32-bit
+outputs, so transplanting the 624-word state vector in either direction
+reproduces the other's ``random()`` stream exactly.
+
+Everything here degrades gracefully: without numpy the module imports
+fine, ``HAVE_NUMPY`` is ``False``, and the scalar engine runs unchanged.
+Requesting the SoA engine explicitly without numpy raises a clear error
+(:func:`require_numpy`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.world.population import NodeClass, NodeSpec, World
+
+try:  # pragma: no cover - exercised implicitly by every import
+    import numpy as _np
+except ImportError:  # pragma: no cover - the numpy-less CI lane
+    _np = None
+
+#: Minimum supported numpy (matches the floor declared in pyproject.toml).
+NUMPY_FLOOR = (1, 24)
+
+
+def _numpy_ok() -> bool:
+    if _np is None:
+        return False
+    try:
+        major, minor = (int(part) for part in _np.__version__.split(".")[:2])
+    except (ValueError, AttributeError):  # pragma: no cover - exotic builds
+        return True  # unparseable version: assume fine rather than disable
+    return (major, minor) >= NUMPY_FLOOR
+
+
+HAVE_NUMPY = _numpy_ok()
+np = _np if HAVE_NUMPY else None
+
+
+def require_numpy(feature: str = "the vectorized (SoA) tick engine"):
+    """Return numpy or raise a clear, actionable error.
+
+    Called on every explicit request for SoA functionality so a missing
+    or too-old numpy fails fast at configuration time instead of deep
+    inside a campaign.
+    """
+    if _np is None:
+        raise RuntimeError(
+            f"{feature} requires numpy>={NUMPY_FLOOR[0]}.{NUMPY_FLOOR[1]}, "
+            "which is not installed. Install it (pip install "
+            f"'numpy>={NUMPY_FLOOR[0]}.{NUMPY_FLOOR[1]}') or select the "
+            'scalar engine (ScenarioConfig.engine="scalar").'
+        )
+    if not HAVE_NUMPY:
+        raise RuntimeError(
+            f"{feature} requires numpy>={NUMPY_FLOOR[0]}.{NUMPY_FLOOR[1]} "
+            f"(found {_np.__version__}). Upgrade numpy or select the "
+            'scalar engine (ScenarioConfig.engine="scalar").'
+        )
+    return _np
+
+
+def resolve_engine(requested: str) -> str:
+    """Map a ``ScenarioConfig.engine`` value to ``"soa"`` or ``"scalar"``.
+
+    ``"auto"`` picks the SoA engine when a suitable numpy is available
+    and falls back to the scalar engine otherwise; ``"soa"`` fails fast
+    without numpy (see :func:`require_numpy`).  Both engines produce
+    bit-identical campaigns — the choice is purely about speed.
+    """
+    if requested == "auto":
+        return "soa" if HAVE_NUMPY else "scalar"
+    if requested == "soa":
+        require_numpy('the SoA tick engine (ScenarioConfig.engine="soa")')
+        return "soa"
+    if requested == "scalar":
+        return "scalar"
+    raise ValueError(
+        f"unknown engine {requested!r}; expected 'auto', 'soa' or 'scalar'"
+    )
+
+
+#: Stable class <-> small-int code mapping for the SoA arrays.
+CLASS_ORDER: Tuple[NodeClass, ...] = tuple(NodeClass)
+CLASS_CODE: Dict[NodeClass, int] = {cls: code for code, cls in enumerate(CLASS_ORDER)}
+
+
+class MirroredRandom:
+    """A numpy ``RandomState`` sharing a ``random.Random``'s MT stream.
+
+    Usage pattern (the only safe one):
+
+    1. ``attach()`` — transplant the Python RNG's current MT19937 state
+       into the numpy generator.  The Python RNG must not be touched
+       while attached.
+    2. ``uniforms(n)`` — draw uniforms in chunks; the returned buffer's
+       first ``n`` entries are exactly what ``n`` sequential
+       ``py_rng.random()`` calls would have produced.
+    3. ``sync_python_to(consumed)`` — set the Python RNG to the state it
+       would have after exactly ``consumed`` of those draws (chunk
+       snapshots make this cheap even mid-buffer), preserving
+       ``gauss_next`` so interleaved ``gauss()`` calls stay identical.
+    """
+
+    #: Draw granularity; snapshots at chunk boundaries bound the rewind
+    #: cost of :meth:`sync_python_to` to one partial chunk.
+    CHUNK = 4096
+
+    def __init__(self, py_rng) -> None:
+        require_numpy("MirroredRandom")
+        self.py = py_rng
+        self._rs = np.random.RandomState()
+        self._scratch = np.random.RandomState()
+        self._chunks: List = []
+        self._states: List = []
+        self._count = 0
+        self._cat = None
+        self._gauss_next = None
+        self.attached = False
+
+    def attach(self) -> None:
+        """Mirror the Python RNG's current state; resets the buffer."""
+        version, internal, gauss_next = self.py.getstate()
+        if version != 3:  # pragma: no cover - every CPython ≥2.4 uses 3
+            raise RuntimeError(f"unsupported random.Random state version {version}")
+        self._rs.set_state(
+            ("MT19937", np.asarray(internal[:-1], dtype=np.uint32), internal[-1])
+        )
+        self._gauss_next = gauss_next
+        self._chunks = []
+        self._states = []
+        self._count = 0
+        self._cat = None
+        self.attached = True
+
+    def uniforms(self, n: int):
+        """A buffer of ≥ ``n`` uniforms continuing the mirrored stream."""
+        if not self.attached:
+            raise RuntimeError("attach() first")
+        while self._count < n:
+            self._states.append(self._rs.get_state(legacy=True))
+            self._chunks.append(self._rs.random_sample(self.CHUNK))
+            self._count += self.CHUNK
+            self._cat = None
+        if self._cat is None:
+            if not self._chunks:
+                return np.empty(0, dtype=np.float64)
+            self._cat = (
+                self._chunks[0]
+                if len(self._chunks) == 1
+                else np.concatenate(self._chunks)
+            )
+        return self._cat
+
+    def sync_python_to(self, consumed: int) -> None:
+        """Advance the Python RNG past exactly ``consumed`` mirror draws."""
+        if not self.attached:
+            raise RuntimeError("attach() first")
+        if consumed > self._count:
+            raise ValueError(f"only {self._count} draws buffered, not {consumed}")
+        chunk_idx, remainder = divmod(consumed, self.CHUNK)
+        if chunk_idx < len(self._states):
+            source = self._states[chunk_idx]
+        else:
+            # consumed == buffered total, exactly at a chunk boundary.
+            source = self._rs.get_state(legacy=True)
+        self._scratch.set_state(source)
+        if remainder:
+            self._scratch.random_sample(remainder)
+        state = self._scratch.get_state(legacy=True)
+        # ndarray.tolist() converts the 624 words to Python ints in C —
+        # an order of magnitude faster than a per-word genexpr, and this
+        # runs once per mirror round-trip on the tick hot path.
+        internal = tuple(state[1].tolist()) + (int(state[2]),)
+        self.py.setstate((3, internal, self._gauss_next))
+        self.attached = False
+
+
+class SoAState:
+    """Struct-of-arrays mirror of the node population.
+
+    The object graph (:class:`~repro.netsim.node.Node`) stays
+    authoritative — this is a parallel columnar view maintained at the
+    overlay's single liveness choke points (``bring_online`` /
+    ``take_offline`` / ``add_node``), which is what lets the batched
+    algorithms answer "who is online, in registry order?" and "what are
+    everyone's rates?" without touching a single Python object.
+
+    The online registry reproduces ``online_by_peer``'s *insertion
+    order* exactly: an append-only index array with tombstones,
+    compacted when more than half the slots are dead.  Spec indexes are
+    assumed contiguous (``spec.index == position``), which
+    ``PopulationBuilder`` guarantees and attack injection preserves.
+    """
+
+    def __init__(self, world: World) -> None:
+        require_numpy("SoAState")
+        specs = world.specs
+        n = len(specs)
+        self.size = n
+        capacity = max(n, 1)
+        self.class_code = np.zeros(capacity, dtype=np.int8)
+        self.activity_weight = np.zeros(capacity, dtype=np.float64)
+        self.rotation_prob = np.zeros(capacity, dtype=np.float64)
+        self.is_server = np.zeros(capacity, dtype=bool)
+        self.online = np.zeros(capacity, dtype=bool)
+        for spec in specs:
+            self._fill_spec(spec)
+        # -- insertion-ordered online registry (tombstoned) ----------------
+        self._seq = np.zeros(max(64, capacity), dtype=np.int64)
+        self._alive = np.zeros(max(64, capacity), dtype=bool)
+        self._seq_len = 0
+        self._dead = 0
+        self._slot_of: Dict[int, int] = {}
+        #: bumped on every membership change; callers cache on it.
+        self.epoch = 0
+        self._cache_epoch = -1
+        self._cache = None
+
+    # -- population ------------------------------------------------------
+
+    def _fill_spec(self, spec: NodeSpec) -> None:
+        index = spec.index
+        self.class_code[index] = CLASS_CODE[spec.node_class]
+        self.activity_weight[index] = spec.activity_weight
+        self.rotation_prob[index] = spec.behavior.daily_ip_rotation_prob
+        self.is_server[index] = spec.node_class.is_dht_server
+
+    def grow(self, spec: NodeSpec) -> None:
+        """Extend the arrays for a late-injected spec (attack hooks)."""
+        index = spec.index
+        capacity = len(self.class_code)
+        if index >= capacity:
+            new_capacity = max(capacity * 2, index + 1)
+            for name in (
+                "class_code",
+                "activity_weight",
+                "rotation_prob",
+                "is_server",
+                "online",
+            ):
+                old = getattr(self, name)
+                grown = np.zeros(new_capacity, dtype=old.dtype)
+                grown[:capacity] = old
+                setattr(self, name, grown)
+        self._fill_spec(spec)
+        self.size = max(self.size, index + 1)
+
+    # -- liveness registry ------------------------------------------------
+
+    def set_online(self, index: int) -> None:
+        if self.online[index]:
+            return
+        self.online[index] = True
+        if self._seq_len == len(self._seq):
+            self._compact(force_grow=True)
+        slot = self._seq_len
+        self._seq[slot] = index
+        self._alive[slot] = True
+        self._seq_len = slot + 1
+        self._slot_of[index] = slot
+        self.epoch += 1
+
+    def set_offline(self, index: int) -> None:
+        if not self.online[index]:
+            return
+        self.online[index] = False
+        slot = self._slot_of.pop(index)
+        self._alive[slot] = False
+        self._dead += 1
+        self.epoch += 1
+        if self._dead > 64 and self._dead * 2 > self._seq_len:
+            self._compact()
+
+    def _compact(self, force_grow: bool = False) -> None:
+        live = self._seq[: self._seq_len][self._alive[: self._seq_len]]
+        needed = max(64, len(self._seq) * 2 if force_grow else len(self._seq))
+        if needed != len(self._seq):
+            self._seq = np.zeros(needed, dtype=np.int64)
+            self._alive = np.zeros(needed, dtype=bool)
+        self._seq[: len(live)] = live
+        self._alive[: len(live)] = True
+        self._alive[len(live) :] = False
+        self._seq_len = len(live)
+        self._dead = 0
+        self._slot_of = {int(index): slot for slot, index in enumerate(live)}
+
+    def online_indices(self):
+        """Spec indexes of online nodes, in ``online_by_peer`` insertion
+        order (cached per epoch)."""
+        if self._cache_epoch != self.epoch:
+            self._cache = self._seq[: self._seq_len][self._alive[: self._seq_len]]
+            self._cache_epoch = self.epoch
+        return self._cache
+
+    def online_count(self) -> int:
+        return self._seq_len - self._dead

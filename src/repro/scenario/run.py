@@ -16,7 +16,7 @@ from typing import Dict, List, Optional, Set
 
 from repro.attack.orchestrator import AttackOrchestrator
 from repro.content.catalog import ContentCatalog
-from repro.content.workload import TrafficEngine
+from repro.content.workload import TrafficEngine, VectorizedTrafficEngine
 from repro.core.crawler import (
     CrawlDataset,
     DHTCrawler,
@@ -42,6 +42,7 @@ from repro.netsim.churn import ChurnProcess, DailyAddressRotation, PresenceAdver
 from repro.netsim.clock import SECONDS_PER_DAY
 from repro.netsim.network import Overlay
 from repro.netsim.node import Node
+from repro.netsim.soa import resolve_engine
 from repro.obs import metrics as obs
 from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry, use_registry
 from repro.obs.progress import ProgressReporter
@@ -175,7 +176,12 @@ class MeasurementCampaign:
         self.operators = default_operators()
         self.gateway_specs = install_gateway_specs(self.world, self.operators)
         self._monitor_spec = self._add_monitor_spec()
-        self.overlay = Overlay(self.world)
+        # Engine selection (fails fast here if "soa" is requested without
+        # numpy).  Both engines are bit-identical; "auto" simply picks the
+        # fast one when numpy is available.
+        engine_kind = resolve_engine(config.engine)
+        self.engine_kind = engine_kind
+        self.overlay = Overlay(self.world, vectorized=(engine_kind == "soa"))
         self.overlay.bootstrap()
         self.overlay.schedule_periodic_refresh()
         self.churn = ChurnProcess(self.overlay)
@@ -198,7 +204,10 @@ class MeasurementCampaign:
         self.monitor = BitswapMonitor(
             random.Random(config.seed + 102), store=stores["bitswap"]
         )
-        self.engine = TrafficEngine(
+        engine_cls = (
+            VectorizedTrafficEngine if engine_kind == "soa" else TrafficEngine
+        )
+        self.engine = engine_cls(
             self.overlay, self.catalog, self.hydra, self.monitor, config.workload
         )
         # Attackers are injected after ChurnProcess.start(), so their

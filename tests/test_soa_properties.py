@@ -1,0 +1,338 @@
+"""Property tests pinning the SoA primitives to brute-force references.
+
+Each batched algorithm in :mod:`repro.netsim.soa` (and its call sites)
+rests on a small mathematical claim — "the mirrored numpy stream equals
+CPython's", "a Poisson draw is silent iff its first uniform clears
+``exp(-mean)`` and consumes exactly one draw", "top-64-bit searchsorted
+bounds equal the bigint bisect bounds".  These tests state each claim
+against the obvious scalar reference under Hypothesis-generated inputs,
+so a violation shows up as a minimal counterexample rather than as a
+one-in-a-million golden-figure drift.
+"""
+
+import bisect
+import dataclasses
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+np = pytest.importorskip("numpy")
+
+from repro.ids.peerid import PeerID
+from repro.netsim.clock import SECONDS_PER_HOUR, Clock, EventScheduler
+from repro.netsim.oracle import KeyspaceOracle
+from repro.netsim.soa import HAVE_NUMPY, MirroredRandom, SoAState
+from repro.content.workload import _poisson
+from repro.world.population import build_world
+from repro.world.profiles import WorldProfile
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="installed numpy is below the supported floor"
+)
+
+KEY_BYTES = 32
+
+
+def peer_from_tag(tag: int) -> PeerID:
+    return PeerID((tag % (2 ** 256)).to_bytes(KEY_BYTES, "big"))
+
+
+class TestMirroredRandom:
+    """The numpy RandomState mirror shares CPython's MT19937 stream."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2 ** 32),
+        count=st.integers(min_value=0, max_value=9000),
+    )
+    def test_uniforms_match_sequential_random(self, seed, count):
+        mirrored = random.Random(seed)
+        reference = random.Random(seed)
+        mirror = MirroredRandom(mirrored)
+        mirror.attach()
+        buffer = mirror.uniforms(count)
+        assert len(buffer) >= count
+        assert buffer[:count].tolist() == [reference.random() for _ in range(count)]
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2 ** 32),
+        drawn=st.integers(min_value=0, max_value=9000),
+        consumed_frac=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_sync_resumes_at_exact_position(self, seed, drawn, consumed_frac):
+        """After ``sync_python_to(k)`` the Python RNG continues exactly
+        where ``k`` sequential ``random()`` calls would have left it —
+        including across chunk boundaries and with ``gauss`` state."""
+        consumed = int(drawn * consumed_frac)
+        mirrored = random.Random(seed)
+        reference = random.Random(seed)
+        mirror = MirroredRandom(mirrored)
+        mirror.attach()
+        mirror.uniforms(drawn)
+        mirror.sync_python_to(consumed)
+        for _ in range(consumed):
+            reference.random()
+        assert mirrored.random() == reference.random()
+        assert mirrored.gauss(0.0, 1.0) == reference.gauss(0.0, 1.0)
+
+    def test_sync_beyond_buffer_rejected(self):
+        mirror = MirroredRandom(random.Random(1))
+        mirror.attach()
+        mirror.uniforms(10)
+        with pytest.raises(ValueError):
+            mirror.sync_python_to(mirror._count + 1)
+
+    def test_draws_require_attach(self):
+        mirror = MirroredRandom(random.Random(1))
+        with pytest.raises(RuntimeError):
+            mirror.uniforms(1)
+
+
+class TestSilenceLemma:
+    """The claim behind the batched tick's silence classification."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        mean=st.floats(min_value=1e-9, max_value=30.0, allow_nan=False),
+        seed=st.integers(min_value=0, max_value=2 ** 32),
+    )
+    def test_silent_iff_first_uniform_clears_limit(self, mean, seed):
+        probe = random.Random(seed)
+        first = probe.random()
+        rng = random.Random(seed)
+        count = _poisson(mean, rng)
+        if first <= math.exp(-mean):
+            assert count == 0
+            # ...and exactly one draw was consumed.
+            assert rng.random() == probe.random()
+        else:
+            assert count >= 1
+
+    @settings(max_examples=50, deadline=None)
+    @given(mean=st.floats(max_value=0.0, min_value=-100.0, allow_nan=False))
+    def test_nonpositive_mean_draws_nothing(self, mean):
+        rng = random.Random(7)
+        reference = random.Random(7)
+        assert _poisson(mean, rng) == 0
+        assert rng.random() == reference.random()  # zero draws consumed
+
+
+class TestChurnDelayFormula:
+    """The batched churn start reproduces ``expovariate`` bit-for-bit."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2 ** 32),
+        means=st.lists(
+            st.floats(min_value=1e-3, max_value=10_000.0, allow_nan=False),
+            min_size=1,
+            max_size=200,
+        ),
+    )
+    def test_batched_delays_equal_expovariate(self, seed, means):
+        scalar_rng = random.Random(seed)
+        scalar = [
+            scalar_rng.expovariate(1.0 / mean) * SECONDS_PER_HOUR for mean in means
+        ]
+        batched_rng = random.Random(seed)
+        mirror = MirroredRandom(batched_rng)
+        mirror.attach()
+        uniforms = mirror.uniforms(len(means))[: len(means)].tolist()
+        log = math.log
+        batched = [
+            -log(1.0 - uniforms[i]) / (1.0 / means[i]) * SECONDS_PER_HOUR
+            for i in range(len(means))
+        ]
+        mirror.sync_python_to(len(means))
+        assert batched == scalar
+        assert batched_rng.random() == scalar_rng.random()
+
+
+class TestScheduleMany:
+    """Bulk scheduling pops in exactly sequential-``schedule_in`` order."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        delays=st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            max_size=150,
+        )
+    )
+    def test_pop_order_matches_sequential(self, delays):
+        sequential = EventScheduler(Clock())
+        order_a = []
+        for position, delay in enumerate(delays):
+            sequential.schedule_in(delay, lambda p=position: order_a.append(p))
+        bulk = EventScheduler(Clock())
+        order_b = []
+        bulk.schedule_many(
+            (delay, lambda p=position: order_b.append(p))
+            for position, delay in enumerate(delays)
+        )
+        sequential.run_until(2e6)
+        bulk.run_until(2e6)
+        assert order_a == order_b
+
+    def test_past_event_rejected(self):
+        scheduler = EventScheduler(Clock())
+        scheduler.clock.advance_to(100.0)
+        with pytest.raises(ValueError):
+            scheduler.schedule_many([(50.0, lambda: None)])
+
+
+class TestOracleTop64Bounds:
+    """Vectorized bucket bounds equal the bigint-bisect reference."""
+
+    # Keys built from a tiny top-64 alphabet so shared-prefix ties occur.
+    key_strategy = st.tuples(
+        st.integers(min_value=0, max_value=5),  # top-64 "bucket"
+        st.integers(min_value=0, max_value=2 ** 192 - 1),
+    )
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        raw=st.lists(key_strategy, min_size=1, max_size=60, unique=True),
+        own_choice=st.integers(min_value=0, max_value=10 ** 9),
+    )
+    def test_bounds_match_range_bounds(self, raw, own_choice):
+        spread = 2 ** 61  # top-64 values spaced out but colliding by design
+        keys = [(top * spread << 192) | low for top, low in raw]
+        oracle = KeyspaceOracle()
+        peers = {}
+        for key in keys:
+            peer = peer_from_tag(key)
+            # Only index peers whose derived dht_key we control exactly:
+            # build the oracle on raw keys through the public API.
+            oracle._by_key[key] = peer
+            bisect.insort(oracle._keys, key)
+            oracle._mirror_insert(oracle._keys.index(key), key >> (256 - 64))
+            peers[key] = peer
+        own_key = keys[own_choice % len(keys)]
+        bounds = oracle.bucket_bounds_top64(own_key)
+        own_top = own_key >> 192
+        ties = sum(1 for key in keys if key >> 192 == own_top)
+        if ties > 1:
+            assert bounds is None
+            return
+        assert bounds is not None
+        lows, highs = bounds
+        for bucket_idx in range(64):
+            shift = 256 - bucket_idx - 1
+            prefix_base = ((own_key >> shift) ^ 1) << shift
+            expected = oracle.range_bounds(prefix_base, bucket_idx + 1)
+            assert (lows[bucket_idx], highs[bucket_idx]) == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_bounds_track_public_add_remove(self, data):
+        """Through the public ``add``/``remove`` API (random PeerIDs, so
+        ties are cryptographically absent): bounds always valid."""
+        tags = data.draw(
+            st.lists(
+                st.integers(min_value=1, max_value=10 ** 12),
+                min_size=2,
+                max_size=40,
+                unique=True,
+            )
+        )
+        oracle = KeyspaceOracle()
+        peers = [peer_from_tag(tag) for tag in tags]
+        for peer in peers:
+            oracle.add(peer)
+        removed = data.draw(st.sets(st.sampled_from(peers), max_size=len(peers) - 1))
+        for peer in removed:
+            oracle.remove(peer)
+        remaining = [peer for peer in peers if peer not in removed]
+        own = data.draw(st.sampled_from(remaining))
+        bounds = oracle.bucket_bounds_top64(own.dht_key)
+        assert bounds is not None
+        lows, highs = bounds
+        for bucket_idx in range(64):
+            shift = 256 - bucket_idx - 1
+            prefix_base = ((own.dht_key >> shift) ^ 1) << shift
+            assert (lows[bucket_idx], highs[bucket_idx]) == oracle.range_bounds(
+                prefix_base, bucket_idx + 1
+            )
+
+
+@pytest.fixture(scope="module")
+def tiny_world():
+    return build_world(WorldProfile(online_servers=60, seed=3))
+
+
+class TestSoAStateRegistry:
+    """The tombstoned online registry mirrors dict insertion order."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(operations=st.lists(st.integers(min_value=0, max_value=400), max_size=300))
+    def test_matches_ordered_dict_reference(self, tiny_world, operations):
+        state = SoAState(tiny_world)
+        size = len(tiny_world.specs)
+        reference = {}
+        for op in operations:
+            index = op % size
+            if op % 3 == 0 and index in reference:
+                state.set_offline(index)
+                del reference[index]
+            else:
+                state.set_online(index)
+                reference.setdefault(index, True)
+        assert state.online_indices().tolist() == list(reference)
+        assert state.online_count() == len(reference)
+        online = state.online[: state.size]
+        assert sorted(np.nonzero(online)[0].tolist()) == sorted(reference)
+
+    def test_compaction_preserves_order(self, tiny_world):
+        state = SoAState(tiny_world)
+        size = len(tiny_world.specs)
+        for index in range(size):
+            state.set_online(index)
+        # Kill more than half (forces compaction) then re-add some.
+        for index in range(0, size, 2):
+            state.set_offline(index)
+        survivors = [index for index in range(size) if index % 2 == 1]
+        assert state.online_indices().tolist() == survivors
+        state.set_online(0)
+        assert state.online_indices().tolist() == survivors + [0]
+
+    def test_grow_extends_capacity(self, tiny_world):
+        state = SoAState(tiny_world)
+        spec = tiny_world.specs[0]
+        clone = dataclasses.replace(spec, index=state.size + 500)
+        state.grow(clone)
+        assert state.size == clone.index + 1
+        assert state.class_code[clone.index] == state.class_code[spec.index]
+
+
+class TestRotationBernoulli:
+    """Batched daily-rotation draws equal the scalar loop's."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2 ** 32),
+        probs=st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False), max_size=300
+        ),
+    )
+    def test_hits_match_scalar_loop(self, seed, probs):
+        scalar_rng = random.Random(seed)
+        scalar_hits = [
+            probability > 0 and scalar_rng.random() < probability
+            for probability in probs
+        ]
+        batched_rng = random.Random(seed)
+        prob_array = np.asarray(probs, dtype=np.float64)
+        draw_mask = prob_array > 0.0
+        draws = int(draw_mask.sum())
+        batched_hits = np.zeros(len(probs), dtype=bool)
+        if draws:
+            mirror = MirroredRandom(batched_rng)
+            mirror.attach()
+            uniforms = mirror.uniforms(draws)[:draws]
+            batched_hits[draw_mask] = uniforms < prob_array[draw_mask]
+            mirror.sync_python_to(draws)
+        assert batched_hits.tolist() == scalar_hits
+        assert batched_rng.random() == scalar_rng.random()

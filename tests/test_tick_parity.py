@@ -1,0 +1,321 @@
+"""Differential parity harness: scalar vs vectorized (SoA) tick engine.
+
+The contract under test is the strongest one the repo makes about the
+struct-of-arrays engine (``repro.netsim.soa`` +
+``repro.content.workload.VectorizedTrafficEngine``): with the same
+``ScenarioConfig.seed``, a campaign run with ``engine="scalar"`` and one
+run with ``engine="soa"`` are **bit-identical** — every monitor-log
+record, every crawl snapshot, every figure input, the attack ground
+truth and the detector scores.  The vectorized engine is allowed to
+remove Python dispatch around RNG draws, never to change a draw.
+
+These tests require numpy (the SoA engine's only dependency); on the
+numpy-less CI lane they skip and the scalar engine is exercised by the
+rest of the suite — which, combined with this harness passing on any
+numpy host, transitively pins both engines to the same outputs.
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.content.catalog import ContentCatalog
+from repro.content.workload import TrafficEngine, VectorizedTrafficEngine
+from repro.monitors.bitswap_monitor import BitswapMonitor
+from repro.monitors.hydra import HydraBooster
+from repro.netsim.network import Overlay
+from repro.netsim.soa import HAVE_NUMPY, resolve_engine
+from repro.scenario import report
+from repro.scenario.config import ScenarioConfig
+from repro.scenario.run import run_campaign
+from repro.world.population import build_world
+from repro.world.profiles import WorldProfile
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="installed numpy is below the supported floor"
+)
+
+
+def parity_config(engine: str, **overrides) -> ScenarioConfig:
+    base = ScenarioConfig(
+        profile=WorldProfile(online_servers=150, seed=77),
+        days=2,
+        warmup_days=0,
+        daily_cid_sample=40,
+        provider_fetch_days=1,
+        gateway_probes_per_endpoint=2,
+        seed=77,
+        engine=engine,
+    )
+    return dataclasses.replace(base, **overrides)
+
+
+def crawl_fingerprint(result):
+    return [
+        (
+            snapshot.crawl_id,
+            snapshot.started_at,
+            snapshot.duration,
+            snapshot.requests_sent,
+            [(o.peer, o.ips, o.crawlable) for o in snapshot.observations.values()],
+            snapshot.edges,
+        )
+        for snapshot in result.crawls.snapshots
+    ]
+
+
+@pytest.fixture(scope="module")
+def engine_pair():
+    """The same campaign under both engines."""
+    return (
+        run_campaign(parity_config("scalar")),
+        run_campaign(parity_config("soa")),
+    )
+
+
+@pytest.fixture(scope="module")
+def attack_pair(attack_config_factory):
+    """The all-attacks detection campaign under both engines."""
+    base = attack_config_factory()
+    return (
+        run_campaign(dataclasses.replace(base, engine="scalar")),
+        run_campaign(dataclasses.replace(base, engine="soa")),
+    )
+
+
+@pytest.fixture(scope="module")
+def observed_pair():
+    """Metrics + tracing enabled: observability must not fork the engines."""
+    overrides = dict(days=1, metrics=True, trace=True, trace_buffer=1 << 20)
+    return (
+        run_campaign(parity_config("scalar", **overrides)),
+        run_campaign(parity_config("soa", **overrides)),
+    )
+
+
+class TestEngineResolution:
+    def test_explicit_engines(self):
+        assert resolve_engine("scalar") == "scalar"
+        assert resolve_engine("soa") == "soa"
+
+    def test_auto_uses_soa_with_numpy(self):
+        assert resolve_engine("auto") == "soa"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            resolve_engine("turbo")
+
+    def test_soa_without_numpy_fails_fast(self, monkeypatch):
+        import repro.netsim.soa as soa
+
+        monkeypatch.setattr(soa, "_np", None)
+        monkeypatch.setattr(soa, "HAVE_NUMPY", False)
+        with pytest.raises(RuntimeError, match="requires numpy"):
+            resolve_engine("soa")
+        # ...while auto degrades gracefully to the scalar engine.
+        assert resolve_engine("auto") == "scalar"
+
+    def test_campaign_records_engine_kind(self, engine_pair):
+        scalar, soa = engine_pair
+        assert scalar.config.engine == "scalar"
+        assert soa.config.engine == "soa"
+
+
+class TestTrafficParity:
+    """Every monitor log and derived dataset, bit for bit."""
+
+    def test_hydra_log_bit_identical(self, engine_pair):
+        scalar, soa = engine_pair
+        assert len(scalar.hydra.log) == len(soa.hydra.log)
+        assert list(scalar.hydra.log) == list(soa.hydra.log)
+
+    def test_bitswap_log_bit_identical(self, engine_pair):
+        scalar, soa = engine_pair
+        assert list(scalar.bitswap_monitor.log) == list(soa.bitswap_monitor.log)
+
+    def test_crawl_datasets_bit_identical(self, engine_pair):
+        scalar, soa = engine_pair
+        assert crawl_fingerprint(scalar) == crawl_fingerprint(soa)
+
+    def test_provider_observations_identical(self, engine_pair):
+        scalar, soa = engine_pair
+        assert scalar.provider_observations == soa.provider_observations
+
+    def test_gateway_probes_identical(self, engine_pair):
+        scalar, soa = engine_pair
+        assert scalar.gateway_probe_reports == soa.gateway_probe_reports
+
+    def test_no_exec_errors(self, engine_pair):
+        scalar, soa = engine_pair
+        assert scalar.exec_errors == [] and soa.exec_errors == []
+
+
+class TestFigureParity:
+    """The paper figures derive from identical inputs — pin the outputs
+    too, so a parity break anywhere upstream is caught at the headline
+    numbers as well."""
+
+    @pytest.mark.parametrize(
+        "figure",
+        ["fig3_report", "fig14_report", "fig15_report", "fig16_report"],
+    )
+    def test_figure_reports_identical(self, engine_pair, figure):
+        scalar, soa = engine_pair
+        build = getattr(report, figure)
+        assert build(scalar) == build(soa)
+
+    def test_crawl_stats_identical(self, engine_pair):
+        scalar, soa = engine_pair
+        assert report.crawl_stats_report(scalar) == report.crawl_stats_report(soa)
+
+
+class TestAttackParity:
+    """Adversarial scenarios ride the same engine hooks; ground truth and
+    detector scores must not depend on the engine."""
+
+    def test_attack_ground_truth_identical(self, attack_pair):
+        scalar, soa = attack_pair
+        assert list(scalar.attack_ground_truth) == list(soa.attack_ground_truth)
+
+    def test_attack_summary_identical(self, attack_pair):
+        scalar, soa = attack_pair
+        assert scalar.attack_summary == soa.attack_summary
+
+    def test_detection_scores_identical(self, attack_pair):
+        scalar, soa = attack_pair
+        assert scalar.detection == soa.detection
+
+    def test_attacked_logs_identical(self, attack_pair):
+        scalar, soa = attack_pair
+        assert list(scalar.hydra.log) == list(soa.hydra.log)
+        assert list(scalar.bitswap_monitor.log) == list(soa.bitswap_monitor.log)
+
+
+def build_engine(vectorized: bool, seed: int = 11):
+    """A bare overlay + traffic engine stack, outside the campaign driver."""
+    world = build_world(WorldProfile(online_servers=120, seed=seed))
+    overlay = Overlay(world, vectorized=vectorized)
+    overlay.bootstrap()
+    engine_cls = VectorizedTrafficEngine if vectorized else TrafficEngine
+    engine = engine_cls(
+        overlay,
+        ContentCatalog(random.Random(seed + 1)),
+        HydraBooster(num_heads=2),
+        BitswapMonitor(random.Random(seed + 2)),
+        None,
+        random.Random(seed + 3),
+    )
+    engine.seed_platform_content()
+    return engine
+
+
+def count_batched_calls(engine):
+    """Instrument ``_run_tick_batched`` so tests can prove which path ran."""
+    calls = []
+    original = engine._run_tick_batched
+
+    def counting(*args, **kwargs):
+        calls.append(1)
+        return original(*args, **kwargs)
+
+    engine._run_tick_batched = counting
+    return calls
+
+
+class TestBatchedClassifierParity:
+    """Direct ``run_tick`` differentials that pin the *batched silence
+    classifier* itself.  The module-level campaign fixtures run at the
+    default 4 ticks/day — a busy regime where the adaptive gate picks
+    scalar dispatch — so these tests drive the windowed classification
+    and snapshot-rewind machinery explicitly, in both the quiet regime
+    where it engages naturally and a busy regime where it is forced."""
+
+    def run_ticks(self, engine, hours, ticks):
+        step = hours * 3600.0
+        for _ in range(ticks):
+            scheduler = engine.overlay.scheduler
+            scheduler.run_until(scheduler.clock.now + step)
+            engine.run_tick(hours)
+
+    def assert_engines_identical(self, scalar, vectorized):
+        assert list(scalar.hydra.log) == list(vectorized.hydra.log)
+        assert list(scalar.monitor.log) == list(vectorized.monitor.log)
+        assert scalar.rng.getstate() == vectorized.rng.getstate()
+
+    def test_quiet_regime_takes_batched_path(self):
+        """Tiny ticks (36 sim-seconds) put nearly every node below one
+        expected event — the gate must choose batched classification,
+        and outputs must stay bit-identical to the scalar engine."""
+        scalar = build_engine(vectorized=False)
+        vectorized = build_engine(vectorized=True)
+        calls = count_batched_calls(vectorized)
+        self.run_ticks(scalar, 0.01, 60)
+        self.run_ticks(vectorized, 0.01, 60)
+        assert calls, "quiet regime should engage the batched classifier"
+        self.assert_engines_identical(scalar, vectorized)
+
+    def test_forced_batched_path_busy_regime(self):
+        """With the gate disabled the classifier must survive the worst
+        case — nearly every window holds an active node, so the
+        snapshot/replay rewind runs constantly.  Still bit-identical."""
+        scalar = build_engine(vectorized=False)
+        vectorized = build_engine(vectorized=True)
+        vectorized.MIN_SILENT_SHARE = -1.0  # instance override: always batch
+        calls = count_batched_calls(vectorized)
+        self.run_ticks(scalar, 6.0, 8)
+        self.run_ticks(vectorized, 6.0, 8)
+        assert calls, "gate disabled: every tick should take the batched path"
+        self.assert_engines_identical(scalar, vectorized)
+
+    def test_busy_regime_takes_scalar_dispatch(self):
+        """Sanity check on the gate itself: at 6-hour ticks the expected
+        silent share is far below the threshold, so the batched
+        classifier must NOT engage (its windowed rewinds would be pure
+        overhead) — and the precomputed-rate scalar dispatch must still
+        match the scalar engine exactly."""
+        scalar = build_engine(vectorized=False)
+        vectorized = build_engine(vectorized=True)
+        calls = count_batched_calls(vectorized)
+        self.run_ticks(scalar, 6.0, 4)
+        self.run_ticks(vectorized, 6.0, 4)
+        assert not calls, "busy regime should use scalar dispatch"
+        self.assert_engines_identical(scalar, vectorized)
+
+
+class TestObservabilityParity:
+    """Metrics and tracing are off the simulation's RNG path for both
+    engines — turning them on must leave outputs bit-identical and
+    produce the same (deterministic view of the) telemetry."""
+
+    def test_logs_identical_with_observability_on(self, observed_pair):
+        scalar, soa = observed_pair
+        assert list(scalar.hydra.log) == list(soa.hydra.log)
+        assert list(scalar.bitswap_monitor.log) == list(soa.bitswap_monitor.log)
+        assert crawl_fingerprint(scalar) == crawl_fingerprint(soa)
+
+    def test_metrics_views_identical(self, observed_pair):
+        from repro.obs import deterministic_view
+
+        scalar, soa = observed_pair
+        scalar_view = {
+            k: v
+            for k, v in deterministic_view(scalar.metrics).items()
+            if not k.startswith("exec.")  # worker scheduling timings differ
+        }
+        soa_view = {
+            k: v
+            for k, v in deterministic_view(soa.metrics).items()
+            if not k.startswith("exec.")
+        }
+        assert scalar_view == soa_view
+
+    def test_trace_views_identical(self, observed_pair):
+        from repro.obs import deterministic_trace_view
+
+        scalar, soa = observed_pair
+        assert deterministic_trace_view(scalar.trace) == deterministic_trace_view(
+            soa.trace
+        )
