@@ -10,7 +10,7 @@ import dataclasses
 
 import pytest
 
-from repro.content.workload import WorkloadConfig
+from repro.workload import WorkloadConfig
 from repro.core import traffic
 from repro.kademlia.messages import TrafficClass
 from repro.scenario.config import ScenarioConfig

@@ -50,7 +50,7 @@ if __package__ in (None, ""):
 from _bench_utils import BenchReport, compare_to_baseline
 
 from repro.content.catalog import ContentCatalog
-from repro.content.workload import TrafficEngine, VectorizedTrafficEngine
+from repro.workload import TrafficEngine, VectorizedTrafficEngine
 from repro.monitors.bitswap_monitor import BitswapMonitor
 from repro.monitors.hydra import HydraBooster
 from repro.netsim.network import Overlay

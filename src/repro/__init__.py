@@ -49,6 +49,7 @@ from repro.obs import (
 from repro.scenario.config import ScenarioConfig
 from repro.scenario.run import CampaignResult, MeasurementCampaign, run_campaign
 from repro.store import StorageSpec, open_store, parse_spec
+from repro.workload import WorkloadSpec, build_workload, parse_workload_spec
 from repro.world.profiles import PAPER, PaperCalibration, WorldProfile
 
 __version__ = "1.0.0"
@@ -62,11 +63,14 @@ __all__ = [
     "ScenarioConfig",
     "StorageSpec",
     "Tracer",
+    "WorkloadSpec",
     "WorldProfile",
     "audit_trace",
+    "build_workload",
     "chrome_trace",
     "open_store",
     "parse_spec",
+    "parse_workload_spec",
     "read_metrics",
     "read_trace",
     "render_report",

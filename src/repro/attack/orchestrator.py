@@ -33,7 +33,7 @@ from repro.attack.config import (
     SybilEclipseConfig,
 )
 from repro.attack.ground_truth import GroundTruthLog
-from repro.content.workload import TrafficEngine, _poisson
+from repro.workload.engine import TrafficEngine, _poisson
 from repro.exec.seeds import derive_rng
 from repro.ids.cid import CID
 from repro.ids.keys import KEY_BITS, common_prefix_len

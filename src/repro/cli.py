@@ -141,6 +141,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="render a live single-line progress heartbeat on stderr",
     )
     campaign.add_argument(
+        "--workload", metavar="SPEC", default="closed",
+        help="workload model: closed (legacy per-node Poisson, the "
+        "golden default) or zipf:users=1e6,s=1.05,sessions=onoff,"
+        "diurnal=true (open-loop sessions; 'repro workload describe "
+        "SPEC' explains a spec)",
+    )
+    campaign.add_argument(
         "--attack", action="append", default=[], metavar="SPEC",
         help="inject an adversarial scenario, e.g. sybil-eclipse or "
         "bitswap-flood:num_attackers=4,broadcasts_per_hour=900 "
@@ -243,6 +250,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="write Chrome trace-event JSON (open in ui.perfetto.dev)",
     )
 
+    workload_cmd = commands.add_parser(
+        "workload", help="inspect workload specs (see repro.workload)"
+    )
+    workload_commands = workload_cmd.add_subparsers(
+        dest="workload_command", required=True
+    )
+    # Shared spec/output flags (argparse parent, like obs_output above).
+    workload_common = argparse.ArgumentParser(add_help=False)
+    workload_common.add_argument(
+        "spec",
+        help="workload spec string: closed, or zipf:users=1e6,s=1.05,...",
+    )
+    workload_common.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    workload_commands.add_parser(
+        "describe", parents=[workload_common],
+        help="print a spec's derived calibration numbers",
+    )
+    workload_sample = workload_commands.add_parser(
+        "sample", parents=[workload_common],
+        help="dry-run a spec against a synthetic catalog and print the "
+        "sampled shapes (volume, diurnal curve, shares) — no campaign",
+    )
+    workload_sample.add_argument(
+        "--hours", type=int, default=24, help="hours to sample (default 24)"
+    )
+    workload_sample.add_argument(
+        "--seed", type=int, default=2023, help="driver seed (default 2023)"
+    )
+
     detect = commands.add_parser(
         "detect", help="attack detection over stored campaign logs"
     )
@@ -328,6 +367,14 @@ def _config_from_args(args) -> ScenarioConfig:
         import dataclasses
 
         config = dataclasses.replace(config, progress=True)
+    if getattr(args, "workload", "closed") not in (None, "closed"):
+        import dataclasses
+
+        from repro.workload import parse_workload_spec
+
+        # Parse now so a malformed spec fails before the world is built.
+        spec = parse_workload_spec(args.workload)
+        config = dataclasses.replace(config, workload_spec=spec.to_string())
     if getattr(args, "attack", None):
         import dataclasses
 
@@ -362,7 +409,7 @@ def _print_report(name: str, payload) -> None:
 def _run_campaign_command(args) -> int:
     try:
         config = _config_from_args(args)
-    except ValueError as exc:  # malformed --attack spec
+    except ValueError as exc:  # malformed --attack / --workload spec
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(
@@ -708,6 +755,49 @@ def _run_detect_command(args) -> int:
     return 0
 
 
+def _run_workload_command(args) -> int:
+    from repro.workload import describe_workload, parse_workload_spec, sample_workload
+
+    try:
+        spec = parse_workload_spec(args.spec)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.workload_command == "describe":
+        payload = describe_workload(spec)
+    else:  # sample
+        if spec.model == "closed":
+            print(
+                "error: the closed model has no session sampler; "
+                "pass a zipf:... spec",
+                file=sys.stderr,
+            )
+            return 2
+        payload = sample_workload(spec, seed=args.seed, hours=args.hours)
+    if args.format == "json":
+        import json
+
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"workload {spec.to_string()}")
+    for key, value in payload.items():
+        if isinstance(value, dict):
+            print(f"  {key}:")
+            for sub_key, sub_value in value.items():
+                rendered = (
+                    f"{sub_value:.4f}" if isinstance(sub_value, float) else sub_value
+                )
+                print(f"    {sub_key}: {rendered}")
+        elif isinstance(value, list):
+            preview = ", ".join(str(entry) for entry in value[:24])
+            print(f"  {key}: [{preview}{', ...' if len(value) > 24 else ''}]")
+        elif isinstance(value, float):
+            print(f"  {key}: {value:.4f}")
+        else:
+            print(f"  {key}: {value}")
+    return 0
+
+
 def _run_table1_command() -> int:
     from repro.core.counting import CrawlRow, a_n_counts, g_ip_counts
     from repro.ids.peerid import PeerID
@@ -736,6 +826,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_store_command(args)
     if args.command == "obs":
         return _run_obs_command(args)
+    if args.command == "workload":
+        return _run_workload_command(args)
     if args.command == "detect":
         return _run_detect_command(args)
     if args.command == "table1":

@@ -1,16 +1,17 @@
-"""Content: blocks, catalogs, popularity and workload generation.
+"""Content: blocks, catalogs and request popularity.
 
 * :mod:`repro.content.blocks` — chunking data into content-addressed
   blocks with a flat DAG root,
 * :mod:`repro.content.catalog` — the population of content items, their
-  publishers, lifetimes and request popularity,
-* :mod:`repro.content.workload` — the calibrated traffic engine driving
-  downloads, advertisements and platform re-provides.
+  publishers, lifetimes and request popularity.
+
+The traffic engine that used to live here is now the
+:mod:`repro.workload` package (``repro.content.workload`` remains as a
+deprecation shim); the re-exports below keep old call sites working.
 """
 
 from repro.content.blocks import chunk_data, DagObject
 from repro.content.catalog import ContentCatalog, ContentItem
-from repro.content.workload import TrafficEngine, WorkloadConfig
 
 __all__ = [
     "ContentCatalog",
@@ -20,3 +21,13 @@ __all__ = [
     "WorkloadConfig",
     "chunk_data",
 ]
+
+
+def __getattr__(name: str):
+    # Lazy: the engine imports the catalog, so an eager re-export here
+    # would be circular now that the engine lives in repro.workload.
+    if name in ("TrafficEngine", "WorkloadConfig"):
+        from repro.workload import engine
+
+        return getattr(engine, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,914 +1,31 @@
-"""The calibrated traffic engine.
+"""Deprecated alias for :mod:`repro.workload`.
 
-Generates the network's content activity — downloads, publishes, platform
-re-provides, Hydra amplification — and feeds the two capture instruments
-(the Hydra-booster DHT log and the Bitswap monitor log) plus the
-provider-record registry.
-
-Capture sampling: a DHT walk touches ~50 of ~25 000 servers, so the
-monitoring Hydra sees each message with probability ``heads/servers``
-(§3 estimates 4 % total capture).  Rather than routing every walk hop
-through the simulator, the engine draws the *captured* messages directly
-from that geometry — an importance-sampling shortcut that leaves every
-per-message share unchanged (see DESIGN.md).  Exact walks remain in use
-for every measurement operation (crawls, provider fetches, probes).
+The traffic engine outgrew a single module when the open-loop session
+driver landed; it now lives in the :mod:`repro.workload` package
+(``repro.workload.engine`` holds the classes that used to live here).
+Importing through this path keeps working but warns once per name.
 """
 
 from __future__ import annotations
 
-import math
-import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+import warnings
 
-from repro.content.catalog import ContentCatalog, ContentItem
-from repro.ids.cid import CID
-from repro.kademlia.messages import MessageType
-from repro.monitors.bitswap_monitor import BitswapMonitor
-from repro.monitors.hydra import HydraBooster
-from repro.netsim.clock import SECONDS_PER_DAY, SECONDS_PER_HOUR
-from repro.netsim.network import Overlay
-from repro.netsim.node import Node, OrderedCIDSet
-from repro.netsim.soa import CLASS_CODE, CLASS_ORDER, np, require_numpy
-from repro.world.population import NodeClass
+_MOVED = ("WorkloadConfig", "TrafficEngine", "VectorizedTrafficEngine", "_poisson")
 
 
-@dataclass
-class WorkloadConfig:
-    """Rates (per online node per hour) and protocol constants.
-
-    Defaults are calibrated against the paper's §5 traffic shares; the
-    ablation benches sweep individual knobs.
-    """
-
-    # Content-request rate by node class.  The gateway rate is the *fleet*
-    # rate at reference scale (2 500 servers) and is scaled by network
-    # size: gateways serve the web-user population, not themselves.
-    request_rates: Dict[NodeClass, float] = field(
-        default_factory=lambda: {
-            NodeClass.NAT_CLIENT: 0.90,
-            NodeClass.RESIDENTIAL_EPHEMERAL: 1.00,
-            NodeClass.RESIDENTIAL_STABLE: 0.55,
-            NodeClass.CLOUD_STABLE: 0.22,
-            NodeClass.HYBRID: 0.25,
-            NodeClass.PLATFORM: 0.10,
-            NodeClass.GATEWAY: 1.0,  # per node at reference scale
-        }
-    )
-    #: Fleet-wide request rates (per hour, reference scale) of the
-    #: automated resolver platforms — no Bitswap side, almost every
-    #: request walks the DHT.
-    indexer_rates: Dict[str, float] = field(
-        default_factory=lambda: {"aws-mystery": 330.0, "cid-scraper": 260.0}
-    )
-    #: Per-operator multipliers on the gateway rate; ipfs-bank is the
-    #: Bitswap-dominating gateway platform of Fig. 13.
-    gateway_rate_multipliers: Dict[str, float] = field(
-        default_factory=lambda: {"ipfs-bank": 6.0, "cloudflare": 2.0}
-    )
-    # Fresh-content publish rate by node class.
-    publish_rates: Dict[NodeClass, float] = field(
-        default_factory=lambda: {
-            NodeClass.NAT_CLIENT: 0.100,
-            NodeClass.RESIDENTIAL_EPHEMERAL: 0.080,
-            NodeClass.RESIDENTIAL_STABLE: 0.090,
-            NodeClass.CLOUD_STABLE: 0.020,
-            NodeClass.HYBRID: 0.050,
-            NodeClass.PLATFORM: 0.0,   # platforms re-provide their sets
-            NodeClass.GATEWAY: 0.0,    # gateways only re-provide downloads
-        }
-    )
-    #: Probability a downloader becomes a provider for what it fetched
-    #: (§2 auto-scaling default; completing the re-provide walk is less
-    #: likely for short-lived clients, all but certain for gateways).
-    reprovide_probs: Dict[NodeClass, float] = field(
-        default_factory=lambda: {
-            NodeClass.NAT_CLIENT: 0.60,
-            NodeClass.RESIDENTIAL_EPHEMERAL: 0.50,
-            NodeClass.RESIDENTIAL_STABLE: 0.55,
-            NodeClass.CLOUD_STABLE: 0.08,
-            NodeClass.HYBRID: 0.40,
-            NodeClass.PLATFORM: 0.50,
-            # Gateways serve from their HTTP cache and rarely re-announce.
-            NodeClass.GATEWAY: 0.15,
-        }
-    )
-    #: Probability the 1-hop Bitswap broadcast resolves the request, per
-    #: node class.  Gateways keep hundreds of connections and fixed links
-    #: to the industrial providers, so they almost never need the DHT (§5).
-    bitswap_hit_probs: Dict[NodeClass, float] = field(
-        default_factory=lambda: {
-            NodeClass.NAT_CLIENT: 0.42,
-            NodeClass.RESIDENTIAL_EPHEMERAL: 0.42,
-            NodeClass.RESIDENTIAL_STABLE: 0.40,
-            NodeClass.CLOUD_STABLE: 0.45,
-            NodeClass.HYBRID: 0.42,
-            NodeClass.PLATFORM: 0.70,
-            NodeClass.GATEWAY: 0.93,
-        }
-    )
-    #: Extra hit probability for gateways fetching platform-pinned content
-    #: (their fixed Bitswap links to pinata/nft.storage etc.).
-    gateway_platform_hit_prob: float = 0.985
-    #: Share of requests targeting content that does not exist (anymore).
-    missing_content_prob: float = 0.06
-    #: Peers contacted by a FindProviders walk (the paper's ≈50).
-    download_walk_contacts: int = 50
-    #: Walk plus PutProvider fan-out for a Provide operation.
-    advert_walk_contacts: int = 34
-    #: FIND_NODE messages captured per join/maintenance walk.
-    other_walk_contacts: int = 15
-    #: Proactive lookups the Protocol-Labs Hydra fleet launches per cache
-    #: miss it witnesses (the §5 amplification / DoS vector).
-    hydra_amplification_walks: float = 2.5
-    #: Probability a user's DHT walk is witnessed by the PL hydra fleet.
-    hydra_fleet_visibility: float = 0.9
-    #: The fleet's provider-record cache TTL (misses trigger lookups).
-    hydra_cache_ttl: float = 6 * 3600.0
-    #: Size of each storage platform's pinned set at reference scale
-    #: (scaled by network size and by the platform's pinned_set_scale).
-    platform_set_size: int = 11000
-    #: How many distinct platform nodes provide each pinned item.
-    platform_replicas: int = 4
-    #: Per-node cap on remembered provided CIDs (drives daily re-provides).
-    max_provided_cids: int = 40
-    #: How many of its provided CIDs a node re-announces per day (real
-    #: IPFS re-provides its whole provider store every 12-24 h, so the
-    #: default covers the full capped set).
-    daily_reprovide_sample: int = 40
-    #: Probability a freshly published user item is *also* pinned at a
-    #: storage platform (pinata et al. ingest user uploads) — one of the
-    #: §6 mechanisms pulling content into the cloud.
-    user_pin_prob: float = 0.35
-    #: Probability a platform-pinned item has a user co-provider (the
-    #: original uploader — an NFT creator's own node, say) that keeps
-    #: re-providing it.
-    platform_coprovider_prob: float = 0.85
-    #: Class mix of those co-providers.
-    coprovider_class_weights: Dict[NodeClass, float] = field(
-        default_factory=lambda: {
-            NodeClass.NAT_CLIENT: 0.50,
-            NodeClass.RESIDENTIAL_EPHEMERAL: 0.12,
-            NodeClass.RESIDENTIAL_STABLE: 0.26,
-            NodeClass.CLOUD_STABLE: 0.12,
-        }
-    )
-    #: Per-item popularity damping for platform content: the pinned sets
-    #: are long-tail (billions of rarely-requested NFT assets).
-    platform_weight_scale: float = 0.35
-    #: Daily re-provide fraction logged for platforms (they re-announce
-    #: every CID; capture keeps a sample).
-    platform_reprovide_share: float = 1.0
-    #: "Other" (join/maintenance) walks per online server per hour.
-    other_rate: float = 0.45
-    #: Cap on provider records tracked per CID (memory guard; far above
-    #: what the analyses need).
-    max_providers_per_cid: int = 200
-
-
-class TrafficEngine:
-    """Drives daily content activity over an overlay."""
-
-    def __init__(
-        self,
-        overlay: Overlay,
-        catalog: ContentCatalog,
-        hydra: HydraBooster,
-        bitswap_monitor: BitswapMonitor,
-        config: Optional[WorkloadConfig] = None,
-        rng: Optional[random.Random] = None,
-    ) -> None:
-        self.overlay = overlay
-        self.catalog = catalog
-        self.hydra = hydra
-        self.monitor = bitswap_monitor
-        self.config = config or WorkloadConfig()
-        self.rng = rng or random.Random(overlay.world.profile.seed + 4)
-        self._pl_hydra_nodes: List[Node] = [
-            node for node in overlay.nodes if node.spec.platform == "hydra"
-        ]
-        #: the PL hydra fleet's provider-record cache: CID -> last refresh.
-        self._amp_cache: Dict[CID, float] = {}
-        #: user uploads ingested by pinning platforms: node -> CIDs.
-        self._platform_pins: Dict[Node, OrderedCIDSet] = {}
-        self._indexer_fleet_sizes: Dict[str, int] = {}
-        for node in overlay.nodes:
-            platform = node.spec.platform or ""
-            if platform in self.config.indexer_rates:
-                self._indexer_fleet_sizes[platform] = (
-                    self._indexer_fleet_sizes.get(platform, 0) + 1
-                )
-        self.stats = {
-            "downloads": 0,
-            "publishes": 0,
-            "bitswap_hits": 0,
-            "dht_walks": 0,
-            "amplified_walks": 0,
-        }
-
-    # ------------------------------------------------------------------
-    # capture helpers
-    # ------------------------------------------------------------------
-
-    def _network_size(self) -> int:
-        return max(len(self.overlay.oracle), 1)
-
-    def _capture(self, walk_messages: int) -> int:
-        return self.hydra.capture_count(walk_messages, self._network_size(), self.rng)
-
-    def _log_dht(
-        self,
-        node: Node,
-        message_type: MessageType,
-        cid: Optional[CID],
-        walk_messages: int,
-        via_relay=None,
-    ) -> None:
-        """Log the captured subset of a walk's messages at the Hydra."""
-        captured = self._capture(walk_messages)
-        if captured <= 0 or node.peer is None or not node.ips:
-            return
-        now = self.overlay.now
-        # Pre-formatted per-node address strings; ``choice`` draws on
-        # indexes only, so this is bit-identical to formatting per draw.
-        ip_strs = node.ip_strs()
-        for _ in range(captured):
-            # Multihomed nodes originate requests from any of their
-            # announced interfaces.
-            sender_ip = self.rng.choice(ip_strs)
-            self.hydra.record(
-                timestamp=now,
-                sender=node.peer,
-                sender_ip=sender_ip,
-                message_type=message_type,
-                target_cid=cid,
-                via_relay=via_relay,
-            )
-
-    # ------------------------------------------------------------------
-    # the three activity types
-    # ------------------------------------------------------------------
-
-    def download(self, node: Node) -> None:
-        """One content retrieval: Bitswap broadcast, then DHT on miss."""
-        config = self.config
-        self.stats["downloads"] += 1
-        missing_prob = config.missing_content_prob
-        if node.node_class is NodeClass.GATEWAY:
-            # Gateway URLs mostly reference content that exists; dead-CID
-            # requests are a fringe of their HTTP traffic.
-            missing_prob *= 0.3
-        missing = self.rng.random() < missing_prob
-        item = None if missing else self.catalog.sample_request(self.rng)
-        cid = CID.generate(self.rng) if item is None else item.cid
-        is_indexer = node.spec.platform in config.indexer_rates
-
-        if is_indexer:
-            # Automated resolvers query the DHT directly, never Bitswap,
-            # and do not become providers.
-            self.stats["dht_walks"] += 1
-            self._log_dht(node, MessageType.GET_PROVIDERS, cid, config.download_walk_contacts)
-            self._hydra_amplification(cid)
-            return
-
-        self.monitor.observe_broadcast(self.overlay.now, node, cid)
-
-        hit_prob = config.bitswap_hit_probs[node.node_class]
-        if node.node_class is NodeClass.GATEWAY and item is not None and isinstance(
-            item.publisher, str
-        ):
-            hit_prob = config.gateway_platform_hit_prob
-        if item is not None and self.rng.random() < hit_prob:
-            self.stats["bitswap_hits"] += 1
-            self._maybe_reprovide(node, cid)
-            return
-
-        # DHT walk (FindProviders).
-        self.stats["dht_walks"] += 1
-        self._log_dht(node, MessageType.GET_PROVIDERS, cid, config.download_walk_contacts)
-        self._hydra_amplification(cid)
-
-        if item is not None and self.overlay.providers.has_records(cid, self.overlay.now):
-            self._maybe_reprovide(node, cid)
-
-    def _hydra_amplification(self, cid: CID) -> None:
-        """Protocol-Labs hydra heads proactively look up cache misses."""
-        config = self.config
-        if not self._pl_hydra_nodes:
-            return
-        if self.rng.random() >= config.hydra_fleet_visibility:
-            return
-        now = self.overlay.now
-        last = self._amp_cache.get(cid)
-        if last is not None and now - last < config.hydra_cache_ttl:
-            return  # fleet cache hit: no proactive lookup
-        self._amp_cache[cid] = now
-        walks = int(config.hydra_amplification_walks)
-        if self.rng.random() < config.hydra_amplification_walks - walks:
-            walks += 1
-        for _ in range(walks):
-            hydra_node = self.rng.choice(self._pl_hydra_nodes)
-            if hydra_node.online:
-                self.stats["amplified_walks"] += 1
-                self._log_dht(
-                    hydra_node, MessageType.GET_PROVIDERS, cid, config.download_walk_contacts
-                )
-
-    def induced_amplification(self, cid: CID, rng: random.Random) -> List[Node]:
-        """Fleet lookups triggered by a request aimed *at* the fleet.
-
-        The adversarial variant of :meth:`_hydra_amplification`: an
-        attacker sends its cache-missing request straight to the PL
-        hydra heads (the §5 amplification vector), so no visibility draw
-        applies, and all randomness comes from the caller's attack RNG —
-        the honest engine stream is untouched.  Returns the online fleet
-        nodes that launched a walk; the caller logs their traffic and
-        tags them as induced actors in the ground truth.
-        """
-        config = self.config
-        if not self._pl_hydra_nodes:
-            return []
-        now = self.overlay.now
-        last = self._amp_cache.get(cid)
-        if last is not None and now - last < config.hydra_cache_ttl:
-            return []
-        self._amp_cache[cid] = now
-        walks = int(config.hydra_amplification_walks)
-        if rng.random() < config.hydra_amplification_walks - walks:
-            walks += 1
-        launched = []
-        for _ in range(walks):
-            hydra_node = rng.choice(self._pl_hydra_nodes)
-            if hydra_node.online:
-                self.stats["amplified_walks"] += 1
-                launched.append(hydra_node)
-        return launched
-
-    def _maybe_reprovide(self, node: Node, cid: CID) -> None:
-        if self.rng.random() >= self.config.reprovide_probs[node.node_class]:
-            return
-        self.publish(node, cid=cid, fresh=False)
-
-    def publish(self, node: Node, cid: Optional[CID] = None, fresh: bool = True) -> None:
-        """One Provide(): store the record, log the advertisement walk."""
-        if not node.online:
-            return
-        if cid is None:
-            item = self.catalog.mint_user_item(self.overlay_clock_day, node.spec.index)
-            cid = item.cid
-            if fresh and self.rng.random() < self.config.user_pin_prob:
-                self._pin_at_platform(cid)
-        record = self.overlay.publish_provider_record(node, cid)
-        if record is None:
-            return
-        while len(node.provided_cids) > self.config.max_provided_cids:
-            node.provided_cids.pop_oldest()
-        self.stats["publishes"] += 1
-        via_relay = None
-        if not node.is_dht_server and node.relay is not None:
-            via_relay = node.relay.peer
-        self._log_dht(
-            node, MessageType.ADD_PROVIDER, cid, self.config.advert_walk_contacts, via_relay
+def __getattr__(name: str):
+    if name in _MOVED:
+        warnings.warn(
+            f"repro.content.workload.{name} moved to repro.workload; "
+            "update the import (this alias will be removed)",
+            DeprecationWarning,
+            stacklevel=2,
         )
+        import repro.workload as _workload
 
-    def _pin_at_platform(self, cid: CID) -> None:
-        """Ingest a user upload at a random pinning/storage platform."""
-        candidates = self._pin_candidates()
-        if not candidates:
-            return
-        pinner = self.rng.choice(candidates)
-        self._platform_pins.setdefault(pinner, OrderedCIDSet()).add(cid)
-        self.overlay.publish_provider_record(pinner, cid)
-
-    def _pin_candidates(self) -> List[Node]:
-        """Online pinning/storage platform nodes, in spec order."""
-        return [
-            node
-            for node in self.overlay.nodes
-            if node.online
-            and node.spec.platform is not None
-            and node.node_class is NodeClass.PLATFORM
-            and node.spec.platform not in self.config.indexer_rates
-            and node.spec.platform != "hydra"
-        ]
-
-    def _platform_nodes(self, name: str) -> List[Node]:
-        """A platform's online nodes, in spec order."""
-        return [
-            node
-            for node in self.overlay.nodes
-            if node.spec.platform == name and node.online
-        ]
-
-    def other_walk(self, node: Node) -> None:
-        """Join/maintenance FIND_NODE traffic (the §5 'other' 3 %)."""
-        if node.peer is None or not node.ips:
-            return
-        self._log_dht(
-            node, MessageType.FIND_NODE, None, self.config.other_walk_contacts
-        )
-
-    # ------------------------------------------------------------------
-    # daily driver
-    # ------------------------------------------------------------------
-
-    def seed_platform_content(self) -> None:
-        """Mint and provide each storage platform's pinned set (day 0)."""
-        scale = len(self.overlay.oracle) / 2500.0
-        for platform in self.overlay.world.profile.platforms:
-            if platform.role not in ("storage", "pinning"):
-                continue
-            size = max(
-                100, int(self.config.platform_set_size * scale * platform.pinned_set_scale)
-            )
-            items = self.catalog.mint_platform_set(
-                platform.name, size, weight_scale=self.config.platform_weight_scale
-            )
-            online_nodes = [
-                node
-                for node in self.overlay.nodes
-                if node.spec.platform == platform.name and node.online
-            ]
-            if not online_nodes:
-                continue
-            replicas = min(self.config.platform_replicas, len(online_nodes))
-            coprovider_pools = {
-                cls: self.overlay.nodes_of_class(cls)
-                for cls in self.config.coprovider_class_weights
-            }
-            classes = list(self.config.coprovider_class_weights)
-            weights = [self.config.coprovider_class_weights[cls] for cls in classes]
-            for item in items:
-                for node in self.rng.sample(online_nodes, replicas):
-                    self.overlay.publish_provider_record(node, item.cid)
-                # The original uploader often keeps providing the item
-                # alongside the pinning service.
-                if self.rng.random() < self.config.platform_coprovider_prob:
-                    pool = coprovider_pools[self.rng.choices(classes, weights=weights)[0]]
-                    if pool:
-                        uploader = self.rng.choice(pool)
-                        uploader.provided_cids.add(item.cid)
-                        if uploader.online:
-                            self.overlay.publish_provider_record(uploader, item.cid)
-
-    def platform_reprovide_pass(self) -> None:
-        """Daily re-announcement of every pinned CID by storage platforms.
-
-        Records are refreshed exactly; the Hydra log receives the
-        capture-sampled share of the advertisement walks.
-        """
-        for platform in self.overlay.world.profile.platforms:
-            if platform.role not in ("storage", "pinning"):
-                continue
-            items = self.catalog.platform_items(platform.name)
-            if not items:
-                continue
-            nodes = self._platform_nodes(platform.name)
-            if not nodes:
-                continue
-            share = self.config.platform_reprovide_share
-            for item in items:
-                if share < 1.0 and self.rng.random() >= share:
-                    continue
-                node = self.rng.choice(nodes)
-                self.overlay.publish_provider_record(node, item.cid)
-                self._log_dht(
-                    node,
-                    MessageType.ADD_PROVIDER,
-                    item.cid,
-                    self.config.advert_walk_contacts,
-                )
-        # Pinned user uploads are re-announced by their pinning node.
-        day = self.overlay_clock_day
-        for node, cids in self._platform_pins.items():
-            if not node.online:
-                continue
-            for cid in list(cids):
-                item = self.catalog.by_cid.get(cid)
-                if item is not None and not item.alive_on(day):
-                    cids.discard(cid)
-                    continue
-                self.overlay.publish_provider_record(node, cid)
-                self._log_dht(
-                    node, MessageType.ADD_PROVIDER, cid, self.config.advert_walk_contacts
-                )
-
-    def user_reprovide_pass(self) -> None:
-        """Daily re-announcement of previously provided content.
-
-        Real IPFS nodes re-provide everything in their provider store
-        every 12-24 h; this is what keeps user content resolvable beyond
-        the 24 h record TTL and a large source of advertisement traffic.
-        """
-        config = self.config
-        for node in list(self.overlay.online_by_peer.values()):
-            if node.node_class in (NodeClass.PLATFORM, NodeClass.GATEWAY):
-                continue  # platforms have their own pass; gateways cache
-            if not node.provided_cids:
-                continue
-            self._user_reprovide_node(node, config)
-
-    def _user_reprovide_node(self, node: Node, config: WorkloadConfig) -> None:
-        """Re-announce one node's provided set (shared by both engines)."""
-        cids = list(node.provided_cids)
-        if len(cids) > config.daily_reprovide_sample:
-            cids = self.rng.sample(cids, config.daily_reprovide_sample)
-        for cid in cids:
-            item = self.catalog.by_cid.get(cid)
-            if item is not None and not item.alive_on(self.overlay_clock_day):
-                node.provided_cids.discard(cid)
-                continue
-            self.publish(node, cid=cid, fresh=False)
-
-    @property
-    def overlay_clock_day(self) -> int:
-        return self.overlay.scheduler.clock.day
-
-    def run_tick(self, hours: float) -> None:
-        """Generate ``hours`` worth of traffic from the current online set."""
-        config = self.config
-        online = list(self.overlay.online_by_peer.values())
-        # Gateways serve the web-user population: their volume grows with
-        # the network, not with the (fixed, 119-node) gateway fleet.
-        gateway_scale = max(len(self.overlay.oracle), 1) / 2500.0
-        for node in online:
-            weight = node.spec.activity_weight
-            platform = node.spec.platform or ""
-            if platform in config.indexer_rates:
-                fleet = self._indexer_fleet_sizes.get(platform, 1)
-                rate = config.indexer_rates[platform] / fleet * gateway_scale * hours
-            else:
-                rate = config.request_rates[node.node_class] * weight * hours
-                if node.node_class is NodeClass.GATEWAY:
-                    rate *= gateway_scale * config.gateway_rate_multipliers.get(
-                        platform, 1.0
-                    )
-            for _ in range(_poisson(rate, self.rng)):
-                self.download(node)
-            rate = config.publish_rates[node.node_class] * weight * hours
-            for _ in range(_poisson(rate, self.rng)):
-                self.publish(node)
-        # Join / maintenance traffic.
-        servers = [node for node in online if node.is_dht_server]
-        if servers:
-            walks = _poisson(config.other_rate * len(servers) * hours, self.rng)
-            for _ in range(walks):
-                self.other_walk(self.rng.choice(servers))
-
-    def run_day(self, ticks_per_day: int = 4) -> None:
-        """One simulated day: index content, re-provide, then traffic ticks
-        interleaved with the churn events on the scheduler."""
-        day = self.overlay_clock_day
-        self.catalog.build_day_index(day)
-        self.platform_reprovide_pass()
-        self.user_reprovide_pass()
-        hours = 24.0 / ticks_per_day
-        for _ in range(ticks_per_day):
-            target = self.overlay.now + hours * SECONDS_PER_HOUR
-            self.run_tick(hours)
-            self.overlay.scheduler.run_until(min(target, (day + 1) * SECONDS_PER_DAY))
+        return getattr(_workload, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
-class VectorizedTrafficEngine(TrafficEngine):
-    """The SoA tick engine: :meth:`TrafficEngine.run_tick`, batched.
-
-    Bit-identical to the scalar engine by construction (and pinned by
-    ``tests/test_tick_parity.py``): every RNG draw happens in the same
-    order with the same values, every decision-bearing float is computed
-    with the scalar code's operation ordering and libm.  Three batched
-    strategies, picked per tick:
-
-    * **Rate precomputation** (always): per-node request/publish rates
-      become two array gathers instead of per-node dict lookups and
-      class checks.
-    * **Scalar dispatch over precomputed rates** (busy regimes): when the
-      expected share of fully-silent nodes is small, per-node event
-      generation dominates and batching the silence test cannot win, so
-      the tick loops over the precomputed rate lists directly.
-    * **Batched silence classification** (quiet regimes, e.g. many ticks
-      per day or low-rate sweeps): a Poisson draw with rate ``m`` yields
-      zero events iff its first uniform is ``<= exp(-m)``, consuming
-      exactly one draw.  The engine pre-draws a window's worth of those
-      uniforms from the engine RNG itself, classifies the whole window
-      with one vector compare, and — only when the window contains a
-      non-silent node — rewinds via ``getstate``/``setstate`` and replays
-      up to that node's exact stream position before running its
-      unmodified scalar body.  Draw-for-draw identical to the scalar
-      loop; an all-silent window needs no rewind at all.
-    """
-
-    #: Below this expected share of fully-silent nodes the batched
-    #: classifier cannot win (nearly every node triggers a rewind and
-    #: runs the scalar body anyway), so the tick dispatches over
-    #: precomputed rates instead.
-    MIN_SILENT_SHARE = 0.9
-    #: Hard bounds for the adaptive scan window (sized to the expected
-    #: gap between non-silent nodes, so a rewind rarely discards more
-    #: than one window of pre-drawn uniforms).
-    MIN_SCAN_WINDOW = 64
-    MAX_SCAN_WINDOW = 4096
-
-    def __init__(self, *args, **kwargs) -> None:
-        super().__init__(*args, **kwargs)
-        require_numpy("VectorizedTrafficEngine")
-        soa_state = getattr(self.overlay, "soa", None)
-        if soa_state is None:
-            raise RuntimeError(
-                "VectorizedTrafficEngine requires an Overlay with SoA state "
-                "(constructed while numpy is available)"
-            )
-        self._soa = soa_state
-        self._platform_code = CLASS_CODE[NodeClass.PLATFORM]
-        self._gateway_code = CLASS_CODE[NodeClass.GATEWAY]
-        self._static_n = -1
-        self._limit_cache: Dict[float, tuple] = {}
-        self._pin_epoch = -1
-        self._pin_cache: List[Node] = []
-        self._rebuild_static()
-
-    # -- static per-spec arrays ----------------------------------------
-
-    def _rebuild_static(self) -> None:
-        """(Re)derive the per-spec rate arrays from config + population.
-
-        Cheap enough to re-run whenever the population grows (attack
-        injection); the indexer fleet sizes deliberately stay frozen at
-        engine construction, exactly like the scalar engine's.
-        """
-        soa = self._soa
-        config = self.config
-        n = soa.size
-        codes = soa.class_code[:n]
-        class_req = np.array(
-            [config.request_rates.get(cls, 0.0) for cls in CLASS_ORDER],
-            dtype=np.float64,
-        )
-        class_pub = np.array(
-            [config.publish_rates.get(cls, 0.0) for cls in CLASS_ORDER],
-            dtype=np.float64,
-        )
-        weights = soa.activity_weight[:n]
-        # Same float op as the scalar ``rate * weight`` per node.
-        self._rw_req = class_req[codes] * weights
-        self._rw_pub = class_pub[codes] * weights
-        gw_mult = np.ones(n, dtype=np.float64)
-        is_ix = np.zeros(n, dtype=bool)
-        ix_base = np.zeros(n, dtype=np.float64)
-        pinnable = np.zeros(n, dtype=bool)
-        platform_id: Dict[str, int] = {}
-        platform_codes = np.zeros(n, dtype=np.int32)
-        for node in self.overlay.nodes:
-            spec = node.spec
-            platform = spec.platform or ""
-            if spec.platform is not None:
-                platform_codes[spec.index] = platform_id.setdefault(
-                    platform, len(platform_id) + 1
-                )
-            if platform in config.indexer_rates:
-                is_ix[spec.index] = True
-                fleet = self._indexer_fleet_sizes.get(platform, 1)
-                ix_base[spec.index] = config.indexer_rates[platform] / fleet
-            else:
-                if spec.node_class is NodeClass.GATEWAY:
-                    gw_mult[spec.index] = config.gateway_rate_multipliers.get(
-                        platform, 1.0
-                    )
-                if (
-                    spec.platform is not None
-                    and spec.node_class is NodeClass.PLATFORM
-                    and platform != "hydra"
-                ):
-                    pinnable[spec.index] = True
-        self._gw_mult = gw_mult
-        self._is_ix = is_ix
-        self._ix_base = ix_base
-        self._is_gw = (codes == self._gateway_code) & ~is_ix
-        self._pinnable = pinnable
-        self._platform_id = platform_id
-        self._platform_codes = platform_codes
-        self._static_n = n
-        self._limit_cache.clear()
-        self._pin_epoch = -1
-
-    def _limits(self, hours: float):
-        """Per-spec silence thresholds ``exp(-rate)`` for static rates.
-
-        Computed with ``math.exp`` — numpy's SIMD ``exp`` can differ by
-        1 ulp, which would flip silence decisions.  Rates outside
-        ``(0, 30]`` get a placeholder (zero-rate nodes draw nothing;
-        ``> 30`` nodes are forced down the scalar fallback).
-        """
-        cached = self._limit_cache.get(hours)
-        if cached is None:
-            exp = math.exp
-            req = (self._rw_req * hours).tolist()
-            pub = (self._rw_pub * hours).tolist()
-            limq = np.array(
-                [exp(-r) if 0.0 < r <= 30.0 else 1.0 for r in req], dtype=np.float64
-            )
-            limp = np.array(
-                [exp(-p) if 0.0 < p <= 30.0 else 1.0 for p in pub], dtype=np.float64
-            )
-            self._limit_cache[hours] = cached = (limq, limp)
-        return cached
-
-    # -- the batched tick ----------------------------------------------
-
-    def run_tick(self, hours: float) -> None:
-        soa = self._soa
-        if soa.size != self._static_n:
-            self._rebuild_static()
-        overlay = self.overlay
-        config = self.config
-        indices = soa.online_indices()
-        n = int(indices.shape[0])
-        nodes_all = overlay.nodes
-        gateway_scale = max(len(overlay.oracle), 1) / 2500.0
-        server_mask = None
-        if n:
-            # Per-node rates with the scalar engine's exact float op order:
-            # normal nodes   (r*w)*hours
-            # gateways       ((r*w)*hours) * (gateway_scale*mult)
-            # indexers       ((rate/fleet)*gateway_scale) * hours
-            req = self._rw_req[indices] * hours
-            gw = self._is_gw[indices]
-            if gw.any():
-                req[gw] = req[gw] * (gateway_scale * self._gw_mult[indices[gw]])
-            ix = self._is_ix[indices]
-            if ix.any():
-                req[ix] = (self._ix_base[indices[ix]] * gateway_scale) * hours
-            pub = self._rw_pub[indices] * hours
-            server_mask = soa.is_server[indices]
-            # Heuristic only (never decision-bearing per node): expected
-            # share of nodes with zero events this tick.
-            expected_silent = float(np.mean(np.exp(-np.minimum(req + pub, 50.0))))
-            if expected_silent < self.MIN_SILENT_SHARE:
-                rng = self.rng
-                req_list = req.tolist()
-                pub_list = pub.tolist()
-                index_list = indices.tolist()
-                for position in range(n):
-                    node = nodes_all[index_list[position]]
-                    for _ in range(_poisson(req_list[position], rng)):
-                        self.download(node)
-                    for _ in range(_poisson(pub_list[position], rng)):
-                        self.publish(node)
-            else:
-                limq_all, limp_all = self._limits(hours)
-                limq = limq_all[indices]
-                limp = limp_all[indices]
-                dynamic = gw | ix
-                if dynamic.any():
-                    exp = math.exp
-                    for position in np.nonzero(dynamic)[0].tolist():
-                        rate = float(req[position])
-                        limq[position] = exp(-rate) if 0.0 < rate <= 30.0 else 1.0
-                big = (req > 30.0) | (pub > 30.0)
-                self._run_tick_batched(
-                    indices, req, pub, limq, limp, big, expected_silent
-                )
-        # Join / maintenance traffic (scalar semantics; the server list is
-        # the registry-order subsequence the scalar filter would build).
-        if n and server_mask.any():
-            servers = [nodes_all[i] for i in indices[server_mask].tolist()]
-            walks = _poisson(config.other_rate * len(servers) * hours, self.rng)
-            for _ in range(walks):
-                self.other_walk(self.rng.choice(servers))
-
-    def _run_tick_batched(
-        self, indices, req, pub, limq, limp, big, expected_silent
-    ) -> None:
-        """Silence-classify whole windows; scalar-replay the active nodes.
-
-        A silent node consumes exactly one uniform per positive rate
-        (the Knuth loop exits on its first draw), so every node's stream
-        position within a window is a prefix sum of per-node draw counts.
-        The window's uniforms are drawn straight from the engine RNG (so
-        an all-silent window leaves the stream exactly where the scalar
-        loop would — no state surgery at all); when a window does hold a
-        non-silent node, the RNG is rewound to the window-start snapshot,
-        replayed up to that node's position, and the unmodified scalar
-        body runs.  The window is sized to the expected gap between
-        non-silent nodes so a rewind rarely discards more than one
-        window of pre-drawn uniforms.
-        """
-        rng = self.rng
-        rnd = rng.random
-        nodes_all = self.overlay.nodes
-        n = int(indices.shape[0])
-        req_positive = req > 0.0
-        pub_positive = pub > 0.0
-        draws = req_positive.astype(np.int64)
-        draws += pub_positive
-        starts = np.zeros(n + 1, dtype=np.int64)
-        np.cumsum(draws, out=starts[1:])
-        window = min(
-            self.MAX_SCAN_WINDOW,
-            max(self.MIN_SCAN_WINDOW, int(1.0 / max(1.0 - expected_silent, 1e-9))),
-        )
-        i = 0
-        while i < n:
-            take = min(n - i, window)
-            end = i + take
-            base = int(starts[i])
-            need = int(starts[end]) - base
-            if need == 0:  # a run of zero-rate nodes: no draws, no events
-                i = end
-                continue
-            snapshot = rng.getstate()
-            buffer = np.array([rnd() for _ in range(need)], dtype=np.float64)
-            offsets = starts[i:end] - base
-            silent = np.ones(take, dtype=bool)
-            rmask = req_positive[i:end]
-            if rmask.any():
-                silent[rmask] = buffer[offsets[rmask]] <= limq[i:end][rmask]
-            pmask = pub_positive[i:end]
-            if pmask.any():
-                # The publish draw is the second draw when a request
-                # draw precedes it.
-                pub_offsets = offsets + rmask
-                silent[pmask] &= buffer[pub_offsets[pmask]] <= limp[i:end][pmask]
-            forced = big[i:end]
-            if forced.any():
-                # mean > 30 takes the gauss path: always the scalar body.
-                silent[forced] = False
-            if silent.all():
-                # The stream has advanced past exactly these nodes'
-                # silence draws — identical to the scalar loop.
-                i = end
-                continue
-            active = i + int(np.argmin(silent))
-            rng.setstate(snapshot)
-            for _ in range(int(starts[active]) - base):
-                rnd()
-            node = nodes_all[int(indices[active])]
-            for _ in range(_poisson(float(req[active]), rng)):
-                self.download(node)
-            for _ in range(_poisson(float(pub[active]), rng)):
-                self.publish(node)
-            i = active + 1
-
-    # -- RNG-free node scans, as array selections ------------------------
-
-    def _pin_candidates(self) -> List[Node]:
-        """Epoch-cached array selection of the scalar scan (spec order;
-        ``choice`` draws on the list length only, so same-length lists in
-        the same order are bit-identical)."""
-        soa = self._soa
-        if soa.size != self._static_n:
-            self._rebuild_static()
-        if soa.epoch != self._pin_epoch:
-            n = self._static_n
-            nodes_all = self.overlay.nodes
-            mask = self._pinnable & soa.online[:n]
-            self._pin_cache = [nodes_all[i] for i in np.nonzero(mask)[0].tolist()]
-            self._pin_epoch = soa.epoch
-        return self._pin_cache
-
-    def _platform_nodes(self, name: str) -> List[Node]:
-        soa = self._soa
-        if soa.size != self._static_n:
-            self._rebuild_static()
-        code = self._platform_id.get(name)
-        if code is None:
-            return []
-        mask = (self._platform_codes == code) & soa.online[: self._static_n]
-        nodes_all = self.overlay.nodes
-        return [nodes_all[i] for i in np.nonzero(mask)[0].tolist()]
-
-    # -- daily passes ----------------------------------------------------
-
-    def user_reprovide_pass(self) -> None:
-        """Scalar pass with the platform/gateway skip as an array filter
-        (those skips draw no RNG, so prefiltering is bit-identical)."""
-        soa = self._soa
-        if soa.size != self._static_n:
-            self._rebuild_static()
-        config = self.config
-        indices = soa.online_indices()
-        if not int(indices.shape[0]):
-            return
-        codes = soa.class_code[indices]
-        keep = (codes != self._platform_code) & (codes != self._gateway_code)
-        nodes_all = self.overlay.nodes
-        for index in indices[keep].tolist():
-            node = nodes_all[index]
-            if not node.provided_cids:
-                continue
-            self._user_reprovide_node(node, config)
-
-
-def _poisson(mean: float, rng: random.Random) -> int:
-    """Poisson sample (Knuth for small means, normal approx for large)."""
-    if mean <= 0.0:
-        return 0
-    if mean > 30.0:
-        value = int(rng.gauss(mean, mean ** 0.5) + 0.5)
-        return max(0, value)
-    limit = math.exp(-mean)
-    count = 0
-    product = rng.random()
-    while product > limit:
-        count += 1
-        product *= rng.random()
-    return count
+def __dir__():
+    return sorted(_MOVED)

@@ -86,7 +86,7 @@ class HydraBooster:
             return 0
         mean = probability * walk_messages
         if probability < 0.2:
-            from repro.content.workload import _poisson
+            from repro.workload.engine import _poisson
 
             return min(walk_messages, _poisson(mean, rng))
         count = 0

@@ -199,6 +199,20 @@ class MirroredRandom:
         self.py.setstate((3, internal, self._gauss_next))
         self.attached = False
 
+    def take(self, n: int):
+        """One-shot bulk draw: exactly the next ``n`` Python uniforms.
+
+        The attach → draw → re-sync round trip as a single call, for
+        callers (e.g. the open-loop workload driver) that consume a
+        known count up front rather than scanning an open-ended buffer.
+        """
+        if n <= 0:
+            return np.empty(0, dtype=np.float64)
+        self.attach()
+        values = self.uniforms(n)[:n].copy()
+        self.sync_python_to(n)
+        return values
+
 
 class SoAState:
     """Struct-of-arrays mirror of the node population.

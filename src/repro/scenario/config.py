@@ -6,7 +6,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
 
 from repro.attack.config import AttackConfig
-from repro.content.workload import WorkloadConfig
+from repro.workload.engine import WorkloadConfig
 from repro.dns.seeding import DNSLinkSeedConfig
 from repro.ens.seeding import ENSSeedConfig
 from repro.world.profiles import WorldProfile
@@ -37,6 +37,11 @@ class ScenarioConfig:
     hydra_heads: int = 20
     gateway_probes_per_endpoint: int = 60
     workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+    #: request-generation model (see :mod:`repro.workload.spec`):
+    #: ``"closed"`` keeps the legacy per-node Poisson workload (the
+    #: golden default — no extra RNG draws, bit-identical campaigns);
+    #: ``"zipf:users=1e6,..."`` attaches the open-loop session driver.
+    workload_spec: str = "closed"
     dns: DNSLinkSeedConfig = field(default_factory=DNSLinkSeedConfig)
     ens: ENSSeedConfig = field(default_factory=ENSSeedConfig)
     #: disable the content workload for crawl-only campaigns (the cheap

@@ -16,7 +16,8 @@ from typing import Dict, List, Optional, Set
 
 from repro.attack.orchestrator import AttackOrchestrator
 from repro.content.catalog import ContentCatalog
-from repro.content.workload import TrafficEngine, VectorizedTrafficEngine
+from repro.workload.engine import TrafficEngine, VectorizedTrafficEngine
+from repro.workload.spec import build_workload
 from repro.core.crawler import (
     CrawlDataset,
     DHTCrawler,
@@ -210,6 +211,12 @@ class MeasurementCampaign:
         self.engine = engine_cls(
             self.overlay, self.catalog, self.hydra, self.monitor, config.workload
         )
+        # Optional open-loop session driver (see repro.workload.spec).
+        # "closed" builds nothing: the engine keeps its legacy per-node
+        # model and the campaign stays bit-identical to the goldens.
+        workload_driver = build_workload(config.workload_spec, seed=config.seed)
+        if workload_driver is not None:
+            self.engine.attach_open_loop(workload_driver)
         # Attackers are injected after ChurnProcess.start(), so their
         # sessions answer to the attack windows alone, never to churn.
         self.attack_orchestrator: Optional[AttackOrchestrator] = None
@@ -284,6 +291,20 @@ class MeasurementCampaign:
             self.obs.set_gauge("campaign.bitswap_log_entries", len(self.monitor.log))
             for name, value in self.engine.stats.items():
                 self.obs.set_gauge(f"workload.{name}", value)
+            driver = self.engine.open_loop
+            if driver is not None:
+                # The session driver's stream statistics ride the same
+                # namespace, so `repro obs report` shows the closed-loop
+                # engine counters and the open-loop session/popularity
+                # stats side by side.
+                for name, value in driver.stats.items():
+                    self.obs.set_gauge(f"workload.{name}", value)
+                for cls_name, value in driver.requests_by_class.items():
+                    self.obs.set_gauge(
+                        f"workload.requests_class.{cls_name.lower()}", value
+                    )
+                for name, value in driver.headline_shares().items():
+                    self.obs.set_gauge(f"workload.{name}", value)
             result.metrics = self.obs.snapshot()
         if self.config.trace:
             # Main tracer first (meta + campaign-process events), then

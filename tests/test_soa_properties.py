@@ -24,7 +24,7 @@ from repro.ids.peerid import PeerID
 from repro.netsim.clock import SECONDS_PER_HOUR, Clock, EventScheduler
 from repro.netsim.oracle import KeyspaceOracle
 from repro.netsim.soa import HAVE_NUMPY, MirroredRandom, SoAState
-from repro.content.workload import _poisson
+from repro.workload import _poisson
 from repro.world.population import build_world
 from repro.world.profiles import WorldProfile
 

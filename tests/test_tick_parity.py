@@ -2,7 +2,7 @@
 
 The contract under test is the strongest one the repo makes about the
 struct-of-arrays engine (``repro.netsim.soa`` +
-``repro.content.workload.VectorizedTrafficEngine``): with the same
+``repro.workload.VectorizedTrafficEngine``): with the same
 ``ScenarioConfig.seed``, a campaign run with ``engine="scalar"`` and one
 run with ``engine="soa"`` are **bit-identical** — every monitor-log
 record, every crawl snapshot, every figure input, the attack ground
@@ -23,7 +23,7 @@ import pytest
 np = pytest.importorskip("numpy")
 
 from repro.content.catalog import ContentCatalog
-from repro.content.workload import TrafficEngine, VectorizedTrafficEngine
+from repro.workload import TrafficEngine, VectorizedTrafficEngine
 from repro.monitors.bitswap_monitor import BitswapMonitor
 from repro.monitors.hydra import HydraBooster
 from repro.netsim.network import Overlay

@@ -5,7 +5,7 @@ import random
 import pytest
 
 from repro.content.catalog import ContentCatalog
-from repro.content.workload import TrafficEngine, WorkloadConfig, _poisson
+from repro.workload import TrafficEngine, WorkloadConfig, _poisson
 from repro.ids.cid import CID
 from repro.kademlia.messages import TrafficClass
 from repro.monitors.bitswap_monitor import BitswapMonitor
