@@ -11,6 +11,10 @@
     python -m repro store stats out/hydra.jsonl --kind hydra
     python -m repro store convert out/hydra.jsonl out/hydra.sqlite
     python -m repro obs report out/metrics.jsonl --format json --top 10
+    python -m repro campaign --stream --sketches-out out/sketches.json
+    python -m repro campaign --live --progress
+    python -m repro obs serve --addr 127.0.0.1:0 --announce out/url.txt
+    python -m repro obs report http://127.0.0.1:8377 --watch 2
     python -m repro obs audit out/run.trace
     python -m repro obs trace-export out/run.trace --perfetto out/run.json
     python -m repro campaign --attack sybil-eclipse --detect
@@ -141,6 +145,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="render a live single-line progress heartbeat on stderr",
     )
     campaign.add_argument(
+        "--stream", action="store_true",
+        help="maintain streaming analytics sketches over the monitor "
+        "event stream and print the live-estimate summary (see "
+        "repro.obs.stream)",
+    )
+    campaign.add_argument(
+        "--sketches-out", metavar="PATH",
+        help="write the final sketch snapshot JSON to PATH (implies "
+        "--stream; render later with 'repro obs report PATH')",
+    )
+    campaign.add_argument(
+        "--live", nargs="?", const="127.0.0.1:8377", metavar="ADDR",
+        help="serve the live dashboard and control plane on ADDR "
+        "(default 127.0.0.1:8377; host:0 picks a free port; implies "
+        "--stream; see 'repro obs serve' for a standalone server)",
+    )
+    campaign.add_argument(
         "--workload", metavar="SPEC", default="closed",
         help="workload model: closed (legacy per-node Poisson, the "
         "golden default) or zipf:users=1e6,s=1.05,sessions=onoff,"
@@ -229,12 +250,55 @@ def build_parser() -> argparse.ArgumentParser:
     )
     obs_report = obs_commands.add_parser(
         "report", parents=[obs_output],
-        help="render a saved metrics snapshot as a summary table",
+        help="render a saved metrics snapshot or sketch snapshot — the "
+        "same renderer serves batch files and a live /sketches endpoint",
     )
-    obs_report.add_argument("path", help="metrics file (.jsonl, .sqlite, .db or .json)")
+    obs_report.add_argument(
+        "path",
+        help="metrics/sketches file (.jsonl, .sqlite, .db or .json) or a "
+        "live control-plane URL (http://host:port[/sketches])",
+    )
     obs_report.add_argument(
         "--top", type=int, metavar="N",
         help="only the N busiest entries per section (by count)",
+    )
+    obs_report.add_argument(
+        "--watch", type=float, metavar="SECONDS",
+        help="re-render every SECONDS (live view; stops when the "
+        "endpoint goes away or on Ctrl-C)",
+    )
+    obs_serve = obs_commands.add_parser(
+        "serve", parents=[exec_options],
+        help="run a campaign under the live control plane: dashboard at "
+        "/, JSON at /status /metrics /sketches, graceful stop at /stop",
+    )
+    obs_serve.add_argument(
+        "--addr", default="127.0.0.1:8377", metavar="HOST:PORT",
+        help="bind address (default 127.0.0.1:8377; host:0 picks a free port)",
+    )
+    obs_serve.add_argument(
+        "--preset", choices=("smoke", "default", "paper-horizon"), default="smoke"
+    )
+    obs_serve.add_argument("--servers", type=int, help="online DHT servers (overrides preset)")
+    obs_serve.add_argument("--days", type=int, help="measurement days (overrides preset)")
+    obs_serve.add_argument("--seed", type=int, help="override the scenario seed")
+    obs_serve.add_argument(
+        "--metrics", action="store_true",
+        help="also collect and publish the metrics snapshot on /metrics",
+    )
+    obs_serve.add_argument(
+        "--sketches-out", metavar="PATH",
+        help="write the final sketch snapshot JSON to PATH",
+    )
+    obs_serve.add_argument(
+        "--announce", metavar="FILE",
+        help="write the bound URL to FILE once serving (lets scripts "
+        "discover an OS-assigned port)",
+    )
+    obs_serve.add_argument(
+        "--hold", action="store_true",
+        help="keep serving the final snapshot after the campaign "
+        "completes, until /stop is requested",
     )
     obs_audit = obs_commands.add_parser(
         "audit", parents=[obs_output],
@@ -367,6 +431,19 @@ def _config_from_args(args) -> ScenarioConfig:
         import dataclasses
 
         config = dataclasses.replace(config, progress=True)
+    if (
+        getattr(args, "stream", False)
+        or getattr(args, "sketches_out", None)
+        or getattr(args, "live", None)
+    ):
+        import dataclasses
+
+        config = dataclasses.replace(
+            config,
+            stream=True,
+            sketches_out=getattr(args, "sketches_out", None),
+            live=getattr(args, "live", None),
+        )
     if getattr(args, "workload", "closed") not in (None, "closed"):
         import dataclasses
 
@@ -457,6 +534,15 @@ def _run_campaign_command(args) -> int:
             print(f"\ntrace: {len(result.trace)} records -> {result.trace_path}")
         else:
             print(f"\ntrace: {len(result.trace)} records (use --trace-out to persist)")
+    if result.sketches is not None:
+        from repro.obs import render_stream_report
+
+        if result.stopped_early:
+            print("\ncampaign stopped early via /stop", file=sys.stderr)
+        if result.sketches_path:
+            print(f"\nsketches -> {result.sketches_path}")
+        print("\n## streaming sketches")
+        print(render_stream_report(result.sketches))
     return 0
 
 
@@ -553,20 +639,13 @@ def _run_crawl_command(args) -> int:
 
 
 def _run_obs_command(args) -> int:
+    if args.obs_command == "serve":
+        return _run_obs_serve(args)
+    if args.obs_command == "report":
+        return _run_obs_report(args)
     if not Path(args.path).exists():
         print(f"error: no such file: {args.path}", file=sys.stderr)
         return 2
-    if args.obs_command == "report":
-        from repro.obs import read_metrics, render_report
-
-        snapshot = read_metrics(args.path)
-        if args.format == "json":
-            import json
-
-            print(json.dumps(_top_snapshot(snapshot, args.top), indent=2, sort_keys=True))
-        else:
-            print(render_report(snapshot, top=args.top))
-        return 0
     if args.obs_command == "audit":
         from repro.obs import audit_trace, read_trace
 
@@ -587,6 +666,112 @@ def _run_obs_command(args) -> int:
     count = write_chrome_trace(read_trace(args.path), args.perfetto)
     print(f"wrote {count} trace events -> {args.perfetto} (open in ui.perfetto.dev)")
     return 0
+
+
+def _load_obs_snapshot(path: str):
+    """Load a metrics or sketch snapshot from a file or a live URL."""
+    if path.startswith(("http://", "https://")):
+        from urllib.parse import urlparse
+
+        from repro.obs.serve import fetch_json
+
+        # A bare control-plane URL means the sketches endpoint.
+        if urlparse(path).path.rstrip("/") in ("", "/"):
+            path = path.rstrip("/") + "/sketches"
+        return fetch_json(path)
+    from repro.obs import read_metrics
+
+    return read_metrics(path)
+
+
+def _render_obs_snapshot(args, snapshot) -> None:
+    from repro.obs.stream import SKETCHES_SCHEMA, render_stream_report
+
+    if snapshot.get("schema") == SKETCHES_SCHEMA:
+        if args.format == "json":
+            import json
+
+            print(json.dumps(snapshot, indent=2, sort_keys=True))
+        else:
+            print(render_stream_report(snapshot))
+        return
+    from repro.obs import render_report
+
+    if args.format == "json":
+        import json
+
+        print(json.dumps(_top_snapshot(snapshot, args.top), indent=2, sort_keys=True))
+    else:
+        print(render_report(snapshot, top=args.top))
+
+
+def _run_obs_report(args) -> int:
+    import time
+    from urllib.error import URLError
+
+    is_url = args.path.startswith(("http://", "https://"))
+    if not is_url and not Path(args.path).exists():
+        print(f"error: no such file: {args.path}", file=sys.stderr)
+        return 2
+    if not args.watch:
+        _render_obs_snapshot(args, _load_obs_snapshot(args.path))
+        return 0
+    interval = max(0.1, args.watch)
+    try:
+        while True:
+            try:
+                snapshot = _load_obs_snapshot(args.path)
+            except (URLError, OSError) as exc:
+                print(f"endpoint gone ({exc}); stopping watch", file=sys.stderr)
+                return 0
+            if sys.stdout.isatty():
+                print("\x1b[H\x1b[2J", end="")
+            _render_obs_snapshot(args, snapshot)
+            print(f"-- watching {args.path} every {interval:g}s (Ctrl-C to stop)")
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+def _run_obs_serve(args) -> int:
+    import dataclasses
+    import time
+
+    from repro.scenario.run import MeasurementCampaign
+
+    config = _config_from_args(args)
+    config = dataclasses.replace(
+        config,
+        live=args.addr,
+        sketches_out=args.sketches_out,
+        stream=True,
+    )
+    campaign = MeasurementCampaign(config)
+    campaign.build()
+    url = campaign.control_server.url
+    if args.announce:
+        announce = Path(args.announce)
+        announce.parent.mkdir(parents=True, exist_ok=True)
+        announce.write_text(url + "\n")
+    try:
+        result = campaign.run()
+        if args.hold and not result.stopped_early:
+            print("campaign done; holding until /stop ...", file=sys.stderr)
+            while not campaign.control_server.publisher.stop_requested:
+                time.sleep(0.2)
+        state = "stopped early via /stop" if result.stopped_early else "done"
+        print(
+            f"campaign {state}: {result.sketches['events']:,} monitor events, "
+            f"{len(result.crawls)} crawls"
+        )
+        if result.sketches_path:
+            print(f"sketches -> {result.sketches_path}")
+        return 0
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+    finally:
+        campaign.close_live()
 
 
 def _top_snapshot(snapshot, top):

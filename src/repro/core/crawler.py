@@ -38,6 +38,7 @@ from repro.netsim.network import Overlay
 from repro.obs import metrics as obs
 from repro.obs import trace
 from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.obs.sketch import QuantileSketch
 from repro.obs.trace import DEFAULT_CAPACITY, Tracer, use_tracer
 
 #: The paper's crawl connection timeout (3 minutes).
@@ -397,6 +398,57 @@ def execute_crawl_task_traced(
     with use_registry(registry), use_tracer(tracer):
         snapshot = execute_crawl_task(task)
     return snapshot, registry.snapshot(), tracer.records()
+
+
+def crawl_stream_state(
+    snapshot: CrawlSnapshot, quantile_k: int = 256
+) -> Dict[str, object]:
+    """One crawl's contribution to the streaming sketches, as plain state.
+
+    The out-degree sketch (Fig. 7's CCDF quantity) is built in BFS
+    discovery order — the iteration order of ``snapshot.edges`` — so the
+    state is a pure function of the snapshot; the campaign merges the
+    per-crawl states in crawl order
+    (:meth:`repro.obs.stream.StreamAnalytics.merge_crawl_state`), making
+    the merged sketch bit-identical at any worker count.
+    """
+    degree = QuantileSketch(quantile_k)
+    for neighbors in snapshot.edges.values():
+        degree.update(float(len(neighbors)))
+    return {
+        "degree": degree.to_state(),
+        "crawls": 1,
+        "discovered": snapshot.num_discovered,
+        "crawlable": len(snapshot.edges),
+    }
+
+
+def execute_crawl_task_streamed(
+    task: CrawlTask,
+    with_metrics: bool = False,
+    with_trace: bool = False,
+    sample: int = 1,
+    capacity: int = DEFAULT_CAPACITY,
+):
+    """Run one crawl and additionally return its streaming sketch state.
+
+    Returns ``(snapshot, metrics_snapshot | None, trace_records | None,
+    stream_state)``.  The sketch state is derived from the finished
+    snapshot *after* the crawl — no extra randomness, no change to the
+    crawl itself — so streaming-on campaigns keep bit-identical crawl
+    datasets.
+    """
+    metrics_snapshot = None
+    trace_records = None
+    if with_trace:
+        snapshot, metrics_snapshot, trace_records = execute_crawl_task_traced(
+            task, sample, capacity
+        )
+    elif with_metrics:
+        snapshot, metrics_snapshot = execute_crawl_task_observed(task)
+    else:
+        snapshot = execute_crawl_task(task)
+    return snapshot, metrics_snapshot, trace_records, crawl_stream_state(snapshot)
 
 
 class DHTCrawler:

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.obs import metrics as obs
+from repro.obs import stream as obs_stream
 from repro.obs import trace
 from repro.obs.metrics import TIME_BUCKETS
 
@@ -134,6 +135,10 @@ class ParallelExecutor:
         if task_id in self._results:
             raise ValueError(f"duplicate task id: {task_id!r}")
         obs.inc("exec.tasks")
+        # Runtime notes feed the live /status endpoint only (see
+        # repro.obs.stream): completion order and retry counts are
+        # environment-dependent, so they never enter a deterministic view.
+        obs_stream.note("exec.submitted")
         if trace.get_tracer().enabled:
             trace.trace_event("exec.submit", task=str(task_id))
         if self.workers == 1:
@@ -149,6 +154,7 @@ class ParallelExecutor:
         for attempt in range(self.retries + 1):
             if attempt:
                 obs.inc("exec.retries")
+                obs_stream.note("exec.retries")
                 if trace.get_tracer().enabled:
                     trace.trace_event("exec.retry", task=str(task_id))
             started = time.perf_counter()
@@ -158,6 +164,7 @@ class ParallelExecutor:
                 last = exc
             else:
                 obs.observe("exec.task_seconds", time.perf_counter() - started, TIME_BUCKETS)
+                obs_stream.note("exec.completed")
                 if trace.get_tracer().enabled:
                     trace.trace_event("exec.done", task=str(task_id), attempts=attempt + 1)
                 return
@@ -172,6 +179,7 @@ class ParallelExecutor:
 
     def _resubmit(self, task_id: Hashable, fn: Callable, args: tuple, attempt: int) -> None:
         obs.inc("exec.retries")
+        obs_stream.note("exec.retries")
         if trace.get_tracer().enabled:
             trace.trace_event("exec.retry", task=str(task_id))
         future = self._ensure_pool().submit(fn, *args)
@@ -196,6 +204,7 @@ class ParallelExecutor:
                     obs.observe(
                         "exec.task_seconds", time.perf_counter() - submitted, TIME_BUCKETS
                     )
+                    obs_stream.note("exec.completed")
                     if trace.get_tracer().enabled:
                         trace.trace_event(
                             "exec.done", task=str(task_id), attempts=attempt

@@ -21,6 +21,7 @@ from repro.ids.cid import CID
 from repro.ids.peerid import PeerID
 from repro.netsim.node import Node
 from repro.obs import metrics as obs
+from repro.obs import stream as obs_stream
 from repro.obs import trace
 from repro.world.population import NodeClass
 
@@ -98,6 +99,7 @@ class BitswapMonitor:
                 cid=cid,
             )
         )
+        obs_stream.observe_bitswap(timestamp, node, cid)
         return True
 
     # -- derived datasets -------------------------------------------------------

@@ -22,6 +22,7 @@ from repro.ids.cid import CID
 from repro.ids.peerid import PeerID
 from repro.kademlia.messages import MessageEnvelope, MessageType, TrafficClass
 from repro.obs import metrics as obs
+from repro.obs import stream as obs_stream
 from repro.obs import trace
 
 if TYPE_CHECKING:  # pragma: no cover - the store imports us for the codec
@@ -120,6 +121,7 @@ class HydraBooster:
         )
         self.log.append(envelope)
         obs.inc("hydra.messages_logged")
+        obs_stream.observe_hydra(envelope)
         if trace.get_tracer().enabled:
             trace.trace_event(
                 "hydra.request",

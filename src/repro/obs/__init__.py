@@ -74,6 +74,26 @@ from repro.obs.metrics import (
     span,
     use_registry,
 )
+# stream (and its sketch substrate) is stdlib-only like metrics, so it is
+# safe to bind before trace pulls in repro.exec.
+from repro.obs.sketch import (
+    LinearCounter,
+    QuantileSketch,
+    SpaceSaving,
+    WindowedCounters,
+)
+from repro.obs.stream import (
+    DEFAULT_WINDOW_SECONDS,
+    NULL_STREAM,
+    NullStream,
+    SKETCHES_SCHEMA,
+    StreamAnalytics,
+    deterministic_sketches_view,
+    get_stream,
+    render_stream_report,
+    set_stream,
+    use_stream,
+)
 from repro.obs.trace import (
     DEFAULT_CAPACITY,
     NONDETERMINISTIC_EVENT_PREFIXES,
@@ -95,27 +115,40 @@ from repro.obs.trace import (
 from repro.obs.audit import AuditReport, audit_trace
 from repro.obs.perfetto import chrome_trace, write_chrome_trace
 from repro.obs.progress import ProgressReporter
+from repro.obs.serve import ControlServer, StreamPublisher
 
 __all__ = [
     "AuditReport",
+    "ControlServer",
     "Counter",
     "DEFAULT_BUCKETS",
     "DEFAULT_CAPACITY",
+    "DEFAULT_WINDOW_SECONDS",
     "Gauge",
     "Histogram",
+    "LinearCounter",
     "MetricsRegistry",
     "NONDETERMINISTIC_COUNTERS",
     "NONDETERMINISTIC_EVENT_PREFIXES",
     "NULL_REGISTRY",
+    "NULL_STREAM",
     "NULL_TRACER",
     "NullRegistry",
+    "NullStream",
     "NullTracer",
     "ProgressReporter",
+    "QuantileSketch",
+    "SKETCHES_SCHEMA",
+    "SpaceSaving",
+    "StreamAnalytics",
+    "StreamPublisher",
     "TIME_BUCKETS",
     "TraceEvent",
     "Tracer",
+    "WindowedCounters",
     "audit_trace",
     "chrome_trace",
+    "deterministic_sketches_view",
     "deterministic_trace_view",
     "deterministic_view",
     "disable",
@@ -123,6 +156,7 @@ __all__ = [
     "enable",
     "enable_tracing",
     "get_registry",
+    "get_stream",
     "get_tracer",
     "inc",
     "metrics_to_records",
@@ -131,13 +165,16 @@ __all__ = [
     "read_trace",
     "records_to_snapshot",
     "render_report",
+    "render_stream_report",
     "set_gauge",
     "set_registry",
+    "set_stream",
     "set_tracer",
     "span",
     "trace_event",
     "trace_span",
     "use_registry",
+    "use_stream",
     "use_tracer",
     "write_chrome_trace",
     "write_metrics",

@@ -10,9 +10,15 @@ update in the common (suppressed) case::
     [simulate] day 3/8 · tick 98/288 · crawl 29/81 | 12,410 ev/s · buf 37% · eta 1m42s
 
 The events/s rate and ring-buffer occupancy come from the campaign's
-tracer when tracing is enabled; with tracing off the heartbeat shows
-phase and progress only.  Nothing here feeds back into the simulation —
-no RNG draws, no sim-clock reads — so ``--progress`` never perturbs
+tracer when tracing is enabled; with streaming analytics on
+(``--stream`` / ``--live``, see :mod:`repro.obs.stream`) the line grows
+sketch-derived headline fields (running cloud share and top provider)::
+
+    [simulate] day 3/8 · tick 98/288 | 61,021 ev · cloud 62% · top aws · eta 1m42s
+
+With both off the heartbeat shows phase and progress only.  Nothing
+here feeds back into the simulation — the stream is only *read* — no
+RNG draws, no sim-clock reads — so ``--progress`` never perturbs
 outputs.
 """
 
@@ -73,6 +79,27 @@ class ProgressReporter:
         self._last_emitted_at = now
         return self._rate
 
+    @staticmethod
+    def _stream_extras(analytics) -> list:
+        """Sketch-derived heartbeat fields (read-only; see module docs)."""
+        if analytics is None or not getattr(analytics, "enabled", False):
+            return []
+        extras = []
+        try:
+            headline = analytics.headline()
+        except Exception:  # pragma: no cover - heartbeat must never raise
+            return []
+        events = headline.get("events", 0)
+        if events:
+            extras.append(f"{events:,} ev")
+        cloud = headline.get("cloud_share_by_volume")
+        if cloud is not None:
+            extras.append(f"cloud {cloud:.0%}")
+        top = headline.get("top_provider")
+        if top:
+            extras.append(f"top {top}")
+        return extras
+
     def _write(self, line: str) -> None:
         # Pad to the widest line so a shrinking status leaves no residue.
         self._line_width = max(self._line_width, len(line))
@@ -93,13 +120,17 @@ class ProgressReporter:
         day: Optional[Tuple[int, int]] = None,
         crawls: Optional[Tuple[int, int]] = None,
         tracer=None,
+        analytics=None,
         force: bool = False,
     ) -> None:
         """Report progress; renders at most once per ``interval`` seconds.
 
         ``step``/``total`` drive the ETA (elapsed time scaled by the
         remaining fraction); ``day`` and ``crawls`` are optional
-        ``(current, total)`` pairs for the phase-specific detail.
+        ``(current, total)`` pairs for the phase-specific detail;
+        ``analytics`` is an optional :class:`repro.obs.stream.StreamAnalytics`
+        whose headline estimates (event count, running cloud share, top
+        provider) are appended when streaming is enabled.
         """
         now = self._clock()
         if self._started is None:
@@ -126,6 +157,7 @@ class ProgressReporter:
             capacity = getattr(tracer, "capacity", 0)
             if capacity:
                 extras.append(f"buf {len(tracer) / capacity:3.0%}")
+        extras.extend(self._stream_extras(analytics))
         if step and total > step:
             eta = (now - self._started) * (total - step) / step
             extras.append(f"eta {format_duration(eta)}")

@@ -84,6 +84,27 @@ class ScenarioConfig:
     #: render a live single-line progress heartbeat to stderr (wall-clock
     #: throttled; never feeds back into the simulation).
     progress: bool = False
+    #: maintain streaming analytics sketches (see :mod:`repro.obs.stream`)
+    #: over the monitor event stream: heavy-hitter peers/IPs/CIDs,
+    #: quantile sketches, windowed class shares and live headline
+    #: estimates.  Off by default — the disabled path is a no-op null
+    #: stream and campaign outputs are bit-identical either way; with
+    #: streaming on the sketch snapshot lands in
+    #: ``CampaignResult.sketches``.
+    stream: bool = False
+    #: sketch window length in seconds (defaults to one campaign tick at
+    #: 4 ticks/day, matching ``detect_window``).
+    stream_window: float = 21_600.0
+    #: optional path the final sketch snapshot JSON is written to; the
+    #: path lands in ``CampaignResult.sketches_path``.  Implies
+    #: ``stream``.
+    sketches_out: Optional[str] = None
+    #: optional ``host:port`` to serve the live control plane on (see
+    #: :mod:`repro.obs.serve`): ``/status``, ``/metrics``, ``/sketches``,
+    #: ``/stop`` and a single-page dashboard.  ``"127.0.0.1:0"`` picks a
+    #: free port; the bound URL lands in ``CampaignResult.live_url``.
+    #: Implies ``stream``.
+    live: Optional[str] = None
     #: adversarial scenarios to inject (see :mod:`repro.attack`).  Empty
     #: by default: with no attacks the campaign allocates no attack
     #: store, draws no attack randomness and stays bit-identical to the
@@ -110,6 +131,11 @@ class ScenarioConfig:
     @property
     def num_crawls(self) -> int:
         return max(1, round(self.days * self.crawls_per_day))
+
+    @property
+    def stream_enabled(self) -> bool:
+        """Streaming analytics are on (directly or implied by an output)."""
+        return self.stream or self.sketches_out is not None or self.live is not None
 
     def scaled(self, online_servers: int) -> "ScenarioConfig":
         return replace(self, profile=self.profile.scaled(online_servers))

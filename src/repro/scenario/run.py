@@ -9,10 +9,14 @@ object carries every dataset the §4-§7 analyses need.
 
 from __future__ import annotations
 
+import json
 import random
+import sys
+import time
 from contextlib import ExitStack, contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.attack.orchestrator import AttackOrchestrator
 from repro.content.catalog import ContentCatalog
@@ -23,6 +27,7 @@ from repro.core.crawler import (
     DHTCrawler,
     execute_crawl_task,
     execute_crawl_task_observed,
+    execute_crawl_task_streamed,
     execute_crawl_task_traced,
 )
 from repro.exec.engine import ExecError, ParallelExecutor
@@ -47,6 +52,8 @@ from repro.netsim.soa import resolve_engine
 from repro.obs import metrics as obs
 from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry, use_registry
 from repro.obs.progress import ProgressReporter
+from repro.obs.serve import ControlServer
+from repro.obs.stream import NULL_STREAM, StreamAnalytics, use_stream
 from repro.obs.trace import NULL_TRACER, Tracer, use_tracer, write_trace
 from repro.scenario.config import ScenarioConfig
 from repro.store import campaign_stores
@@ -96,6 +103,18 @@ class CampaignResult:
     #: detector scorecard (see :func:`repro.detect.run_detection`) when the
     #: campaign ran with ``ScenarioConfig.detect`` enabled, else ``None``.
     detection: Optional[Dict[str, object]] = None
+    #: final streaming-analytics sketch snapshot (see
+    #: :mod:`repro.obs.stream`) when the campaign ran with streaming
+    #: enabled (``stream`` / ``sketches_out`` / ``live``), else ``None``.
+    sketches: Optional[Dict[str, object]] = None
+    #: where the sketch snapshot JSON was written when
+    #: ``ScenarioConfig.sketches_out`` was set, else ``None``.
+    sketches_path: Optional[str] = None
+    #: the bound control-plane URL when the campaign served ``--live``.
+    live_url: Optional[str] = None
+    #: True when a live ``/stop`` request ended the measurement period
+    #: early (the datasets cover the completed ticks only).
+    stopped_early: bool = False
 
     @property
     def crawl_rows(self):
@@ -126,6 +145,15 @@ class MeasurementCampaign:
             )
         else:
             self.tracer = NULL_TRACER
+        #: the campaign's streaming-analytics engine: collecting when
+        #: ``config.stream_enabled`` (built with the world's classifiers
+        #: during :meth:`build`), else the shared no-op null stream.
+        self.stream = NULL_STREAM
+        #: the live control plane (see :mod:`repro.obs.serve`) when
+        #: ``config.live`` is set; bound during :meth:`build` so the URL
+        #: is known before the run starts.
+        self.control_server: Optional[ControlServer] = None
+        self._last_publish: Optional[float] = None
         self._crawl_trace_records: List[Dict[str, object]] = []
         self._built = False
 
@@ -145,6 +173,8 @@ class MeasurementCampaign:
             stack.enter_context(use_registry(self.obs))
         if self.config.trace:
             stack.enter_context(use_tracer(self.tracer))
+        if self.stream.enabled:
+            stack.enter_context(use_stream(self.stream))
         return stack
 
     @contextmanager
@@ -162,6 +192,68 @@ class MeasurementCampaign:
             yield
         finally:
             self.tracer.event("phase.end", phase=name)
+
+    # ------------------------------------------------------------------
+    # the live control plane
+    # ------------------------------------------------------------------
+
+    def _publish_live(
+        self,
+        state: str,
+        phase: str,
+        *,
+        day: Optional[Tuple[int, int]] = None,
+        tick: Optional[Tuple[int, int]] = None,
+        crawls: Optional[Tuple[int, int]] = None,
+        force: bool = False,
+    ) -> None:
+        """Push the current status/sketch snapshots to the control plane.
+
+        Wall-clock throttled (≈1 Hz) and strictly read-only against the
+        simulation — the server thread never touches sim state, the
+        campaign thread only *reads* the sketches — so ``--live`` cannot
+        perturb outputs.
+        """
+        server = self.control_server
+        if server is None:
+            return
+        now = time.monotonic()
+        if not force and self._last_publish is not None and now - self._last_publish < 1.0:
+            return
+        self._last_publish = now
+        status: Dict[str, object] = {
+            "state": state,
+            "phase": phase,
+            "events": self.stream.events,
+            "runtime": dict(sorted(self.stream.notes.items())),
+        }
+        if day is not None:
+            status["day"] = f"{day[0]}/{day[1]}"
+        if tick is not None:
+            status["tick"] = f"{tick[0]}/{tick[1]}"
+        if crawls is not None:
+            status["crawls"] = f"{crawls[0]}/{crawls[1]}"
+        server.publisher.publish("status", status)
+        server.publisher.publish("sketches", self.stream.snapshot())
+        if self.config.metrics:
+            server.publisher.publish("metrics", self.obs.snapshot())
+
+    def _stop_requested(self) -> bool:
+        return (
+            self.control_server is not None
+            and self.control_server.publisher.stop_requested
+        )
+
+    def close_live(self) -> None:
+        """Shut the control-plane server down (idempotent).
+
+        :meth:`run` leaves the server up so callers (``repro obs serve``)
+        can keep the final snapshot browsable; :func:`run_campaign`
+        closes it as soon as the result is returned.
+        """
+        if self.control_server is not None:
+            self.control_server.close()
+            self.control_server = None
 
     # ------------------------------------------------------------------
     # construction
@@ -251,6 +343,29 @@ class MeasurementCampaign:
                 operator, nodes, self.overlay, self.monitor
             )
         self.dns_world = seed_dns_world(self.world, self.operators, config.dns)
+        if config.stream_enabled:
+            # The streaming classifiers mirror the exact batch analyses:
+            # cloud attribution is the same memoized CloudIPDatabase
+            # lookup the traffic reports use, and gateway-ness is decided
+            # at observe time (senders are online when they send) against
+            # the same node-class the batch gateway_peers set reflects.
+            online_by_peer = self.overlay.online_by_peer
+
+            def _is_gateway(peer: PeerID) -> bool:
+                node = online_by_peer.get(peer)
+                return node is not None and node.spec.node_class is NodeClass.GATEWAY
+
+            self.stream = StreamAnalytics(
+                config.stream_window,
+                provider_of=self.world.cloud_db.lookup,
+                is_gateway=_is_gateway,
+            )
+            if config.live is not None:
+                self.control_server = ControlServer(config.live).start()
+                print(
+                    f"live campaign analytics at {self.control_server.url}",
+                    file=sys.stderr,
+                )
         self._built = True
 
     def _add_monitor_spec(self) -> NodeSpec:
@@ -316,6 +431,30 @@ class MeasurementCampaign:
             if self.config.trace_out:
                 write_trace(trace_records, self.config.trace_out)
                 result.trace_path = str(self.config.trace_out)
+        if self.stream.enabled:
+            result.sketches = self.stream.snapshot()
+            if self.config.sketches_out:
+                path = Path(self.config.sketches_out)
+                path.parent.mkdir(parents=True, exist_ok=True)
+                path.write_text(
+                    json.dumps(result.sketches, indent=2, sort_keys=True) + "\n"
+                )
+                result.sketches_path = str(path)
+        if self.control_server is not None:
+            result.live_url = self.control_server.url
+            publisher = self.control_server.publisher
+            publisher.publish(
+                "status",
+                {
+                    "state": "stopped" if result.stopped_early else "done",
+                    "phase": "done",
+                    "events": self.stream.events,
+                    "runtime": dict(sorted(self.stream.notes.items())),
+                },
+            )
+            publisher.publish("sketches", result.sketches)
+            if result.metrics is not None:
+                publisher.publish("metrics", result.metrics)
         return result
 
     def _run(self) -> CampaignResult:
@@ -355,7 +494,15 @@ class MeasurementCampaign:
         # any worker count.  With tracing on, each crawl additionally
         # carries a per-task tracer whose record stream rides back the
         # same way.
-        if config.trace:
+        if self.stream.enabled:
+            # The streamed variant wraps the traced/observed/plain ones
+            # and additionally ships each crawl's sketch state back for
+            # the crawl-ordered merge below.
+            crawl_fn = execute_crawl_task_streamed
+            crawl_args = (
+                config.metrics, config.trace, config.trace_sample, config.trace_buffer
+            )
+        elif config.trace:
             crawl_fn = execute_crawl_task_traced
             crawl_args = (config.trace_sample, config.trace_buffer)
         elif config.metrics:
@@ -368,6 +515,7 @@ class MeasurementCampaign:
         progress = ProgressReporter() if config.progress else None
         total_ticks = total_days * config.ticks_per_day
         done_ticks = 0
+        stopped_early = False
 
         with obs.span("simulate"), self._phase("simulate"):
             for day in range(total_days):
@@ -417,7 +565,25 @@ class MeasurementCampaign:
                             day=(day + 1, total_days),
                             crawls=(crawl_id, config.num_crawls),
                             tracer=self.tracer,
+                            analytics=self.stream,
                         )
+                    self._publish_live(
+                        "running",
+                        "simulate",
+                        day=(day + 1, total_days),
+                        tick=(done_ticks, total_ticks),
+                        crawls=(crawl_id, config.num_crawls),
+                    )
+                    if self._stop_requested():
+                        # Graceful early stop: finish this tick, drain the
+                        # crawls already submitted, run the one-shot
+                        # measurements — a normal result over the shorter
+                        # horizon.
+                        stopped_early = True
+                        break
+                if stopped_early:
+                    break
+        self.stream.finalize(overlay.now)
 
         if self.attack_orchestrator is not None:
             self.attack_orchestrator.finish()
@@ -432,13 +598,24 @@ class MeasurementCampaign:
                 force=True,
             )
         with obs.span("crawl-drain"), self._phase("crawl-drain"):
+            self._publish_live(
+                "running", "crawl-drain",
+                crawls=(crawl_id, config.num_crawls), force=True,
+            )
             crawl_results, exec_errors = crawl_engine.drain()
             crawl_engine.close()
             snapshots = []
             crawl_trace_records: List[Dict[str, object]] = []
             for i in sorted(crawl_results):
                 outcome = crawl_results[i]
-                if config.trace:
+                if self.stream.enabled:
+                    snapshot, crawl_metrics, trace_records, stream_state = outcome
+                    if config.trace:
+                        crawl_trace_records.extend(trace_records)
+                    # Crawl-ordered merge: bit-identical at any worker
+                    # count, like the metric snapshots and trace records.
+                    self.stream.merge_crawl_state(stream_state)
+                elif config.trace:
                     snapshot, crawl_metrics, trace_records = outcome
                     crawl_trace_records.extend(trace_records)
                 elif config.metrics:
@@ -535,6 +712,7 @@ class MeasurementCampaign:
             attack_summary=attack_summary,
             attack_ground_truth=attack_ground_truth,
             detection=detection,
+            stopped_early=stopped_early,
         )
 
     def _seed_persistent_user_content(self, count: int):
@@ -594,4 +772,7 @@ def run_campaign(config: Optional[ScenarioConfig] = None) -> CampaignResult:
     """Build and run a campaign in one call."""
     campaign = MeasurementCampaign(config)
     campaign.build()
-    return campaign.run()
+    try:
+        return campaign.run()
+    finally:
+        campaign.close_live()

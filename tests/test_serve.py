@@ -1,0 +1,170 @@
+"""The live control plane serves the stream and can stop a campaign.
+
+Unit coverage for :mod:`repro.obs.serve` (address parsing, publisher,
+endpoint dispatch) plus the end-to-end contract: a campaign started
+with ``live="127.0.0.1:0"`` serves ``/status`` and ``/sketches`` while
+it runs, and ``POST /stop`` ends the simulation early and cleanly
+(``CampaignResult.stopped_early``).
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import replace
+
+import pytest
+
+from repro.obs.serve import (
+    DASHBOARD_HTML,
+    ControlServer,
+    StreamPublisher,
+    fetch_json,
+    parse_address,
+)
+from repro.obs.stream import SKETCHES_SCHEMA
+from repro.scenario.run import MeasurementCampaign
+
+from test_parallel_determinism import parity_config
+
+
+class TestParseAddress:
+    def test_host_and_port(self):
+        assert parse_address("127.0.0.1:8377") == ("127.0.0.1", 8377)
+
+    def test_bare_host_gets_ephemeral_port(self):
+        assert parse_address("localhost") == ("localhost", 0)
+
+    def test_bare_port_defaults_to_loopback(self):
+        assert parse_address(":9000") == ("127.0.0.1", 9000)
+
+    def test_port_zero_means_ephemeral(self):
+        assert parse_address("127.0.0.1:0") == ("127.0.0.1", 0)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_address("not-an-address:nope")
+
+
+class TestStreamPublisher:
+    def test_publish_and_get(self):
+        publisher = StreamPublisher()
+        assert publisher.get("status") is None
+        publisher.publish("status", {"phase": "simulate"})
+        blob = publisher.get("status")
+        assert json.loads(blob) == {"phase": "simulate"}
+
+    def test_stop_flag(self):
+        publisher = StreamPublisher()
+        assert not publisher.stop_requested
+        publisher.request_stop()
+        assert publisher.stop_requested
+
+
+class TestControlServer:
+    @pytest.fixture()
+    def server(self):
+        server = ControlServer("127.0.0.1:0").start()
+        yield server
+        server.close()
+
+    def test_binds_before_start(self):
+        server = ControlServer("127.0.0.1:0")
+        try:
+            # The port is known at construction so callers can announce
+            # the URL before the campaign starts serving.
+            assert server.url.startswith("http://127.0.0.1:")
+            assert not server.url.endswith(":0")
+        finally:
+            server.close()
+
+    def test_dashboard_at_root(self, server):
+        with urllib.request.urlopen(server.url + "/", timeout=5) as response:
+            body = response.read().decode()
+        assert body == DASHBOARD_HTML
+        assert "live campaign" in body
+
+    def test_endpoints_empty_until_published(self, server):
+        assert fetch_json(server.url + "/status") == {}
+        assert fetch_json(server.url + "/sketches") == {}
+        assert fetch_json(server.url + "/metrics") == {}
+
+    def test_published_blob_is_served(self, server):
+        server.publisher.publish("status", {"phase": "crawl", "events": 7})
+        assert fetch_json(server.url + "/status") == {"phase": "crawl", "events": 7}
+
+    def test_unknown_path_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(server.url + "/nope", timeout=5)
+        assert excinfo.value.code == 404
+
+    def test_stop_endpoint_sets_flag(self, server):
+        reply = fetch_json(server.url + "/stop")
+        assert reply == {"stopping": True}
+        assert server.publisher.stop_requested
+
+    def test_close_is_idempotent(self):
+        server = ControlServer("127.0.0.1:0").start()
+        server.close()
+        server.close()
+
+    def test_context_manager(self):
+        with ControlServer("127.0.0.1:0") as server:
+            assert fetch_json(server.url + "/status") == {}
+
+
+class TestLiveCampaignEndToEnd:
+    def test_serve_poll_and_stop(self):
+        config = replace(
+            parity_config(1), days=4, live="127.0.0.1:0", progress=False
+        )
+        campaign = MeasurementCampaign(config)
+        campaign.build()
+        assert campaign.control_server is not None
+        url = campaign.control_server.url
+
+        box = {}
+
+        def run():
+            box["result"] = campaign.run()
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        try:
+            # Poll /status until the simulation is visibly running.
+            status = {}
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                status = fetch_json(url + "/status")
+                if status.get("events", 0) > 0 and status.get("state") == "running":
+                    break
+                time.sleep(0.01)
+            assert status.get("events", 0) > 0, f"no live status seen: {status}"
+            assert status["phase"] == "simulate"
+            assert "day" in status
+
+            sketches = fetch_json(url + "/sketches")
+            assert sketches.get("schema") == SKETCHES_SCHEMA
+            assert sketches.get("events", 0) > 0
+
+            # Ask the campaign to stop early.
+            request = urllib.request.Request(url + "/stop", data=b"", method="POST")
+            with urllib.request.urlopen(request, timeout=5) as response:
+                assert json.loads(response.read()) == {"stopping": True}
+        finally:
+            thread.join(timeout=120)
+        assert not thread.is_alive()
+
+        result = box["result"]
+        assert result.stopped_early is True
+        assert result.live_url == url
+        assert result.sketches is not None
+        # The final status is published before the server is torn down.
+        final = json.loads(campaign.control_server.publisher.get("status"))
+        assert final["state"] == "stopped"
+        assert final["phase"] == "done"
+        campaign.close_live()
+        campaign.close_live()
+        with pytest.raises((urllib.error.URLError, OSError)):
+            fetch_json(url + "/status", timeout=1)

@@ -1,0 +1,303 @@
+"""Streaming analytics estimate what the batch pipeline computes.
+
+Three contracts, mirroring the repo's observability pattern (PR 4/5):
+
+1. **Accuracy** — the live headline estimates (cloud share, provider
+   split, gateway share, class shares, top-1% concentration) match the
+   batch analyses over the full hydra log; at fixture scale the
+   memoized classifications make them *exact*, so the pins are tight.
+2. **Null path** — streaming off is the default no-op null stream and
+   campaigns are bit-identical with streaming on or off.
+3. **Parallel parity** — crawl workers return plain sketch state merged
+   in crawl order, so ``workers=1`` and ``workers=4`` produce an
+   identical deterministic sketch view.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import traffic
+from repro.core.pareto import top_share
+from repro.obs.progress import ProgressReporter
+from repro.obs.stream import (
+    NULL_STREAM,
+    SKETCHES_SCHEMA,
+    NullStream,
+    StreamAnalytics,
+    deterministic_sketches_view,
+    get_stream,
+    render_stream_report,
+    set_stream,
+    use_stream,
+)
+from repro.scenario.config import ScenarioConfig
+from repro.scenario.run import run_campaign
+from repro.world.profiles import WorldProfile
+
+from test_parallel_determinism import parity_config, snapshot_fingerprint
+
+
+def stream_config(workers: int, **overrides) -> ScenarioConfig:
+    return replace(parity_config(workers), stream=True, **overrides)
+
+
+@pytest.fixture(scope="module")
+def plain_result():
+    return run_campaign(parity_config(1))
+
+
+@pytest.fixture(scope="module")
+def streamed_result():
+    return run_campaign(stream_config(1))
+
+
+@pytest.fixture(scope="module")
+def streamed_parallel():
+    return run_campaign(stream_config(4))
+
+
+class TestConfig:
+    def test_stream_enabled_property(self):
+        assert not ScenarioConfig().stream_enabled
+        assert ScenarioConfig(stream=True).stream_enabled
+        assert ScenarioConfig(sketches_out="out/s.json").stream_enabled
+        assert ScenarioConfig(live="127.0.0.1:0").stream_enabled
+
+
+class TestNullDispatch:
+    def test_default_stream_is_null(self):
+        stream = get_stream()
+        assert stream is NULL_STREAM
+        assert not stream.enabled
+        # Hooks are safe no-ops on the null object.
+        stream.observe_bitswap(0.0, None, None)
+        stream.note("exec.submitted")
+        stream.finalize()
+        stream.merge_crawl_state({})
+        assert stream.snapshot() == {"schema": SKETCHES_SCHEMA, "events": 0}
+        assert stream.headline() == {}
+
+    def test_use_stream_restores_on_exit(self):
+        analytics = StreamAnalytics(3600.0)
+        with use_stream(analytics):
+            assert get_stream() is analytics
+        assert get_stream() is NULL_STREAM
+
+    def test_set_stream_returns_previous(self):
+        analytics = StreamAnalytics(3600.0)
+        previous = set_stream(analytics)
+        try:
+            assert previous is NULL_STREAM
+            assert get_stream() is analytics
+        finally:
+            set_stream(previous)
+        assert get_stream() is NULL_STREAM
+
+    def test_null_result_has_no_sketches(self, plain_result):
+        assert plain_result.sketches is None
+        assert plain_result.sketches_path is None
+        assert plain_result.live_url is None
+        assert plain_result.stopped_early is False
+
+
+class TestStreamingAccuracy:
+    """Live estimates vs the batch pipeline over the same hydra log."""
+
+    @pytest.fixture(scope="class")
+    def headline(self, streamed_result):
+        return streamed_result.sketches["headline"]
+
+    @pytest.fixture(scope="class")
+    def log(self, streamed_result):
+        return list(streamed_result.hydra.log)
+
+    def test_event_count_is_exact(self, streamed_result, log):
+        sketches = streamed_result.sketches
+        bitswap = len(streamed_result.bitswap_monitor.log)
+        assert sketches["events"] == len(log) + bitswap
+        assert sketches["headline"]["events"] == sketches["events"]
+
+    def test_cloud_share_matches_batch(self, streamed_result, headline, log):
+        report = traffic.cloud_traffic_report(log, streamed_result.world.cloud_db)
+        assert headline["cloud_share_by_volume"] == pytest.approx(
+            report.cloud_share_by_volume, abs=1e-9
+        )
+
+    def test_provider_shares_match_batch(self, streamed_result, headline, log):
+        report = traffic.cloud_traffic_report(log, streamed_result.world.cloud_db)
+        batch = {
+            provider: share
+            for provider, share in report.provider_shares_by_volume.items()
+            if provider != "non-cloud"
+        }
+        live = headline["provider_shares_by_volume"]
+        assert set(live) == set(batch)
+        for provider, share in batch.items():
+            assert live[provider] == pytest.approx(share, abs=1e-9)
+        # top_provider is the largest cloud share (ties by name).
+        expected_top = min(batch, key=lambda p: (-batch[p], p)) if batch else None
+        assert headline["top_provider"] == expected_top
+
+    def test_class_shares_match_batch(self, headline, log):
+        batch = traffic.traffic_class_shares(log)
+        live = headline["class_shares"]
+        assert set(live) == set(batch)
+        for label, share in batch.items():
+            assert live[label] == pytest.approx(share, abs=1e-9)
+
+    def test_gateway_share_matches_batch(self, streamed_result, headline, log):
+        gateways = streamed_result.gateway_peers
+        expected = sum(1 for entry in log if entry.sender in gateways) / len(log)
+        assert headline["gateway_share_by_volume"] == pytest.approx(expected, abs=1e-9)
+
+    def test_top1pct_concentration_matches_batch(self, headline, log):
+        peer_volumes = traffic.peerid_volumes(log)
+        ip_volumes = traffic.ip_volumes(log)
+        assert headline["top1pct_peer_share"] == pytest.approx(
+            top_share(peer_volumes, 0.01), abs=0.01
+        )
+        assert headline["top1pct_ip_share"] == pytest.approx(
+            top_share(ip_volumes, 0.01), abs=0.01
+        )
+
+    def test_top10_peer_recall_is_perfect(self, streamed_result, log):
+        volumes = traffic.peerid_volumes(log)
+        truth = sorted(volumes.items(), key=lambda kv: (-kv[1], str(kv[0])))[:10]
+        live = streamed_result.sketches["top"]["peers"]
+        assert {key for key, _count, _err in live} == {str(p) for p, _v in truth}
+        # Volumes themselves are exact while the summary is not full.
+        live_counts = {key: count for key, count, _err in live}
+        for peer, volume in truth:
+            assert live_counts[str(peer)] == volume
+
+    def test_distinct_estimates_are_close(self, streamed_result, headline, log):
+        true_peers = len(traffic.peerid_volumes(log))
+        true_ips = len(traffic.ip_volumes(log))
+        true_cids = len({e.cid for e in streamed_result.bitswap_monitor.log})
+        assert headline["distinct_peers_est"] == pytest.approx(true_peers, rel=0.05)
+        assert headline["distinct_ips_est"] == pytest.approx(true_ips, rel=0.05)
+        assert headline["distinct_cids_est"] == pytest.approx(true_cids, rel=0.05)
+
+    def test_crawl_rollup_matches_dataset(self, streamed_result):
+        crawl = streamed_result.sketches["crawl"]
+        snapshots = streamed_result.crawls.snapshots
+        assert crawl["crawls"] == len(snapshots)
+        assert crawl["discovered"] == sum(len(s.observations) for s in snapshots)
+        assert crawl["crawlable"] == sum(
+            1
+            for s in snapshots
+            for obs in s.observations.values()
+            if obs.crawlable
+        )
+
+    def test_snapshot_shape(self, streamed_result):
+        sketches = streamed_result.sketches
+        assert sketches["schema"] == SKETCHES_SCHEMA
+        assert set(sketches["quantiles"]) == {
+            "peer_requests_per_window",
+            "crawl_out_degree",
+        }
+        for kind in ("peers", "ips", "cids"):
+            assert sketches["top"][kind]
+        assert "runtime" in sketches
+        assert "runtime" not in deterministic_sketches_view(sketches)
+
+
+class TestStreamingOffIsBitIdentical:
+    """The PR-4 contract: the flag changes observability, never science."""
+
+    def test_crawl_datasets_identical(self, plain_result, streamed_result):
+        plain = [snapshot_fingerprint(s) for s in plain_result.crawls.snapshots]
+        streamed = [snapshot_fingerprint(s) for s in streamed_result.crawls.snapshots]
+        assert plain == streamed
+
+    def test_hydra_log_identical(self, plain_result, streamed_result):
+        assert len(plain_result.hydra.log) == len(streamed_result.hydra.log)
+        assert plain_result.hydra.log[:200] == streamed_result.hydra.log[:200]
+        assert traffic.traffic_class_shares(
+            plain_result.hydra.log
+        ) == traffic.traffic_class_shares(streamed_result.hydra.log)
+
+    def test_gateway_probes_identical(self, plain_result, streamed_result):
+        assert (
+            plain_result.gateway_probe_reports.keys()
+            == streamed_result.gateway_probe_reports.keys()
+        )
+
+
+class TestParallelParity:
+    def test_sketch_views_bit_identical_across_workers(
+        self, streamed_result, streamed_parallel
+    ):
+        serial = deterministic_sketches_view(streamed_result.sketches)
+        parallel = deterministic_sketches_view(streamed_parallel.sketches)
+        assert serial == parallel
+
+    def test_campaigns_identical_across_workers(
+        self, streamed_result, streamed_parallel
+    ):
+        serial = [snapshot_fingerprint(s) for s in streamed_result.crawls.snapshots]
+        parallel = [
+            snapshot_fingerprint(s) for s in streamed_parallel.crawls.snapshots
+        ]
+        assert serial == parallel
+
+
+class TestRendering:
+    def test_render_stream_report(self, streamed_result):
+        report = render_stream_report(streamed_result.sketches)
+        assert "cloud_share_by_volume" in report
+        assert "quantiles" in report
+        assert "top peers" in report
+
+    def test_render_handles_empty_snapshot(self):
+        report = render_stream_report({"schema": SKETCHES_SCHEMA, "events": 0})
+        assert "0" in report
+
+
+class TestHeartbeat:
+    def test_stream_extras_absent_without_analytics(self):
+        assert ProgressReporter._stream_extras(None) == []
+        assert ProgressReporter._stream_extras(NullStream()) == []
+
+    def test_stream_extras_from_live_analytics(self, streamed_result):
+        analytics = StreamAnalytics(
+            3600.0, provider_of=streamed_result.world.cloud_db.lookup
+        )
+        for entry in streamed_result.hydra.log[:500]:
+            analytics.observe_hydra(entry)
+        extras = ProgressReporter._stream_extras(analytics)
+        assert extras[0] == "500 ev"
+        assert any(extra.startswith("cloud ") for extra in extras)
+
+    def test_headline_is_read_only(self, streamed_result):
+        analytics = StreamAnalytics(3600.0)
+        for entry in streamed_result.hydra.log[:200]:
+            analytics.observe_hydra(entry)
+        before = analytics.snapshot()
+        analytics.headline()
+        assert analytics.snapshot() == before
+
+    def test_heartbeat_line_includes_stream_fields(self, streamed_result):
+        class FakeStream:
+            def __init__(self):
+                self.lines = []
+
+            def write(self, text):
+                self.lines.append(text)
+
+            def flush(self):
+                pass
+
+        analytics = StreamAnalytics(
+            3600.0, provider_of=streamed_result.world.cloud_db.lookup
+        )
+        for entry in streamed_result.hydra.log[:300]:
+            analytics.observe_hydra(entry)
+        out = FakeStream()
+        reporter = ProgressReporter(stream=out, interval=0.0, clock=lambda: 0.0)
+        reporter.update("simulate", 1, 10, analytics=analytics)
+        line = out.lines[-1]
+        assert "300 ev" in line
+        assert "cloud" in line
